@@ -1,0 +1,66 @@
+/**
+ * Ablation: BOWS combines two mechanisms — (1) pushing spinning warps to
+ * the back of the priority queue ("deprioritize") and (2) enforcing a
+ * minimum spacing between spin iterations ("throttle"). Section VI-D of
+ * the paper argues both matter: deprioritization helps when schedulers
+ * have many warps to choose from; throttling helps when they do not.
+ * This harness measures each in isolation (adaptive delay, DDOS
+ * detection, GTO baseline), plus the cost of DDOS vs an oracle that
+ * knows the SIBs up front.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 1.0);
+    printHeader("BOWS ablation: exec time normalized to GTO");
+    std::printf("%-6s %10s %10s %10s %10s %10s\n", "kernel", "GTO",
+                "deprio", "throttle", "both", "both+orcl");
+
+    struct Mode {
+        bool bows;
+        bool deprioritize;
+        bool throttle;  // adaptive delay on/off (off = limit 0)
+        SpinDetect detect;
+    };
+    const std::vector<Mode> modes = {
+        {false, false, false, SpinDetect::Ddos},
+        {true, true, false, SpinDetect::Ddos},   // deprioritize only
+        {true, false, true, SpinDetect::Ddos},   // throttle only
+        {true, true, true, SpinDetect::Ddos},    // full BOWS
+        {true, true, true, SpinDetect::Oracle},  // full BOWS, oracle SIBs
+    };
+
+    std::vector<double> gmean(modes.size(), 1.0);
+    unsigned count = 0;
+    for (const std::string &name : syncKernelNames()) {
+        std::printf("%-6s", name.c_str());
+        double base = 0.0;
+        for (size_t m = 0; m < modes.size(); ++m) {
+            GpuConfig cfg = makeGtx480Config();
+            cfg.scheduler = SchedulerKind::GTO;
+            cfg.bows.enabled = modes[m].bows;
+            cfg.bows.deprioritize = modes[m].deprioritize;
+            cfg.bows.adaptive = modes[m].throttle;
+            cfg.bows.delayLimit = 0;
+            cfg.spinDetect = modes[m].detect;
+            double cycles = static_cast<double>(
+                runBenchmark(cfg, name, scale).cycles);
+            if (m == 0)
+                base = cycles;
+            gmean[m] *= cycles / base;
+            std::printf(" %10.3f", cycles / base);
+        }
+        std::printf("\n");
+        ++count;
+    }
+    std::printf("%-6s", "Gmean");
+    for (size_t m = 0; m < modes.size(); ++m)
+        std::printf(" %10.3f", std::pow(gmean[m], 1.0 / count));
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+#ifndef BOWSIM_BENCH_BENCH_COMMON_HPP
+#define BOWSIM_BENCH_BENCH_COMMON_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/kernels/registry.hpp"
+#include "src/sim/gpu.hpp"
+
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses. Each bench
+ * binary regenerates one table or figure of the paper; rows print as
+ * tab-separated text so results can be diffed and plotted directly.
+ */
+
+namespace bowsim::bench {
+
+/** Scale factor for all workloads; override with --scale or BOWSIM_SCALE. */
+inline double
+workloadScale(int argc, char **argv, double fallback = 1.0)
+{
+    if (const char *env = std::getenv("BOWSIM_SCALE"))
+        fallback = std::atof(env);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            fallback = std::atof(argv[i] + 8);
+    }
+    return fallback;
+}
+
+/** Number of simulated cores; scaled down so sweeps finish in seconds. */
+inline unsigned
+benchCores(int argc, char **argv, unsigned fallback = 8)
+{
+    if (const char *env = std::getenv("BOWSIM_CORES"))
+        fallback = static_cast<unsigned>(std::atoi(env));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--cores=", 8) == 0)
+            fallback = static_cast<unsigned>(std::atoi(argv[i] + 8));
+    }
+    return fallback;
+}
+
+/** Runs one named benchmark on @p cfg and returns its statistics. */
+inline KernelStats
+runBenchmark(const GpuConfig &cfg, const std::string &name, double scale)
+{
+    Gpu gpu(cfg);
+    auto harness = makeBenchmark(name, scale);
+    return harness->run(gpu);
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("# %s\n", title);
+}
+
+}  // namespace bowsim::bench
+
+#endif  // BOWSIM_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,107 @@
+/**
+ * Figure 1 (b-e): fine-grained synchronization on "current GPUs".
+ *
+ *  1b: hashtable insertion time, GPU (simulated Pascal + Fermi) vs a real
+ *      serial CPU run, sweeping bucket counts (fewer buckets = more
+ *      contention).
+ *  1c: fraction of dynamic instructions that are synchronization
+ *      overhead.
+ *  1d: fraction of memory transactions due to synchronization.
+ *  1e: SIMD efficiency with a single warp vs many warps (inter-warp lock
+ *      conflicts cause the drop).
+ */
+#include "bench/bench_common.hpp"
+
+#include "src/cpuref/hashtable_cpu.hpp"
+#include "src/kernels/hashtable.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+namespace {
+
+HashtableParams
+htForBuckets(unsigned buckets, double scale)
+{
+    HashtableParams p;
+    p.insertions = static_cast<unsigned>(24576 * scale);
+    p.buckets = buckets;
+    p.ctas = 30;
+    p.threadsPerCta = 256;
+    return p;
+}
+
+KernelStats
+runHt(const GpuConfig &cfg, const HashtableParams &p)
+{
+    Gpu gpu(cfg);
+    auto h = makeHashtable(p);
+    return h->run(gpu);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 1.0);
+    const std::vector<unsigned> buckets = {128, 256, 512, 1024, 2048,
+                                           4096};
+
+    printHeader("Figure 1b: HT execution time (ms), CPU vs GPU");
+    std::printf("%-8s %12s %12s %12s\n", "buckets", "cpu_ms",
+                "fermi_ms", "pascal_ms");
+    for (unsigned b : buckets) {
+        HashtableParams p = htForBuckets(b, scale);
+        // Real, natively-timed serial CPU insertion of the same keys.
+        std::vector<Word> keys(p.insertions);
+        std::uint64_t x = p.seed;
+        for (auto &k : keys) {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            k = static_cast<Word>((x * 0x2545F4914F6CDD1Dull) >> 16 &
+                                  0x7fffffff);
+        }
+        CpuHashtableResult cpu = cpuHashtableInsert(keys, b, 20);
+
+        GpuConfig fermi = makeGtx480Config();
+        KernelStats fs = runHt(fermi, p);
+        GpuConfig pascal = makeGtx1080TiConfig();
+        KernelStats ps = runHt(pascal, p);
+        std::printf("%-8u %12.4f %12.4f %12.4f\n", b, cpu.milliseconds,
+                    fs.milliseconds(fermi.coreClockMhz),
+                    ps.milliseconds(pascal.coreClockMhz));
+    }
+
+    printHeader("Figure 1c/1d: synchronization overheads (Fermi, GTO)");
+    std::printf("%-8s %14s %14s %16s\n", "buckets", "sync_inst_frac",
+                "sync_mem_frac", "thread_insts");
+    std::vector<KernelStats> sweep;
+    for (unsigned b : buckets) {
+        KernelStats s = runHt(makeGtx480Config(), htForBuckets(b, scale));
+        sweep.push_back(s);
+        double mem_frac =
+            s.l1Accesses == 0
+                ? 0.0
+                : static_cast<double>(s.syncMemTransactions) /
+                      s.l1Accesses;
+        std::printf("%-8u %14.3f %14.3f %16llu\n", b,
+                    s.syncInstructionFraction(), mem_frac,
+                    static_cast<unsigned long long>(s.threadInstructions));
+    }
+
+    printHeader("Figure 1e: SIMD efficiency, single warp vs many warps");
+    std::printf("%-8s %14s %14s\n", "buckets", "single_warp",
+                "multi_warp");
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        HashtableParams p = htForBuckets(buckets[i], scale);
+        p.ctas = 1;
+        p.threadsPerCta = 32;
+        p.insertions = 2048;
+        KernelStats single = runHt(makeGtx480Config(), p);
+        std::printf("%-8u %14.3f %14.3f\n", buckets[i],
+                    single.simdEfficiency(), sweep[i].simdEfficiency());
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * Figure 2: distribution of lock-acquire attempts (lock-based kernels)
+ * and wait-exit attempts (wait-and-signal kernels) under LRR, GTO and
+ * CAWA. Shows that most failures are inter-warp and that the scheduling
+ * policy strongly influences them.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 1.0);
+    printHeader("Figure 2: synchronization status distribution "
+                "(fractions of all attempts)");
+    std::printf("%-6s %-5s %9s %9s %9s %9s %9s\n", "kernel", "sched",
+                "lock_ok", "interFail", "intraFail", "wait_ok",
+                "wait_fail");
+    for (const std::string &name : syncKernelNames()) {
+        for (SchedulerKind sched : {SchedulerKind::LRR, SchedulerKind::GTO,
+                                    SchedulerKind::CAWA}) {
+            GpuConfig cfg = makeGtx480Config();
+            cfg.scheduler = sched;
+            cfg.bows.enabled = false;
+            KernelStats s = runBenchmark(cfg, name, scale);
+            double total = static_cast<double>(s.outcomes.total());
+            if (total == 0)
+                total = 1;
+            std::printf("%-6s %-5s %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                        name.c_str(), toString(sched),
+                        s.outcomes.lockSuccess / total,
+                        s.outcomes.interWarpFail / total,
+                        s.outcomes.intraWarpFail / total,
+                        s.outcomes.waitExitSuccess / total,
+                        s.outcomes.waitExitFail / total);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * Figure 3: software back-off delay on GPUs. The HT kernel is augmented
+ * with the clock()-polling delay code of Fig. 3a (delay grows with the
+ * CTA index). On real GPUs — and here — the delay code itself burns
+ * issue slots, so it only pays off at very high contention, if at all.
+ */
+#include "bench/bench_common.hpp"
+
+#include "src/kernels/hashtable.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 1.0);
+    printHeader("Figure 3: HT execution time (ms) with software back-off "
+                "delays (Pascal)");
+    const std::vector<unsigned> factors = {0, 50, 100, 500, 1000};
+    std::printf("%-8s", "buckets");
+    for (unsigned f : factors)
+        std::printf("  delay=%-6u", f);
+    std::printf("\n");
+
+    for (unsigned buckets : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+        std::printf("%-8u", buckets);
+        for (unsigned f : factors) {
+            GpuConfig cfg = makeGtx1080TiConfig();
+            cfg.bows.enabled = false;
+            Gpu gpu(cfg);
+            HashtableParams p;
+            p.insertions = static_cast<unsigned>(16384 * scale);
+            p.buckets = buckets;
+            p.ctas = 30;
+            p.threadsPerCta = 256;
+            p.delayFactor = f;
+            auto h = makeHashtable(p);
+            KernelStats s = h->run(gpu);
+            std::printf("  %-12.4f", s.milliseconds(cfg.coreClockMhz));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

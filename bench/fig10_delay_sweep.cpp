@@ -1,0 +1,54 @@
+/**
+ * Figure 10: normalized execution time of GTO+BOWS at back-off delay
+ * limits {none, 0, 500, 1000, 3000, 5000, adaptive}, using DDOS for spin
+ * detection, across the busy-wait synchronization kernels. Values are
+ * normalized to plain GTO (first column == 1.0 by construction).
+ */
+#include "bench/bench_common.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 0.5);
+    unsigned cores = benchCores(argc, argv);
+
+    printHeader("Figure 10: execution time vs back-off delay limit "
+                "(normalized to GTO)");
+    std::printf("%-6s %8s %8s %8s %8s %8s %8s %10s\n", "kernel", "GTO",
+                "BOWS(0)", "B(500)", "B(1000)", "B(3000)", "B(5000)",
+                "B(adapt)");
+
+    struct Mode {
+        bool bows;
+        bool adaptive;
+        Cycle limit;
+    };
+    const std::vector<Mode> modes = {
+        {false, false, 0}, {true, false, 0},    {true, false, 500},
+        {true, false, 1000}, {true, false, 3000}, {true, false, 5000},
+        {true, true, 0},
+    };
+
+    for (const std::string &name : syncKernelNames()) {
+        std::vector<double> cycles;
+        for (const Mode &m : modes) {
+            GpuConfig cfg = makeGtx480Config();
+            cfg.numCores = cores;
+            cfg.scheduler = SchedulerKind::GTO;
+            cfg.bows.enabled = m.bows;
+            cfg.bows.adaptive = m.adaptive;
+            cfg.bows.delayLimit = m.limit;
+            cfg.spinDetect = SpinDetect::Ddos;
+            cycles.push_back(static_cast<double>(
+                runBenchmark(cfg, name, scale).cycles));
+        }
+        std::printf("%-6s", name.c_str());
+        for (double c : cycles)
+            std::printf(" %8.3f", c / cycles[0]);
+        std::printf("\n");
+    }
+    return 0;
+}

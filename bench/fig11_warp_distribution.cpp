@@ -1,0 +1,45 @@
+/**
+ * Figure 11: average fraction of resident warps sitting in the
+ * backed-off state, as the back-off delay limit grows. The delay has no
+ * visible effect until it exceeds the natural spin-iteration latency of
+ * each benchmark, then the backed-off population climbs.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 1.0);
+    printHeader("Figure 11: backed-off warp fraction vs delay limit "
+                "(GTO+BOWS, DDOS)");
+    std::printf("%-6s %8s %8s %8s %8s %8s %8s %8s\n", "kernel", "GTO",
+                "B(0)", "B(500)", "B(1000)", "B(3000)", "B(5000)",
+                "B(adapt)");
+    struct Mode {
+        bool bows;
+        bool adaptive;
+        Cycle limit;
+    };
+    const std::vector<Mode> modes = {
+        {false, false, 0},  {true, false, 0},    {true, false, 500},
+        {true, false, 1000}, {true, false, 3000}, {true, false, 5000},
+        {true, true, 0},
+    };
+    for (const std::string &name : syncKernelNames()) {
+        std::printf("%-6s", name.c_str());
+        for (const Mode &m : modes) {
+            GpuConfig cfg = makeGtx480Config();
+            cfg.scheduler = SchedulerKind::GTO;
+            cfg.bows.enabled = m.bows;
+            cfg.bows.adaptive = m.adaptive;
+            cfg.bows.delayLimit = m.limit;
+            KernelStats s = runBenchmark(cfg, name, scale);
+            std::printf(" %8.3f", s.backedOffFraction());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

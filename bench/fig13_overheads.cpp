@@ -1,0 +1,80 @@
+/**
+ * Figure 13: BOWS impact on dynamic overheads across back-off delay
+ * limits — (a) dynamic thread-instruction count, (b) memory (L1D)
+ * transactions, (c) SIMD efficiency. Instruction counts and memory
+ * transactions are normalized to plain GTO.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 1.0);
+    struct Mode {
+        const char *label;
+        bool bows;
+        bool adaptive;
+        Cycle limit;
+    };
+    const std::vector<Mode> modes = {
+        {"GTO", false, false, 0},    {"B0", true, false, 0},
+        {"B500", true, false, 500},  {"B1000", true, false, 1000},
+        {"B3000", true, false, 3000}, {"B5000", true, false, 5000},
+        {"Badapt", true, true, 0},
+    };
+
+    std::vector<std::vector<KernelStats>> all;
+    for (const std::string &name : syncKernelNames()) {
+        std::vector<KernelStats> row;
+        for (const Mode &m : modes) {
+            GpuConfig cfg = makeGtx480Config();
+            cfg.scheduler = SchedulerKind::GTO;
+            cfg.bows.enabled = m.bows;
+            cfg.bows.adaptive = m.adaptive;
+            cfg.bows.delayLimit = m.limit;
+            row.push_back(runBenchmark(cfg, name, scale));
+        }
+        all.push_back(std::move(row));
+    }
+
+    auto table = [&](const char *title, auto metric, bool normalize) {
+        printHeader(title);
+        std::printf("%-6s", "kernel");
+        for (const Mode &m : modes)
+            std::printf(" %8s", m.label);
+        std::printf("\n");
+        std::vector<double> gmean(modes.size(), 1.0);
+        for (size_t k = 0; k < all.size(); ++k) {
+            std::printf("%-6s", syncKernelNames()[k].c_str());
+            double base = metric(all[k][0]);
+            for (size_t m = 0; m < modes.size(); ++m) {
+                double v = metric(all[k][m]);
+                double out = normalize && base != 0 ? v / base : v;
+                gmean[m] *= out;
+                std::printf(" %8.3f", out);
+            }
+            std::printf("\n");
+        }
+        std::printf("%-6s", "Gmean");
+        for (size_t m = 0; m < modes.size(); ++m)
+            std::printf(" %8.3f", std::pow(gmean[m], 1.0 / all.size()));
+        std::printf("\n\n");
+    };
+
+    table("Figure 13a: dynamic instruction count (normalized to GTO)",
+          [](const KernelStats &s) {
+              return static_cast<double>(s.threadInstructions);
+          },
+          true);
+    table("Figure 13b: L1D memory transactions (normalized to GTO)",
+          [](const KernelStats &s) {
+              return static_cast<double>(s.l1Accesses);
+          },
+          true);
+    table("Figure 13c: SIMD efficiency (absolute)",
+          [](const KernelStats &s) { return s.simdEfficiency(); }, false);
+    return 0;
+}

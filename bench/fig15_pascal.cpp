@@ -1,0 +1,62 @@
+/**
+ * Figure 15: the Figure 9 experiment on the Pascal GTX1080Ti
+ * configuration — normalized execution time and dynamic energy for
+ * {LRR, GTO, CAWA} x {base, +BOWS}. Pascal has ~2x the cores of Fermi,
+ * so each scheduler holds fewer warps and baseline-policy differences
+ * flatten, while contention per lock (and BOWS headroom) remains.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 1.0);
+    printHeader("Figure 15a/15b: exec time and energy normalized to LRR "
+                "(GTX1080Ti)");
+    std::printf("%-6s | %7s %7s %7s %7s %7s %7s | %7s %7s %7s %7s %7s "
+                "%7s\n",
+                "kernel", "LRR", "LRR+B", "GTO", "GTO+B", "CAWA",
+                "CAWA+B", "eLRR", "eLRR+B", "eGTO", "eGTO+B", "eCAWA",
+                "eCAWA+B");
+    double time_gmean[6] = {1, 1, 1, 1, 1, 1};
+    unsigned count = 0;
+    for (const std::string &name : syncKernelNames()) {
+        double cycles[6];
+        double energy[6];
+        unsigned i = 0;
+        for (SchedulerKind sched : {SchedulerKind::LRR, SchedulerKind::GTO,
+                                    SchedulerKind::CAWA}) {
+            for (bool bows : {false, true}) {
+                GpuConfig cfg = makeGtx1080TiConfig();
+                cfg.scheduler = sched;
+                cfg.bows.enabled = bows;
+                KernelStats s = runBenchmark(cfg, name, scale);
+                cycles[i] = static_cast<double>(s.cycles);
+                energy[i] = s.energyNj;
+                ++i;
+            }
+        }
+        std::printf("%-6s |", name.c_str());
+        for (unsigned k = 0; k < 6; ++k)
+            std::printf(" %7.3f", cycles[k] / cycles[0]);
+        std::printf(" |");
+        for (unsigned k = 0; k < 6; ++k)
+            std::printf(" %7.3f", energy[k] / energy[0]);
+        std::printf("\n");
+        for (unsigned k = 0; k < 6; ++k)
+            time_gmean[k] *= cycles[k] / cycles[0];
+        ++count;
+    }
+    std::printf("%-6s |", "Gmean");
+    for (unsigned k = 0; k < 6; ++k)
+        std::printf(" %7.3f", std::pow(time_gmean[k], 1.0 / count));
+    std::printf("\n# BOWS speedup vs its own baseline (gmean): "
+                "LRR %.2fx, GTO %.2fx, CAWA %.2fx\n",
+                std::pow(time_gmean[0] / time_gmean[1], 1.0 / count),
+                std::pow(time_gmean[2] / time_gmean[3], 1.0 / count),
+                std::pow(time_gmean[4] / time_gmean[5], 1.0 / count));
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * Microbenchmarks of the simulator's hot components (google-benchmark).
+ * These gate performance regressions in the per-cycle machinery: DDOS
+ * hashing/history updates run on every setp, the SIB-PT on every
+ * backward branch, the cache and coalescer on every memory transaction.
+ */
+#include <benchmark/benchmark.h>
+
+#include "src/arch/simt_stack.hpp"
+#include "src/core/ddos/hashing.hpp"
+#include "src/core/ddos/history.hpp"
+#include "src/core/ddos/sib_table.hpp"
+#include "src/isa/assembler.hpp"
+#include "src/mem/cache.hpp"
+#include "src/mem/coalescer.hpp"
+
+namespace {
+
+using namespace bowsim;
+
+void
+BM_HashXor(benchmark::State &state)
+{
+    std::uint64_t v = 0x123456789abcdef0ull;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hashHistory(HashKind::Xor, 8, v));
+        v += 0x9e3779b9;
+    }
+}
+BENCHMARK(BM_HashXor);
+
+void
+BM_HistoryInsertSpinning(benchmark::State &state)
+{
+    DdosConfig cfg;
+    HistoryRegisters h(cfg);
+    std::uint32_t i = 0;
+    for (auto _ : state) {
+        h.insert(i & 1 ? 0x7 : 0x2, 0x1, 0x0);
+        ++i;
+    }
+    benchmark::DoNotOptimize(h.spinning());
+}
+BENCHMARK(BM_HistoryInsertSpinning);
+
+void
+BM_SibTableLookup(benchmark::State &state)
+{
+    DdosConfig cfg;
+    SibTable t(cfg);
+    for (Pc pc = 0; pc < 8; ++pc) {
+        for (unsigned i = 0; i < 4; ++i)
+            t.onSpinningBranch(pc);
+    }
+    Pc pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.isConfirmed(pc));
+        pc = (pc + 1) % 16;
+    }
+}
+BENCHMARK(BM_SibTableLookup);
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    CacheConfig cfg{16 * 1024, 4, 128, 32};
+    Cache c(cfg);
+    for (Addr a = 0; a < 16 * 1024; a += 128)
+        c.fill(a, false, nullptr);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a, false));
+        a = (a + 128) % (16 * 1024);
+    }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CoalesceUnitStride(benchmark::State &state)
+{
+    std::array<Addr, kWarpSize> addrs{};
+    for (unsigned l = 0; l < kWarpSize; ++l)
+        addrs[l] = 0x1000 + 8 * l;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coalesce(addrs, kFullMask));
+}
+BENCHMARK(BM_CoalesceUnitStride);
+
+void
+BM_SimtStackDivergeReconverge(benchmark::State &state)
+{
+    Instruction bra;
+    bra.op = Opcode::Bra;
+    bra.guard = 0;
+    bra.target = 10;
+    bra.reconvergence = 20;
+    for (auto _ : state) {
+        SimtStack s;
+        s.reset(kFullMask);
+        s.branch(bra, 0xffff);
+        for (Pc pc = 10; pc < 20; ++pc)
+            s.advance();
+        for (Pc pc = 1; pc < 20; ++pc)
+            s.advance();
+        benchmark::DoNotOptimize(s.activeMask());
+    }
+}
+BENCHMARK(BM_SimtStackDivergeReconverge);
+
+void
+BM_AssembleSpinKernel(benchmark::State &state)
+{
+    const std::string src = R"(
+.kernel spin
+.param 2
+  ld.param.u64 %r1, [0];
+  ld.param.u64 %r2, [8];
+LOOP:
+  atom.global.cas.b64 %r3, [%r1], 0, 1;
+  setp.ne.s64 %p1, %r3, 0;
+  @%p1 bra LOOP;
+  atom.global.exch.b64 %r4, [%r1], 0;
+  exit;
+)";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(assemble(src));
+}
+BENCHMARK(BM_AssembleSpinKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

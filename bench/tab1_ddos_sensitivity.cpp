@@ -1,0 +1,125 @@
+/**
+ * Table I: DDOS sensitivity to design parameters. Each sub-table varies
+ * one parameter and reports, averaged over the benchmark suite (the
+ * busy-wait kernels provide true spin-inducing branches; they and the
+ * sync-free kernels provide the non-spin backward branches that can be
+ * falsely detected):
+ *
+ *   TSDR — true spin detection rate
+ *   FSDR — false spin detection rate
+ *   DPR  — detection phase ratio (confirmation time / branch lifetime)
+ */
+#include "bench/bench_common.hpp"
+
+using namespace bowsim;
+using namespace bowsim::bench;
+
+namespace {
+
+struct Row {
+    double tsdr = 0.0;
+    double dprTrue = 0.0;
+    double fsdr = 0.0;
+    double dprFalse = 0.0;
+};
+
+Row
+runSuite(const DdosConfig &ddos, double scale)
+{
+    Row row;
+    unsigned n = 0;
+    std::vector<std::string> names = syncKernelNames();
+    for (const std::string &s : syncFreeKernelNames())
+        names.push_back(s);
+    for (const std::string &name : names) {
+        GpuConfig cfg = makeGtx480Config();
+        cfg.scheduler = SchedulerKind::GTO;
+        cfg.bows.enabled = false;  // measure detection, not scheduling
+        cfg.ddos = ddos;
+        KernelStats s = runBenchmark(cfg, name, scale);
+        row.tsdr += s.ddos.tsdr();
+        row.dprTrue += s.ddos.dprTrue();
+        row.fsdr += s.ddos.fsdr();
+        row.dprFalse += s.ddos.dprFalse();
+        ++n;
+    }
+    row.tsdr /= n;
+    row.dprTrue /= n;
+    row.fsdr /= n;
+    row.dprFalse /= n;
+    return row;
+}
+
+void
+print(const char *label, const Row &r)
+{
+    std::printf("%-24s %8.3f %8.3f %8.3f %8.3f\n", label, r.tsdr,
+                r.dprTrue, r.fsdr, r.dprFalse);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = workloadScale(argc, argv, 0.25);
+    printHeader("Table I: DDOS sensitivity (averages over the suite)");
+    std::printf("%-24s %8s %8s %8s %8s\n", "config", "TSDR", "DPR(T)",
+                "FSDR", "DPR(F)");
+
+    DdosConfig base;  // h=XOR, m=k=8, l=8, t=4, no time sharing
+
+    std::printf("# hashing function (t=4, l=8)\n");
+    for (HashKind h : {HashKind::Xor, HashKind::Modulo}) {
+        for (unsigned bits : {4u, 8u}) {
+            DdosConfig d = base;
+            d.hash = h;
+            d.hashBits = bits;
+            char label[64];
+            std::snprintf(label, sizeof label, "%s, m=k=%u", toString(h),
+                          bits);
+            print(label, runSuite(d, scale));
+        }
+    }
+
+    std::printf("# hashed width m=k (t=4, l=8, XOR)\n");
+    for (unsigned bits : {2u, 3u, 4u, 8u}) {
+        DdosConfig d = base;
+        d.hashBits = bits;
+        char label[64];
+        std::snprintf(label, sizeof label, "m=k=%u", bits);
+        print(label, runSuite(d, scale));
+    }
+
+    std::printf("# confidence threshold t (m=k=8, l=8, XOR)\n");
+    for (unsigned t : {2u, 4u, 8u, 12u}) {
+        DdosConfig d = base;
+        d.confidenceThreshold = t;
+        char label[64];
+        std::snprintf(label, sizeof label, "t=%u", t);
+        print(label, runSuite(d, scale));
+    }
+
+    std::printf("# history length l (t=4, m=k=8, XOR)\n");
+    for (unsigned l : {1u, 2u, 4u, 8u}) {
+        DdosConfig d = base;
+        d.historyLength = l;
+        char label[64];
+        std::snprintf(label, sizeof label, "l=%u", l);
+        print(label, runSuite(d, scale));
+    }
+
+    std::printf("# time sharing (l=8, t=4, XOR, epoch=1000)\n");
+    for (bool sh : {false, true}) {
+        for (unsigned bits : {4u, 8u}) {
+            DdosConfig d = base;
+            d.timeShare = sh;
+            d.hashBits = bits;
+            char label[64];
+            std::snprintf(label, sizeof label, "sh=%d, m=k=%u", sh ? 1 : 0,
+                          bits);
+            print(label, runSuite(d, scale));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * Scenario: bring your own synchronization pattern. Implements a small
+ * producer/consumer pipeline through global memory: producer warps fill
+ * a ring buffer of work items, consumer warps spin (wait-and-signal,
+ * Fig. 6c style) until their slot is published, then process it. Shows
+ * the full public API surface: assembling a kernel with sync
+ * annotations, configuring BOWS/DDOS, launching, and reading both
+ * results and the per-class synchronization statistics.
+ *
+ *   $ ./custom_kernel
+ */
+#include <cstdio>
+#include <vector>
+
+#include "src/isa/assembler.hpp"
+#include "src/sim/gpu.hpp"
+
+int
+main()
+{
+    using namespace bowsim;
+
+    // Producer warp (warpid 0 of each CTA) publishes items; the other
+    // warps consume: consumer lane waits for ready[i] != 0, then
+    // computes out[i] = 2 * item[i].
+    Program prog = assemble(R"(
+.kernel pipeline
+.param 4
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;       // global thread id
+  ld.param.u64 %r10, [0];        // items
+  ld.param.u64 %r11, [8];        // ready flags
+  ld.param.u64 %r12, [16];       // out
+  ld.param.u64 %r13, [24];       // items per CTA chunk
+  mov %r2, %warpid;
+  setp.eq.s64 %p0, %r2, 0;
+  @%p0 bra PRODUCER;
+
+  // ---- consumer: one item per thread (offset by the producer warp) --
+  sub %r3, %r0, 32;              // consumer index within the grid
+  mov %r4, %ctaid;
+  mul %r4, %r4, 32;
+  sub %r3, %r3, %r4;             // skip one producer warp per CTA
+  shl %r5, %r3, 3;
+  add %r6, %r11, %r5;            // &ready[i]
+WAIT:
+  ld.volatile.global.u64 %r7, [%r6];
+  .annot wait
+  setp.ne.s64 %p1, %r7, 0;
+  .annot spin
+  @!%p1 bra WAIT;
+  add %r8, %r10, %r5;
+  ld.global.u64 %r8, [%r8];
+  shl %r8, %r8, 1;               // process: double it
+  add %r9, %r12, %r5;
+  st.global.u64 [%r9], %r8;
+  exit;
+
+PRODUCER:
+  // Lane l of the producer warp publishes items [base + l * chunk,
+  // base + (l+1) * chunk).
+  mov %r3, %laneid;
+  mul %r3, %r3, %r13;
+  mov %r4, %ctaid;
+  mov %r5, %ntid;
+  sub %r5, %r5, 32;              // consumers per CTA
+  mul %r4, %r4, %r5;
+  add %r3, %r3, %r4;             // first item this lane publishes
+  mov %r6, 0;
+PLOOP:
+  setp.ge.s64 %p2, %r6, %r13;
+  @%p2 exit;
+  // "Produce" the item: a compute delay stands in for real work and
+  // keeps the consumers spinning long enough to matter.
+  mov %r16, 0;
+WORK:
+  add %r16, %r16, 1;
+  setp.lt.s64 %p3, %r16, 400;
+  @%p3 bra WORK;
+  add %r7, %r3, %r6;
+  shl %r8, %r7, 3;
+  add %r9, %r10, %r8;
+  mul %r15, %r7, 7;
+  st.global.u64 [%r9], %r15;     // item value = 7 * i
+  membar;
+  add %r14, %r11, %r8;
+  st.global.u64 [%r14], 1;       // publish
+  add %r6, %r6, 1;
+  bra.uni PLOOP;
+)");
+
+    // Geometry: each CTA = 1 producer warp + 7 consumer warps
+    // (256 threads - 32 producers = 224 consumers/CTA).
+    const unsigned ctas = 8;
+    const unsigned consumers_per_cta = 224;
+    const unsigned items = ctas * consumers_per_cta;
+    const unsigned chunk = consumers_per_cta / 32;
+
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 4;
+    cfg.bows.enabled = true;  // throttle the consumers' wait loops
+    Gpu gpu(cfg);
+
+    Addr d_items = gpu.malloc(items * 8);
+    Addr d_ready = gpu.malloc(items * 8);
+    Addr d_out = gpu.malloc(items * 8);
+
+    KernelStats s = gpu.launch(
+        prog, Dim3{ctas, 1, 1}, Dim3{256, 1, 1},
+        {static_cast<Word>(d_items), static_cast<Word>(d_ready),
+         static_cast<Word>(d_out), static_cast<Word>(chunk)});
+
+    std::vector<Word> out(items);
+    gpu.memcpyFromDevice(out.data(), d_out, items * 8);
+    unsigned errors = 0;
+    for (unsigned i = 0; i < items; ++i) {
+        if (out[i] != 14 * static_cast<Word>(i))
+            ++errors;
+    }
+
+    std::printf("producer/consumer pipeline: %s (%u items)\n",
+                errors == 0 ? "PASS" : "FAIL", items);
+    std::printf("  cycles %llu, wait-exit ok/fail = %llu/%llu, "
+                "backed-off fraction %.2f\n",
+                static_cast<unsigned long long>(s.cycles),
+                static_cast<unsigned long long>(
+                    s.outcomes.waitExitSuccess),
+                static_cast<unsigned long long>(s.outcomes.waitExitFail),
+                s.backedOffFraction());
+    std::printf("  DDOS: TSDR %.2f FSDR %.2f — the consumers' wait loop "
+                "was %s\n",
+                s.ddos.tsdr(), s.ddos.fsdr(),
+                s.ddos.trueDetected ? "detected" : "not detected");
+    return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+/**
+ * Scenario: concurrent hashtable insertion under lock contention — the
+ * paper's motivating workload (Fig. 1a). Runs the HT benchmark across
+ * schedulers with and without BOWS and reports how back-off warp
+ * spinning changes execution time, wasted lock-acquire attempts, memory
+ * traffic and energy.
+ *
+ *   $ ./hashtable_contention [buckets]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/kernels/hashtable.hpp"
+#include "src/sim/gpu.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bowsim;
+
+    unsigned buckets = argc > 1 ? std::atoi(argv[1]) : 128;
+    std::printf("Chained hashtable, 12288 insertions, %u buckets, "
+                "7680 threads\n\n",
+                buckets);
+    std::printf("%-12s %10s %10s %12s %12s %10s\n", "config", "cycles",
+                "speedup", "lock_fails", "atomics", "energy_mJ");
+
+    double baseline = 0.0;
+    for (SchedulerKind sched : {SchedulerKind::LRR, SchedulerKind::GTO,
+                                SchedulerKind::CAWA}) {
+        for (bool bows : {false, true}) {
+            GpuConfig cfg = makeGtx480Config();
+            cfg.scheduler = sched;
+            cfg.bows.enabled = bows;
+            Gpu gpu(cfg);
+
+            HashtableParams p;
+            p.insertions = 12288;
+            p.buckets = buckets;
+            p.ctas = 30;
+            p.threadsPerCta = 256;
+            auto harness = makeHashtable(p);
+            KernelStats s = harness->run(gpu);
+
+            if (baseline == 0.0)
+                baseline = static_cast<double>(s.cycles);
+            char label[32];
+            std::snprintf(label, sizeof label, "%s%s", toString(sched),
+                          bows ? "+BOWS" : "");
+            std::printf("%-12s %10llu %9.2fx %12llu %12llu %10.3f\n",
+                        label,
+                        static_cast<unsigned long long>(s.cycles),
+                        baseline / s.cycles,
+                        static_cast<unsigned long long>(
+                            s.outcomes.interWarpFail +
+                            s.outcomes.intraWarpFail),
+                        static_cast<unsigned long long>(s.mem.atomics),
+                        s.energyNj / 1e6);
+        }
+    }
+    std::printf("\nLower lock_fails under BOWS = throttled spinning; the "
+                "speedup grows as\nbuckets shrink (more threads per "
+                "lock). Try: ./hashtable_contention 64\n");
+    return 0;
+}

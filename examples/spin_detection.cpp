@@ -1,0 +1,97 @@
+/**
+ * Scenario: watch DDOS decide what is and is not a spin loop. Runs two
+ * kernels — a lock-based spin loop and a plain counted loop over the
+ * same code shape — and dumps the SIB prediction table and accuracy
+ * metrics for both XOR and MODULO hashing, including the classic MODULO
+ * failure (a loop whose induction variable advances by 256).
+ *
+ *   $ ./spin_detection
+ */
+#include <cstdio>
+
+#include "src/isa/assembler.hpp"
+#include "src/kernels/registry.hpp"
+#include "src/sim/gpu.hpp"
+
+namespace {
+
+using namespace bowsim;
+
+void
+report(const char *what, const KernelStats &s)
+{
+    std::printf("%-34s TSDR %.2f  FSDR %.2f  DPR %.3f\n", what,
+                s.ddos.tsdr(), s.ddos.fsdr(), s.ddos.dprTrue());
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace bowsim;
+
+    // A genuine busy-wait loop (the paper's Fig. 7a shape).
+    Program spin = assemble(R"(
+.kernel spin_loop
+.param 2
+  ld.param.u64 %r1, [0];
+  ld.param.u64 %r2, [8];
+  mov %r20, 0;
+LOOP:
+  .annot acquire
+  atom.global.cas.b64 %r3, [%r1], 0, 1;
+  setp.ne.s64 %p1, %r3, 0;
+  @%p1 bra SKIP;
+  ld.global.u64 %r4, [%r2];
+  add %r4, %r4, 1;
+  st.global.u64 [%r2], %r4;
+  mov %r20, 1;
+  atom.global.exch.b64 %r5, [%r1], 0;
+SKIP:
+  setp.eq.s64 %p2, %r20, 0;
+  .annot spin
+  @%p2 bra LOOP;
+  exit;
+)");
+
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 4;
+    Gpu gpu(cfg);
+    Addr mutex = gpu.malloc(8);
+    Addr counter = gpu.malloc(8);
+    KernelStats s = gpu.launch(spin, Dim3{4, 1, 1}, Dim3{256, 1, 1},
+                               {static_cast<Word>(mutex),
+                                static_cast<Word>(counter)});
+    std::printf("== spin-lock kernel (XOR hashing) ==\n");
+    report("spin_loop", s);
+    std::printf("   spin branch dynamic executions: %llu\n",
+                static_cast<unsigned long long>(s.sibInstructions));
+
+    // The kmeans-style normal loop (Fig. 7c): must NOT be detected.
+    {
+        Gpu g2(cfg);
+        auto km = makeBenchmark("KM", 0.25);
+        KernelStats k = km->run(g2);
+        report("KM (normal loop, XOR)", k);
+    }
+
+    // The MODULO hashing failure: a loop stepping by 256 looks frozen to
+    // an 8-bit modulo hash.
+    for (HashKind h : {HashKind::Xor, HashKind::Modulo}) {
+        GpuConfig c2 = cfg;
+        c2.ddos.hash = h;
+        Gpu g3(c2);
+        auto ms = makeBenchmark("MS", 0.25);
+        KernelStats k = ms->run(g3);
+        char label[64];
+        std::snprintf(label, sizeof label, "MS (stride-256 loop, %s)",
+                      toString(h));
+        report(label, k);
+    }
+
+    std::printf("\nA false detection under MODULO is exactly what the "
+                "paper's Fig. 14 measures;\nXOR hashing folds the high "
+                "bits in and stays clean (Table I).\n");
+    return 0;
+}

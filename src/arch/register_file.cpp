@@ -1,0 +1,3 @@
+#include "src/arch/register_file.hpp"
+
+// Header-only; this translation unit anchors the component in the library.

@@ -1,0 +1,83 @@
+#ifndef BOWSIM_ARCH_REGISTER_FILE_HPP
+#define BOWSIM_ARCH_REGISTER_FILE_HPP
+
+#include <vector>
+
+#include "src/common/log.hpp"
+#include "src/common/types.hpp"
+
+/**
+ * @file
+ * Per-warp architectural register state: 32 lanes of general-purpose
+ * 64-bit registers plus per-lane predicate bits (one LaneMask per
+ * predicate register).
+ */
+
+namespace bowsim {
+
+class RegisterFile {
+  public:
+    RegisterFile(unsigned num_regs, unsigned num_preds)
+        : numRegs_(num_regs),
+          regs_(static_cast<size_t>(num_regs) * kWarpSize, 0),
+          preds_(num_preds, 0)
+    {
+    }
+
+    Word
+    read(unsigned lane, int reg) const
+    {
+        return regs_[slot(lane, reg)];
+    }
+
+    void
+    write(unsigned lane, int reg, Word value)
+    {
+        regs_[slot(lane, reg)] = value;
+    }
+
+    bool
+    readPred(unsigned lane, int pred) const
+    {
+        return (preds_.at(pred) >> lane) & 1;
+    }
+
+    void
+    writePred(unsigned lane, int pred, bool value)
+    {
+        LaneMask bit = LaneMask{1} << lane;
+        if (value)
+            preds_.at(pred) |= bit;
+        else
+            preds_.at(pred) &= ~bit;
+    }
+
+    /** Lanes (within @p mask) whose predicate @p pred is set. */
+    LaneMask
+    predMask(int pred, LaneMask mask) const
+    {
+        return preds_.at(pred) & mask;
+    }
+
+    unsigned numRegs() const { return numRegs_; }
+
+  private:
+    size_t
+    slot(unsigned lane, int reg) const
+    {
+        if (lane >= kWarpSize || reg < 0 ||
+            static_cast<unsigned>(reg) >= numRegs_) {
+            panic("register file access out of range: lane ", lane, " %r",
+                  reg);
+        }
+        return static_cast<size_t>(reg) * kWarpSize + lane;
+    }
+
+    unsigned numRegs_;
+    std::vector<Word> regs_;
+    std::vector<LaneMask> preds_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_ARCH_REGISTER_FILE_HPP

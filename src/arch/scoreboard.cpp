@@ -1,0 +1,77 @@
+#include "src/arch/scoreboard.hpp"
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+bool
+Scoreboard::pending(const Operand &op) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        return regPending_.at(op.index);
+      case Operand::Kind::Pred:
+        return predPending_.at(op.index);
+      default:
+        return false;
+    }
+}
+
+bool
+Scoreboard::canIssue(const Instruction &inst) const
+{
+    if (inst.guard >= 0 && predPending_.at(inst.guard))
+        return false;
+    for (const Operand &src : inst.src) {
+        if (pending(src))
+            return false;
+    }
+    // WAW: the destination must not already be in flight.
+    if (pending(inst.dst))
+        return false;
+    return true;
+}
+
+void
+Scoreboard::reserve(const Instruction &inst)
+{
+    switch (inst.dst.kind) {
+      case Operand::Kind::Reg:
+        if (regPending_.at(inst.dst.index))
+            panic("scoreboard: WAW reserve on %r", inst.dst.index);
+        regPending_[inst.dst.index] = true;
+        ++outstanding_;
+        break;
+      case Operand::Kind::Pred:
+        if (predPending_.at(inst.dst.index))
+            panic("scoreboard: WAW reserve on %p", inst.dst.index);
+        predPending_[inst.dst.index] = true;
+        ++outstanding_;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Scoreboard::release(const Instruction &inst)
+{
+    switch (inst.dst.kind) {
+      case Operand::Kind::Reg:
+        if (!regPending_.at(inst.dst.index))
+            panic("scoreboard: release of idle %r", inst.dst.index);
+        regPending_[inst.dst.index] = false;
+        --outstanding_;
+        break;
+      case Operand::Kind::Pred:
+        if (!predPending_.at(inst.dst.index))
+            panic("scoreboard: release of idle %p", inst.dst.index);
+        predPending_[inst.dst.index] = false;
+        --outstanding_;
+        break;
+      default:
+        break;
+    }
+}
+
+}  // namespace bowsim

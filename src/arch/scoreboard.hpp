@@ -1,0 +1,48 @@
+#ifndef BOWSIM_ARCH_SCOREBOARD_HPP
+#define BOWSIM_ARCH_SCOREBOARD_HPP
+
+#include <vector>
+
+#include "src/isa/instruction.hpp"
+
+/**
+ * @file
+ * Per-warp scoreboard tracking in-flight register writes. An instruction
+ * may issue only when none of its sources (RAW), its destination (WAW) or
+ * its guard predicate are pending.
+ */
+
+namespace bowsim {
+
+class Scoreboard {
+  public:
+    Scoreboard(unsigned num_regs, unsigned num_preds)
+        : regPending_(num_regs, false), predPending_(num_preds, false)
+    {
+    }
+
+    /** True when @p inst has no outstanding hazard. */
+    bool canIssue(const Instruction &inst) const;
+
+    /** Marks @p inst's destination as pending (no-op if none). */
+    void reserve(const Instruction &inst);
+
+    /** Clears @p inst's destination (called at writeback). */
+    void release(const Instruction &inst);
+
+    /** True when no writes are outstanding (used at barriers/teardown). */
+    bool idle() const { return outstanding_ == 0; }
+
+    unsigned outstanding() const { return outstanding_; }
+
+  private:
+    bool pending(const Operand &op) const;
+
+    std::vector<bool> regPending_;
+    std::vector<bool> predPending_;
+    unsigned outstanding_ = 0;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_ARCH_SCOREBOARD_HPP

@@ -1,0 +1,108 @@
+#include "src/arch/simt_stack.hpp"
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+void
+SimtStack::reset(LaneMask active)
+{
+    stack_.clear();
+    if (active)
+        stack_.push_back({0, kInvalidPc, active});
+}
+
+Pc
+SimtStack::pc() const
+{
+    if (stack_.empty())
+        panic("SimtStack::pc on a finished warp");
+    return stack_.back().pc;
+}
+
+LaneMask
+SimtStack::activeMask() const
+{
+    return stack_.empty() ? 0 : stack_.back().mask;
+}
+
+void
+SimtStack::advance()
+{
+    if (stack_.empty())
+        panic("SimtStack::advance on a finished warp");
+    ++stack_.back().pc;
+    cleanup();
+}
+
+void
+SimtStack::branch(const Instruction &inst, LaneMask taken)
+{
+    if (stack_.empty())
+        panic("SimtStack::branch on a finished warp");
+    SimtEntry &tos = stack_.back();
+    const LaneMask exec = tos.mask;
+    const LaneMask fall = exec & ~taken;
+    if ((taken & ~exec) != 0)
+        panic("SimtStack::branch: taken lanes outside the active mask");
+
+    if (inst.uniform && taken != 0 && fall != 0)
+        panic("bra.uni diverged at pc ", tos.pc);
+
+    if (fall == 0) {
+        tos.pc = inst.target;
+        cleanup();
+        return;
+    }
+    if (taken == 0) {
+        ++tos.pc;
+        cleanup();
+        return;
+    }
+
+    // Divergence. Convert the TOS entry into the reconvergence entry and
+    // push the two sides; the taken path runs first.
+    const Pc fall_pc = tos.pc + 1;
+    const Pc rpc = inst.reconvergence;
+    tos.pc = rpc;  // may be kInvalidPc: a "merge at exit" placeholder
+    stack_.push_back({fall_pc, rpc, fall});
+    stack_.push_back({inst.target, rpc, taken});
+    cleanup();
+}
+
+void
+SimtStack::exitLanes(LaneMask lanes)
+{
+    if (stack_.empty())
+        panic("SimtStack::exitLanes on a finished warp");
+    if ((lanes & ~stack_.back().mask) != 0)
+        panic("SimtStack::exitLanes: lanes outside the active mask");
+    const LaneMask remaining = stack_.back().mask & ~lanes;
+    for (SimtEntry &e : stack_)
+        e.mask &= ~lanes;
+    if (remaining)
+        ++stack_.back().pc;
+    cleanup();
+}
+
+void
+SimtStack::cleanup()
+{
+    while (!stack_.empty()) {
+        SimtEntry &tos = stack_.back();
+        if (tos.mask == 0) {
+            stack_.pop_back();
+            continue;
+        }
+        // A path entry that reached its reconvergence PC folds back into
+        // the union entry below it (which already carries these lanes).
+        if (tos.rpc != kInvalidPc && tos.pc == tos.rpc &&
+            stack_.size() > 1) {
+            stack_.pop_back();
+            continue;
+        }
+        break;
+    }
+}
+
+}  // namespace bowsim

@@ -1,0 +1,80 @@
+#ifndef BOWSIM_ARCH_SIMT_STACK_HPP
+#define BOWSIM_ARCH_SIMT_STACK_HPP
+
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/isa/instruction.hpp"
+
+/**
+ * @file
+ * Stack-based SIMT reconvergence (the pre-Volta mechanism the paper
+ * targets). Each entry holds the next PC for a group of lanes and the PC
+ * at which the group rejoins the entry below it (the IPDOM of the branch
+ * that created the split).
+ */
+
+namespace bowsim {
+
+/** One reconvergence-stack entry. */
+struct SimtEntry {
+    Pc pc;
+    /** Reconvergence PC; kInvalidPc when paths only merge at exit. */
+    Pc rpc;
+    LaneMask mask;
+};
+
+/**
+ * Per-warp SIMT reconvergence stack.
+ *
+ * The owning core executes the instruction at pc() over activeMask(),
+ * then calls exactly one of advance(), branch() or exitLanes() to update
+ * control flow.
+ */
+class SimtStack {
+  public:
+    /** Resets the stack to a single entry covering @p active at PC 0. */
+    void reset(LaneMask active);
+
+    /** True when every lane has exited. */
+    bool done() const { return stack_.empty(); }
+
+    /** PC the warp will execute next. */
+    Pc pc() const;
+
+    /** Lanes that execute the next instruction. */
+    LaneMask activeMask() const;
+
+    /** Advances past a non-control-flow instruction. */
+    void advance();
+
+    /**
+     * Executes a branch.
+     *
+     * @param inst   The branch (supplies target and reconvergence PCs).
+     * @param taken  Lanes (subset of activeMask) whose guard passed.
+     */
+    void branch(const Instruction &inst, LaneMask taken);
+
+    /**
+     * Retires @p lanes (subset of activeMask) at an exit instruction and
+     * advances the remaining lanes, if any, past it.
+     */
+    void exitLanes(LaneMask lanes);
+
+    /** Current stack depth (for tests and occupancy stats). */
+    size_t depth() const { return stack_.size(); }
+
+    /** Read-only view of the raw entries (tests only). */
+    const std::vector<SimtEntry> &entries() const { return stack_; }
+
+  private:
+    /** Pops converged and emptied entries. */
+    void cleanup();
+
+    std::vector<SimtEntry> stack_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_ARCH_SIMT_STACK_HPP

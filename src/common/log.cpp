@@ -1,0 +1,13 @@
+#include "src/common/log.hpp"
+
+#include <iostream>
+
+namespace bowsim {
+
+void
+warn(const std::string &message)
+{
+    std::cerr << "warn: " << message << "\n";
+}
+
+}  // namespace bowsim

@@ -1,0 +1,73 @@
+#ifndef BOWSIM_COMMON_LOG_HPP
+#define BOWSIM_COMMON_LOG_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 fatal/panic distinction:
+ * fatal() is a user error (bad configuration, malformed assembly), panic()
+ * is a simulator bug (broken invariant). Both throw so tests can assert on
+ * them; the CLI tools let the exception terminate the process.
+ */
+
+namespace bowsim {
+
+/** Thrown on user-caused errors (bad config, malformed kernel assembly). */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Thrown on internal invariant violations (simulator bugs). */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string &what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+}  // namespace detail
+
+/** Report an unrecoverable user error. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Report a simulator bug. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Emit a non-fatal warning to stderr. */
+void warn(const std::string &message);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_COMMON_LOG_HPP

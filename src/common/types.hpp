@@ -1,0 +1,52 @@
+#ifndef BOWSIM_COMMON_TYPES_HPP
+#define BOWSIM_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+namespace bowsim {
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated (flat) global address space. */
+using Addr = std::uint64_t;
+
+/** 64-bit machine word; all architectural registers hold one of these. */
+using Word = std::int64_t;
+
+/** Number of lanes (threads) per warp. Fixed at 32, as on NVIDIA parts. */
+constexpr unsigned kWarpSize = 32;
+
+/** Active-lane bit mask for one warp (bit i set = lane i active). */
+using LaneMask = std::uint32_t;
+
+/** Mask with all kWarpSize lanes active. */
+constexpr LaneMask kFullMask = 0xffffffffu;
+
+/** 1-D kernel launch geometry (grids in this simulator are linearized). */
+struct Dim3 {
+    unsigned x = 1;
+    unsigned y = 1;
+    unsigned z = 1;
+
+    unsigned count() const { return x * y * z; }
+};
+
+/** Cache line size in bytes; shared by L1 and L2 (Table II of the paper). */
+constexpr unsigned kLineBytes = 128;
+
+/** Returns the line-aligned base of @p a. */
+constexpr Addr
+lineBase(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_COMMON_TYPES_HPP

@@ -1,0 +1,3 @@
+#include "src/core/bows/adaptive_delay.hpp"
+
+// Header-only; this translation unit anchors the component in the library.

@@ -1,0 +1,88 @@
+#ifndef BOWSIM_CORE_BOWS_ADAPTIVE_DELAY_HPP
+#define BOWSIM_CORE_BOWS_ADAPTIVE_DELAY_HPP
+
+#include <cstdint>
+
+#include "src/common/config.hpp"
+
+/**
+ * @file
+ * Adaptive back-off delay-limit estimation (Fig. 5 of the paper). Over
+ * successive execution windows of T cycles, the estimator tries to
+ * maximize useful-instructions / spin-overhead using Total/SIB dynamic
+ * instruction counts as a proxy:
+ *
+ *     every window:
+ *       if SIB insts > FRAC1 * total insts:        limit += step
+ *       if total/SIB  < FRAC2 * prev total/SIB:    limit -= 2 * step
+ *       clamp(limit, min, max)
+ */
+
+namespace bowsim {
+
+class AdaptiveDelayEstimator {
+  public:
+    explicit AdaptiveDelayEstimator(const BowsConfig &cfg)
+        : cfg_(cfg), limit_(cfg.minLimit)
+    {
+    }
+
+    /** Counts one issued instruction (SIB or not) in this window. */
+    void
+    onInstruction(bool is_sib)
+    {
+        ++totalInsts_;
+        if (is_sib)
+            ++sibInsts_;
+    }
+
+    /** Advances time; applies the Fig. 5 update at window boundaries. */
+    void
+    tick(Cycle now)
+    {
+        if (now < windowEnd_)
+            return;
+        applyWindow();
+        windowEnd_ = now + cfg_.window;
+    }
+
+    Cycle limit() const { return limit_; }
+
+    /** Exposed for unit tests: force a window boundary. */
+    void
+    applyWindow()
+    {
+        if (sibInsts_ > cfg_.frac1 * static_cast<double>(totalInsts_))
+            limit_ += cfg_.delayStep;
+        if (sibInsts_ > 0 && prevSibInsts_ > 0) {
+            double ratio = static_cast<double>(totalInsts_) / sibInsts_;
+            double prev =
+                static_cast<double>(prevTotalInsts_) / prevSibInsts_;
+            if (ratio < cfg_.frac2 * prev) {
+                Cycle dec = 2 * cfg_.delayStep;
+                limit_ = limit_ > dec ? limit_ - dec : 0;
+            }
+        }
+        if (limit_ > cfg_.maxLimit)
+            limit_ = cfg_.maxLimit;
+        if (limit_ < cfg_.minLimit)
+            limit_ = cfg_.minLimit;
+        prevTotalInsts_ = totalInsts_;
+        prevSibInsts_ = sibInsts_;
+        totalInsts_ = 0;
+        sibInsts_ = 0;
+    }
+
+  private:
+    BowsConfig cfg_;
+    Cycle limit_;
+    Cycle windowEnd_ = 0;
+    std::uint64_t totalInsts_ = 0;
+    std::uint64_t sibInsts_ = 0;
+    std::uint64_t prevTotalInsts_ = 0;
+    std::uint64_t prevSibInsts_ = 0;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_CORE_BOWS_ADAPTIVE_DELAY_HPP

@@ -1,0 +1,117 @@
+#ifndef BOWSIM_CORE_BOWS_BACKOFF_HPP
+#define BOWSIM_CORE_BOWS_BACKOFF_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/warp.hpp"
+#include "src/common/config.hpp"
+#include "src/core/bows/adaptive_delay.hpp"
+
+/**
+ * @file
+ * BOWS back-off unit (Section III, Fig. 8). The arbitration rules:
+ *
+ *  1. A warp that takes a spin-inducing branch enters the *backed-off*
+ *     state and moves behind every non-backed-off warp.
+ *  2. A backed-off warp may issue only when its pending back-off delay
+ *     has expired; backed-off warps are ordered FIFO by entry time.
+ *  3. When a backed-off warp issues, it leaves the backed-off state and
+ *     its pending delay is re-armed to the current delay limit — setting
+ *     a minimum spacing between consecutive spin-loop iterations.
+ */
+
+namespace bowsim {
+
+class BackoffUnit {
+  public:
+    explicit BackoffUnit(const BowsConfig &cfg)
+        : cfg_(cfg), estimator_(cfg),
+          currentLimit_(cfg.adaptive ? estimator_.limit() : cfg.delayLimit)
+    {
+    }
+
+    bool enabled() const { return cfg_.enabled; }
+
+    /** Backed-off warps drop behind non-backed-off ones (ablation). */
+    bool deprioritizes() const { return cfg_.enabled && cfg_.deprioritize; }
+
+    /** Warp @p w took a SIB: push it to the back of the priority queue. */
+    void
+    onSpinBranch(Warp &w)
+    {
+        if (!cfg_.enabled)
+            return;
+        BowsState &b = w.bows();
+        if (!b.backedOff) {
+            b.backedOff = true;
+            b.backoffSeq = ++seq_;
+        }
+    }
+
+    /**
+     * Warp @p w won arbitration: leaving the backed-off state re-arms its
+     * pending delay to the current limit.
+     */
+    void
+    onIssue(Warp &w)
+    {
+        BowsState &b = w.bows();
+        if (b.backedOff) {
+            b.backedOff = false;
+            b.pendingDelay = currentLimit_;
+        }
+    }
+
+    /** True when BOWS permits @p w to compete for an issue slot at all. */
+    bool
+    mayIssue(const Warp &w) const
+    {
+        if (!cfg_.enabled)
+            return true;
+        const BowsState &b = w.bows();
+        return !b.backedOff || b.pendingDelay == 0;
+    }
+
+    /** Ticks every resident warp's pending-delay counter. */
+    void
+    cycle(std::vector<Warp *> &resident)
+    {
+        if (!cfg_.enabled)
+            return;
+        for (Warp *w : resident) {
+            if (w->bows().pendingDelay > 0)
+                --w->bows().pendingDelay;
+        }
+    }
+
+    /** Feeds the adaptive estimator; call once per issued instruction. */
+    void
+    onInstruction(bool is_sib)
+    {
+        if (cfg_.enabled && cfg_.adaptive)
+            estimator_.onInstruction(is_sib);
+    }
+
+    /** Advances the adaptive estimator's execution window. */
+    void
+    tickWindow(Cycle now)
+    {
+        if (!cfg_.enabled || !cfg_.adaptive)
+            return;
+        estimator_.tick(now);
+        currentLimit_ = estimator_.limit();
+    }
+
+    Cycle delayLimit() const { return currentLimit_; }
+
+  private:
+    BowsConfig cfg_;
+    AdaptiveDelayEstimator estimator_;
+    Cycle currentLimit_;
+    std::uint64_t seq_ = 0;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_CORE_BOWS_BACKOFF_HPP

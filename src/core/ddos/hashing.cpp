@@ -1,0 +1,29 @@
+#include "src/core/ddos/hashing.hpp"
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+std::uint32_t
+hashHistory(HashKind kind, unsigned bits, std::uint64_t value)
+{
+    if (bits == 0 || bits > 32)
+        fatal("hashHistory: width must be in [1, 32], got ", bits);
+    const std::uint32_t mask = bits == 32 ? 0xffffffffu
+                                          : ((1u << bits) - 1u);
+    switch (kind) {
+      case HashKind::Modulo:
+        return static_cast<std::uint32_t>(value) & mask;
+      case HashKind::Xor: {
+        std::uint32_t h = 0;
+        while (value != 0) {
+            h ^= static_cast<std::uint32_t>(value) & mask;
+            value >>= bits;
+        }
+        return h;
+      }
+    }
+    fatal("hashHistory: unknown hash kind");
+}
+
+}  // namespace bowsim

@@ -1,0 +1,29 @@
+#ifndef BOWSIM_CORE_DDOS_HASHING_HPP
+#define BOWSIM_CORE_DDOS_HASHING_HPP
+
+#include <cstdint>
+
+#include "src/common/config.hpp"
+
+/**
+ * @file
+ * DDOS history hashing (Section IV-B). Two schemes:
+ *
+ *  - MODULO: keep the least-significant m (k) bits. Cheap, but loops whose
+ *    induction variable advances by a power of two larger than 2^k leave
+ *    the hash constant, producing false spin detections (the paper's
+ *    Merge Sort / Heart Wall cases, Fig. 14).
+ *  - XOR: fold the whole value into m (k) bits by XOR-ing m-bit chunks
+ *    (PC[m-1:0] ^ PC[2m-1:m] ^ ...). Higher-order changes stay visible,
+ *    eliminating those false detections.
+ */
+
+namespace bowsim {
+
+/** Hashes @p value into @p bits bits using scheme @p kind. */
+std::uint32_t hashHistory(HashKind kind, unsigned bits,
+                          std::uint64_t value);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_CORE_DDOS_HASHING_HPP

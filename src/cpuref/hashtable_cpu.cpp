@@ -1,0 +1,49 @@
+#include "src/cpuref/hashtable_cpu.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bowsim {
+
+namespace {
+
+struct Node {
+    Word key;
+    std::int64_t next;
+};
+
+}  // namespace
+
+CpuHashtableResult
+cpuHashtableInsert(const std::vector<Word> &keys, unsigned buckets,
+                   unsigned repetitions)
+{
+    CpuHashtableResult result;
+    using Clock = std::chrono::steady_clock;
+    auto start = Clock::now();
+    std::vector<std::int64_t> heads;
+    std::vector<Node> nodes;
+    for (unsigned rep = 0; rep < repetitions; ++rep) {
+        heads.assign(buckets, -1);
+        nodes.clear();
+        nodes.reserve(keys.size());
+        for (Word k : keys) {
+            auto b = static_cast<std::uint64_t>(k) % buckets;
+            nodes.push_back(Node{k, heads[b]});
+            heads[b] = static_cast<std::int64_t>(nodes.size()) - 1;
+        }
+    }
+    auto end = Clock::now();
+    result.milliseconds =
+        std::chrono::duration<double, std::milli>(end - start).count() /
+        std::max(1u, repetitions);
+    result.inserted = keys.size();
+    std::vector<std::uint64_t> depth(buckets, 0);
+    for (Word k : keys) {
+        auto b = static_cast<std::uint64_t>(k) % buckets;
+        result.maxChain = std::max(result.maxChain, ++depth[b]);
+    }
+    return result;
+}
+
+}  // namespace bowsim

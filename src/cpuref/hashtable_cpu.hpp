@@ -1,0 +1,32 @@
+#ifndef BOWSIM_CPUREF_HASHTABLE_CPU_HPP
+#define BOWSIM_CPUREF_HASHTABLE_CPU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+/**
+ * @file
+ * Native serial CPU hashtable insertion, timed with a real clock — the
+ * "Intel Core i7, serial implementation" side of Fig. 1b. It runs the
+ * same algorithm as the HT kernel (chained buckets, head insertion).
+ */
+
+namespace bowsim {
+
+struct CpuHashtableResult {
+    double milliseconds = 0.0;
+    std::uint64_t inserted = 0;
+    /** Longest chain, as a sanity signal for the contention sweep. */
+    std::uint64_t maxChain = 0;
+};
+
+/** Inserts @p keys into @p buckets chained buckets and times it. */
+CpuHashtableResult cpuHashtableInsert(const std::vector<Word> &keys,
+                                      unsigned buckets,
+                                      unsigned repetitions = 1);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_CPUREF_HASHTABLE_CPU_HPP

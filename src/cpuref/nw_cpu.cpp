@@ -1,0 +1,33 @@
+#include "src/cpuref/nw_cpu.hpp"
+
+#include <algorithm>
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+std::vector<Word>
+nwReference(const std::vector<Word> &a, const std::vector<Word> &b,
+            Word match, Word mismatch, Word gap)
+{
+    if (a.size() != b.size())
+        fatal("nwReference: sequence lengths differ");
+    const size_t n = a.size();
+    const size_t w = n + 1;
+    std::vector<Word> f(w * w, 0);
+    for (size_t c = 0; c <= n; ++c)
+        f[c] = -static_cast<Word>(c) * gap;
+    for (size_t r = 1; r <= n; ++r) {
+        f[r * w] = -static_cast<Word>(r) * gap;
+        for (size_t c = 1; c <= n; ++c) {
+            Word m = a[c - 1] == b[r - 1] ? match : mismatch;
+            Word diag = f[(r - 1) * w + (c - 1)] + m;
+            Word up = f[(r - 1) * w + c] - gap;
+            Word left = f[r * w + (c - 1)] - gap;
+            f[r * w + c] = std::max({diag, up, left});
+        }
+    }
+    return f;
+}
+
+}  // namespace bowsim

@@ -1,0 +1,26 @@
+#ifndef BOWSIM_CPUREF_NW_CPU_HPP
+#define BOWSIM_CPUREF_NW_CPU_HPP
+
+#include <vector>
+
+#include "src/common/types.hpp"
+
+/**
+ * @file
+ * Host reference for Needleman-Wunsch: the plain O(n^2) dynamic program
+ * the NW1/NW2 kernels must reproduce exactly.
+ */
+
+namespace bowsim {
+
+/**
+ * Returns the full (n+1) x (n+1) score matrix, row-major, for aligning
+ * @p a against @p b with the given scores.
+ */
+std::vector<Word> nwReference(const std::vector<Word> &a,
+                              const std::vector<Word> &b, Word match,
+                              Word mismatch, Word gap);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_CPUREF_NW_CPU_HPP

@@ -1,0 +1,3 @@
+#include "src/energy/energy_model.hpp"
+
+// Header-only; this translation unit anchors the component in the library.

@@ -1,0 +1,53 @@
+#ifndef BOWSIM_ISA_ASSEMBLER_HPP
+#define BOWSIM_ISA_ASSEMBLER_HPP
+
+#include <string>
+
+#include "src/isa/program.hpp"
+
+/**
+ * @file
+ * Assembler for the PTX-like mini-ISA.
+ *
+ * Syntax (one statement per line, `//` comments, optional trailing `;`):
+ *
+ *     .kernel ht_insert
+ *     .reg 24            // optional; inferred from use when omitted
+ *     .pred 4
+ *     .shared 1024       // bytes of CTA shared memory
+ *     .param 5           // number of 64-bit parameters
+ *
+ *     LOOP:
+ *       .annot acquire               // tags the *next* instruction
+ *       atom.global.cas.b64 %r15, [%r7], 0, 1;
+ *       setp.eq.s64 %p1, %r15, 0;
+ *       @!%p1 bra SKIP;
+ *       ...
+ *     SKIP:
+ *       .annot spin
+ *       @%p2 bra LOOP;
+ *       exit;
+ *
+ * Annotations: `spin` (ground-truth spin-inducing branch), `acquire`
+ * (lock-acquire atomic), `wait` (wait-condition setp), and
+ * `sync_begin`/`sync_end` (instructions in between, inclusive, count as
+ * synchronization overhead for the Fig. 1c/13a instruction split).
+ *
+ * Operands: `%rN`, `%pN`, immediates (decimal or 0x hex), specials
+ * (`%tid`, `%ctaid`, `%ntid`, `%nctaid`, `%laneid`, `%warpid`, `%smid`),
+ * memory `[%rN]`, `[%rN+imm]` or `[imm]`.
+ *
+ * The assembler resolves labels, infers register counts, appends a
+ * trailing `exit` if the kernel can fall off the end, and runs the CFG
+ * pass to fill each divergent branch's reconvergence PC (immediate
+ * post-dominator).
+ */
+
+namespace bowsim {
+
+/** Assembles @p source into a Program. Throws FatalError on bad input. */
+Program assemble(const std::string &source);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_ISA_ASSEMBLER_HPP

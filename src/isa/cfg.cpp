@@ -1,0 +1,206 @@
+#include "src/isa/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+namespace {
+
+bool
+isTerminator(const Instruction &inst)
+{
+    return inst.op == Opcode::Bra || inst.op == Opcode::Exit;
+}
+
+/** Dense bitset sized at runtime; kernels are small so this is cheap. */
+class NodeSet {
+  public:
+    explicit NodeSet(int n, bool full = false)
+        : bits_((n + 63) / 64, full ? ~0ull : 0ull), size_(n)
+    {
+        if (full)
+            trim();
+    }
+
+    void set(int i) { bits_[i / 64] |= 1ull << (i % 64); }
+    void clear(int i) { bits_[i / 64] &= ~(1ull << (i % 64)); }
+    bool test(int i) const { return bits_[i / 64] >> (i % 64) & 1; }
+
+    /** this &= other; returns true if anything changed. */
+    bool
+    intersectWith(const NodeSet &other)
+    {
+        bool changed = false;
+        for (size_t w = 0; w < bits_.size(); ++w) {
+            std::uint64_t nv = bits_[w] & other.bits_[w];
+            changed |= nv != bits_[w];
+            bits_[w] = nv;
+        }
+        return changed;
+    }
+
+    int
+    count() const
+    {
+        int c = 0;
+        for (auto w : bits_)
+            c += __builtin_popcountll(w);
+        return c;
+    }
+
+    bool operator==(const NodeSet &o) const { return bits_ == o.bits_; }
+
+  private:
+    void
+    trim()
+    {
+        int extra = static_cast<int>(bits_.size()) * 64 - size_;
+        if (extra > 0 && !bits_.empty())
+            bits_.back() &= ~0ull >> extra;
+    }
+
+    std::vector<std::uint64_t> bits_;
+    int size_;
+};
+
+}  // namespace
+
+Cfg
+buildCfg(const Program &prog)
+{
+    const unsigned n = prog.length();
+    if (n == 0)
+        panic("buildCfg: empty program");
+
+    // Block leaders: entry, branch targets, instruction after terminators.
+    std::set<Pc> leaders;
+    leaders.insert(0);
+    for (Pc pc = 0; pc < n; ++pc) {
+        const Instruction &inst = prog.at(pc);
+        if (inst.op == Opcode::Bra) {
+            if (inst.target >= n)
+                panic("buildCfg: branch target out of range");
+            leaders.insert(inst.target);
+        }
+        if (isTerminator(inst) && pc + 1 < n)
+            leaders.insert(pc + 1);
+    }
+
+    Cfg cfg;
+    cfg.blockOf.assign(n, -1);
+    std::vector<Pc> starts(leaders.begin(), leaders.end());
+    for (size_t i = 0; i < starts.size(); ++i) {
+        BasicBlock bb;
+        bb.first = starts[i];
+        bb.last = (i + 1 < starts.size()) ? starts[i + 1] - 1 : n - 1;
+        for (Pc pc = bb.first; pc <= bb.last; ++pc)
+            cfg.blockOf[pc] = static_cast<int>(cfg.blocks.size());
+        cfg.blocks.push_back(bb);
+    }
+    cfg.exitNode = static_cast<int>(cfg.blocks.size());
+
+    // Successor edges.
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        BasicBlock &bb = cfg.blocks[b];
+        const Instruction &term = prog.at(bb.last);
+        auto addEdge = [&](int to) {
+            if (std::find(bb.succs.begin(), bb.succs.end(), to) ==
+                bb.succs.end()) {
+                bb.succs.push_back(to);
+            }
+        };
+        if (term.op == Opcode::Bra) {
+            addEdge(cfg.blockOf[term.target]);
+            if (term.guard >= 0) {
+                if (bb.last + 1 >= n)
+                    panic("buildCfg: conditional branch falls off the end");
+                addEdge(cfg.blockOf[bb.last + 1]);
+            }
+        } else if (term.op == Opcode::Exit) {
+            addEdge(cfg.exitNode);
+            if (term.guard >= 0) {
+                if (bb.last + 1 >= n)
+                    panic("buildCfg: guarded exit falls off the end");
+                addEdge(cfg.blockOf[bb.last + 1]);
+            }
+        } else {
+            if (bb.last + 1 >= n)
+                panic("buildCfg: block falls off the end of the kernel");
+            addEdge(cfg.blockOf[bb.last + 1]);
+        }
+    }
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        for (int s : cfg.blocks[b].succs) {
+            if (s != cfg.exitNode)
+                cfg.blocks[s].preds.push_back(static_cast<int>(b));
+        }
+    }
+
+    // Post-dominator sets via the classic fixpoint:
+    //   pdom(exit) = {exit}
+    //   pdom(b)    = {b} ∪ ⋂_{s ∈ succ(b)} pdom(s)
+    const int num_nodes = cfg.exitNode + 1;
+    std::vector<NodeSet> pdom(num_nodes, NodeSet(num_nodes, true));
+    pdom[cfg.exitNode] = NodeSet(num_nodes);
+    pdom[cfg.exitNode].set(cfg.exitNode);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = static_cast<int>(cfg.blocks.size()) - 1; b >= 0; --b) {
+            NodeSet merged(num_nodes, true);
+            for (int s : cfg.blocks[b].succs)
+                merged.intersectWith(pdom[s]);
+            merged.set(b);
+            if (!(merged == pdom[b])) {
+                pdom[b] = merged;
+                changed = true;
+            }
+        }
+    }
+
+    // ipdom(b) = the strict post-dominator of b post-dominated by every
+    // other strict post-dominator of b, i.e. the unique p != b in pdom(b)
+    // with |pdom(p)| == |pdom(b)| - 1.
+    cfg.ipdom.assign(num_nodes, cfg.exitNode);
+    cfg.ipdom[cfg.exitNode] = cfg.exitNode;
+    for (int b = 0; b < static_cast<int>(cfg.blocks.size()); ++b) {
+        int want = pdom[b].count() - 1;
+        int found = cfg.exitNode;
+        for (int p = 0; p < num_nodes; ++p) {
+            if (p == b || !pdom[b].test(p))
+                continue;
+            int c = p == cfg.exitNode ? 1 : pdom[p].count();
+            if (c == want) {
+                found = p;
+                break;
+            }
+        }
+        cfg.ipdom[b] = found;
+    }
+    return cfg;
+}
+
+void
+assignReconvergencePcs(Program &prog)
+{
+    Cfg cfg = buildCfg(prog);
+    for (Pc pc = 0; pc < prog.length(); ++pc) {
+        Instruction &inst = prog.code[pc];
+        bool divergent =
+            (inst.op == Opcode::Bra && inst.guard >= 0 && !inst.uniform) ||
+            (inst.op == Opcode::Exit && inst.guard >= 0);
+        if (!divergent)
+            continue;
+        int block = cfg.blockOf[pc];
+        int ip = cfg.ipdom[block];
+        inst.reconvergence =
+            ip == cfg.exitNode ? kInvalidPc : cfg.blocks[ip].first;
+    }
+}
+
+}  // namespace bowsim

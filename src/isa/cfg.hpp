@@ -1,0 +1,57 @@
+#ifndef BOWSIM_ISA_CFG_HPP
+#define BOWSIM_ISA_CFG_HPP
+
+#include <vector>
+
+#include "src/isa/program.hpp"
+
+/**
+ * @file
+ * Control-flow graph construction and immediate-post-dominator analysis.
+ *
+ * Stack-based SIMT hardware reconverges diverged warps at the immediate
+ * post-dominator (IPDOM) of the divergent branch. Real GPUs get the
+ * reconvergence point from the compiler; here the assembler computes it
+ * with a classic iterative post-dominator pass over the kernel CFG and
+ * stores it in Instruction::reconvergence.
+ */
+
+namespace bowsim {
+
+/** One basic block: instructions [first, last] inclusive. */
+struct BasicBlock {
+    Pc first;
+    Pc last;
+    /** Successor block ids. */
+    std::vector<int> succs;
+    /** Predecessor block ids. */
+    std::vector<int> preds;
+};
+
+/** CFG of one kernel, with a virtual exit node as the last block id. */
+struct Cfg {
+    std::vector<BasicBlock> blocks;
+    /** Id of the virtual exit node (== blocks.size()). */
+    int exitNode;
+    /** blockOf[pc] = id of the block containing pc. */
+    std::vector<int> blockOf;
+    /**
+     * ipdom[b] = immediate post-dominator block id of b, or exitNode.
+     * ipdom[exitNode] == exitNode.
+     */
+    std::vector<int> ipdom;
+};
+
+/** Builds the CFG of @p prog and computes post-dominators. */
+Cfg buildCfg(const Program &prog);
+
+/**
+ * Fills Instruction::reconvergence for every potentially-divergent branch
+ * and guarded exit in @p prog with the first PC of its IPDOM block
+ * (kInvalidPc when the IPDOM is the virtual exit).
+ */
+void assignReconvergencePcs(Program &prog);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_ISA_CFG_HPP

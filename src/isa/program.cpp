@@ -1,0 +1,4 @@
+#include "src/isa/program.hpp"
+
+// Program is a plain aggregate; implementation lives in the header. This
+// translation unit anchors the type for the library.

@@ -1,0 +1,31 @@
+#ifndef BOWSIM_KERNELS_ATM_HPP
+#define BOWSIM_KERNELS_ATM_HPP
+
+#include <memory>
+
+#include "src/kernels/kernel_harness.hpp"
+
+/**
+ * @file
+ * ATM: bank transfers between account pairs guarded by two nested spin
+ * locks (Fig. 6a of the paper). A thread acquires the source-account
+ * lock, then the destination-account lock; if the second acquire fails it
+ * releases the first and retries the whole transaction — the
+ * SIMT-deadlock-free nested-locking pattern.
+ */
+
+namespace bowsim {
+
+struct AtmParams {
+    unsigned transactions = 12288;
+    unsigned accounts = 1000;
+    unsigned ctas = 24;
+    unsigned threadsPerCta = 256;
+    std::uint64_t seed = 777;
+};
+
+std::unique_ptr<KernelHarness> makeAtm(const AtmParams &p);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_KERNELS_ATM_HPP

@@ -1,0 +1,168 @@
+#include "src/kernels/bh_sort.hpp"
+
+#include <vector>
+
+#include "src/common/log.hpp"
+#include "src/isa/assembler.hpp"
+
+namespace bowsim {
+
+namespace {
+
+/**
+ * Heap-ordered complete binary tree with L leaves: internal nodes
+ * 0..L-2, leaves L-1..2L-2. start_d[k] < 0 means "not signalled yet".
+ *
+ * Params: [0]=start_d, [1]=counts, [2]=sortOut, [3]=numLeaves.
+ */
+constexpr const char *kBhSortSource = R"(
+.kernel bh_sort
+.param 4
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;
+  mov %r2, %nctaid;
+  mul %r2, %r2, %r1;             // stride
+  ld.param.u64 %r14, [0];        // start_d
+  ld.param.u64 %r15, [8];        // counts
+  ld.param.u64 %r20, [16];       // sortOut
+  ld.param.u64 %r13, [24];       // numLeaves
+  mov %r3, 0;                    // levelStart
+  mov %r4, 1;                    // levelSize
+LEVEL:
+  add %r5, %r3, %r0;             // k = levelStart + tid
+  add %r6, %r3, %r4;             // levelEnd
+NODE:
+  setp.ge.s64 %p0, %r5, %r6;
+  @%p0 bra NEXTLEVEL;
+  shl %r7, %r5, 3;
+  add %r7, %r14, %r7;            // &start_d[k]
+.annot sync_begin
+WAIT:
+  ld.volatile.global.u64 %r8, [%r7];
+  .annot wait
+  setp.ge.s64 %p1, %r8, 0;      // signalled?
+  .annot spin
+  @!%p1 bra WAIT;
+.annot sync_end
+  sub %r9, %r13, 1;              // L - 1
+  setp.ge.s64 %p2, %r5, %r9;
+  @%p2 bra LEAF;
+  // internal node: signal both children
+  shl %r10, %r5, 1;
+  add %r10, %r10, 1;             // left = 2k + 1
+  shl %r11, %r10, 3;
+  add %r12, %r15, %r11;
+  ld.global.u64 %r12, [%r12];    // counts[left]
+  add %r16, %r14, %r11;          // &start_d[left]
+  st.volatile.global.u64 [%r16], %r8;
+  add %r17, %r8, %r12;
+  membar;
+  st.volatile.global.u64 [%r16+8], %r17;  // start_d[right]
+  bra.uni NEXTNODE;
+LEAF:
+  sub %r18, %r5, %r9;            // body id = k - (L-1)
+  shl %r19, %r8, 3;
+  add %r19, %r20, %r19;
+  st.global.u64 [%r19], %r18;    // sortOut[start] = body
+NEXTNODE:
+  add %r5, %r5, %r2;
+  bra.uni NODE;
+NEXTLEVEL:
+  add %r3, %r3, %r4;             // levelStart += levelSize
+  shl %r4, %r4, 1;
+  shl %r21, %r13, 1;
+  sub %r21, %r21, 1;             // total nodes = 2L - 1
+  setp.lt.s64 %p3, %r3, %r21;
+  @%p3 bra LEVEL;
+  exit;
+)";
+
+class BhSortHarness : public KernelHarness {
+  public:
+    explicit BhSortHarness(const BhSortParams &p)
+        : KernelHarness("ST"), p_(p), prog_(assemble(kBhSortSource))
+    {
+        if ((p_.leaves & (p_.leaves - 1)) != 0 || p_.leaves < 2)
+            fatal("ST: leaves must be a power of two >= 2");
+    }
+
+    void
+    setup(Gpu &gpu) override
+    {
+        const unsigned l = p_.leaves;
+        const unsigned nodes = 2 * l - 1;
+        startAddr_ = gpu.malloc(nodes * 8);
+        countsAddr_ = gpu.malloc(nodes * 8);
+        sortAddr_ = gpu.malloc(l * 8);
+
+        std::vector<Word> start(nodes, -1);
+        start[0] = 0;  // the host signals the root
+        gpu.memcpyToDevice(startAddr_, start.data(), nodes * 8);
+
+        std::vector<Word> counts(nodes, 0);
+        for (unsigned k = nodes; k-- > 0;) {
+            counts[k] = k >= l - 1
+                            ? 1
+                            : counts[2 * k + 1] + counts[2 * k + 2];
+        }
+        gpu.memcpyToDevice(countsAddr_, counts.data(), nodes * 8);
+
+        std::vector<Word> sentinel(l, -1);
+        gpu.memcpyToDevice(sortAddr_, sentinel.data(), l * 8);
+    }
+
+    std::vector<LaunchSpec>
+    launches() const override
+    {
+        return {LaunchSpec{
+            &prog_, Dim3{p_.ctas, 1, 1}, Dim3{p_.threadsPerCta, 1, 1},
+            {static_cast<Word>(startAddr_), static_cast<Word>(countsAddr_),
+             static_cast<Word>(sortAddr_),
+             static_cast<Word>(p_.leaves)}}};
+    }
+
+    bool
+    validate(Gpu &gpu) const override
+    {
+        const unsigned l = p_.leaves;
+        std::vector<Word> sorted(l);
+        gpu.memcpyFromDevice(sorted.data(), sortAddr_, l * 8);
+        // Unit leaf counts make start(leaf j) = j, so the output is the
+        // identity permutation of body ids.
+        for (unsigned j = 0; j < l; ++j) {
+            if (sorted[j] != static_cast<Word>(j))
+                return false;
+        }
+        std::vector<Word> start(2 * l - 1);
+        gpu.memcpyFromDevice(start.data(), startAddr_, start.size() * 8);
+        for (Word s : start) {
+            if (s < 0)
+                return false;  // a node was never signalled
+        }
+        return true;
+    }
+
+    std::vector<const Program *>
+    programs() const override
+    {
+        return {&prog_};
+    }
+
+  private:
+    BhSortParams p_;
+    Program prog_;
+    Addr startAddr_ = 0;
+    Addr countsAddr_ = 0;
+    Addr sortAddr_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelHarness>
+makeBhSort(const BhSortParams &p)
+{
+    return std::make_unique<BhSortHarness>(p);
+}
+
+}  // namespace bowsim

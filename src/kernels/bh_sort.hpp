@@ -1,0 +1,31 @@
+#ifndef BOWSIM_KERNELS_BH_SORT_HPP
+#define BOWSIM_KERNELS_BH_SORT_HPP
+
+#include <memory>
+
+#include "src/kernels/kernel_harness.hpp"
+
+/**
+ * @file
+ * ST: BarnesHut sort-kernel-style wait-and-signal synchronization
+ * (Fig. 6c of the paper). Threads own nodes of a complete binary tree;
+ * a node's start index is written ("signalled") by its parent's owner,
+ * and each owner spins ("waits") on a volatile load until its start
+ * arrives, then signals its children (internal nodes) or writes its
+ * bodies to the sorted output (leaves).
+ */
+
+namespace bowsim {
+
+struct BhSortParams {
+    /** Number of leaves (a power of two). */
+    unsigned leaves = 4096;
+    unsigned ctas = 16;
+    unsigned threadsPerCta = 256;
+};
+
+std::unique_ptr<KernelHarness> makeBhSort(const BhSortParams &p);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_KERNELS_BH_SORT_HPP

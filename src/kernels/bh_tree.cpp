@@ -1,0 +1,230 @@
+#include "src/kernels/bh_tree.hpp"
+
+#include <vector>
+
+#include "src/common/log.hpp"
+#include "src/isa/assembler.hpp"
+
+namespace bowsim {
+
+namespace {
+
+/**
+ * Slot encoding: 0 = empty, 1 = locked, (i<<2)|2 = internal node i,
+ * (k<<2)|3 = body with key k. Nodes are 16 bytes: child[0], child[1].
+ *
+ * Params: [0]=keys, [1]=nodes, [2]=&nodeCounter, [3]=numBodies.
+ */
+constexpr const char *kBhTreeSource = R"(
+.kernel bh_tree
+.param 4
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;
+  mov %r2, %nctaid;
+  mul %r2, %r2, %r1;             // stride
+  ld.param.u64 %r10, [0];
+  ld.param.u64 %r11, [8];
+  ld.param.u64 %r12, [16];
+  ld.param.u64 %r13, [24];
+  mov %r3, %r0;                  // body index i
+  mov %r30, 1;                   // done (no body yet)
+  setp.lt.s64 %p0, %r3, %r13;
+  @!%p0 bra FINCHECK;
+  shl %r4, %r3, 3;
+  add %r4, %r10, %r4;
+  ld.global.u64 %r4, [%r4];      // key
+  mov %r5, 0;                    // node = root
+  mov %r6, 0;                    // depth
+  mov %r30, 0;                   // done = false
+OUTER:
+  setp.ne.s64 %p1, %r30, 0;
+  @%p1 bra BARRIER;              // finished lanes skip the attempt
+DESCEND:
+  shr %r7, %r4, %r6;
+  and %r7, %r7, 1;               // bit = (key >> depth) & 1
+  shl %r8, %r5, 4;
+  shl %r9, %r7, 3;
+  add %r8, %r8, %r9;
+  add %r8, %r11, %r8;            // &nodes[node].child[bit]
+.annot sync_begin
+  ld.volatile.global.u64 %r14, [%r8];
+  setp.eq.s64 %p2, %r14, 1;
+  @%p2 bra BARRIER;              // slot locked: back off to the barrier
+.annot sync_end
+  and %r15, %r14, 3;
+  setp.eq.s64 %p3, %r15, 2;
+  @!%p3 bra TRYLOCK;
+  shr %r5, %r14, 2;              // internal: descend
+  add %r6, %r6, 1;
+  bra.uni DESCEND;
+TRYLOCK:
+.annot sync_begin
+  .annot acquire
+  atom.global.cas.b64 %r16, [%r8], %r14, 1;
+  setp.ne.s64 %p4, %r16, %r14;
+  @%p4 bra BARRIER;              // lost the race: back off
+.annot sync_end
+  setp.ne.s64 %p5, %r14, 0;
+  @%p5 bra SPLIT;
+  shl %r17, %r4, 2;
+  or %r17, %r17, 3;
+  membar;
+  st.volatile.global.u64 [%r8], %r17;   // place body (publish unlocks)
+  mov %r30, 1;
+  bra.uni BARRIER;
+SPLIT:
+  shr %r18, %r14, 2;             // existing body key e
+  atom.global.add.b64 %r19, [%r12], 1;  // allocate internal node
+  add %r20, %r6, 1;
+  shr %r21, %r18, %r20;
+  and %r21, %r21, 1;             // e's bit one level down
+  shl %r22, %r19, 4;
+  shl %r23, %r21, 3;
+  add %r22, %r22, %r23;
+  add %r22, %r11, %r22;          // &nodes[new].child[ebit]
+  shl %r24, %r18, 2;
+  or %r24, %r24, 3;
+  st.global.u64 [%r22], %r24;    // re-home e under the new node
+  membar;
+  shl %r25, %r19, 2;
+  or %r25, %r25, 2;
+  st.volatile.global.u64 [%r8], %r25;   // publish internal node (unlock)
+BARRIER:
+  bar.sync;
+  setp.eq.s64 %p6, %r30, 0;
+  @%p6 bra FINCHECK;             // insertion still pending: retry
+  setp.ge.s64 %p7, %r3, %r13;
+  @%p7 bra FINCHECK;
+  add %r3, %r3, %r2;             // advance to my next body
+  setp.ge.s64 %p8, %r3, %r13;
+  @%p8 bra FINCHECK;
+  shl %r4, %r3, 3;
+  add %r4, %r10, %r4;
+  ld.global.u64 %r4, [%r4];
+  mov %r5, 0;
+  mov %r6, 0;
+  mov %r30, 0;
+FINCHECK:
+  setp.lt.s64 %p9, %r3, %r13;
+  .annot spin
+  @%p9 bra OUTER;
+  exit;
+)";
+
+class BhTreeHarness : public KernelHarness {
+  public:
+    explicit BhTreeHarness(const BhTreeParams &p)
+        : KernelHarness("TB"), p_(p), prog_(assemble(kBhTreeSource))
+    {
+        if (p_.bodies >= (1u << p_.keyBits))
+            fatal("TB: bodies must be fewer than 2^keyBits");
+    }
+
+    void
+    setup(Gpu &gpu) override
+    {
+        keys_.resize(p_.bodies);
+        const std::uint64_t mask = (1ull << p_.keyBits) - 1;
+        for (unsigned i = 0; i < p_.bodies; ++i) {
+            // Multiplication by an odd constant is a bijection mod 2^B,
+            // so keys are distinct (required for bounded splitting).
+            keys_[i] = static_cast<Word>((i * 2654435761ull) & mask);
+        }
+        keysAddr_ = gpu.malloc(p_.bodies * 8);
+        gpu.memcpyToDevice(keysAddr_, keys_.data(), p_.bodies * 8);
+        // Worst-case internal nodes: one per split step; bodies * keyBits
+        // is a safe upper bound but wasteful — bodies * 4 suffices for
+        // hashed keys; keep a generous margin.
+        nodeCapacity_ = std::uint64_t{p_.bodies} * 8 + 64;
+        nodesAddr_ = gpu.malloc(nodeCapacity_ * 16);
+        counterAddr_ = gpu.malloc(8);
+        Word one = 1;  // node 0 is the root
+        gpu.memcpyToDevice(counterAddr_, &one, 8);
+    }
+
+    std::vector<LaunchSpec>
+    launches() const override
+    {
+        return {LaunchSpec{
+            &prog_, Dim3{p_.ctas, 1, 1}, Dim3{p_.threadsPerCta, 1, 1},
+            {static_cast<Word>(keysAddr_), static_cast<Word>(nodesAddr_),
+             static_cast<Word>(counterAddr_),
+             static_cast<Word>(p_.bodies)}}};
+    }
+
+    bool
+    validate(Gpu &gpu) const override
+    {
+        Word used = 0;
+        gpu.memcpyFromDevice(&used, counterAddr_, 8);
+        if (used <= 0 || static_cast<std::uint64_t>(used) > nodeCapacity_)
+            return false;
+        std::vector<Word> slots(static_cast<size_t>(used) * 2);
+        gpu.memcpyFromDevice(slots.data(), nodesAddr_, slots.size() * 8);
+
+        // Walk the tree: every reachable body must sit on the path its
+        // key bits dictate, and the body count must match (keys are
+        // distinct, so matching count means every key was inserted once).
+        std::uint64_t located = 0;
+        struct Frame {
+            Word node;
+            unsigned depth;
+            std::uint64_t prefix;
+        };
+        std::vector<Frame> stack{{0, 0, 0}};
+        while (!stack.empty()) {
+            Frame f = stack.back();
+            stack.pop_back();
+            if (f.depth > p_.keyBits)
+                return false;
+            for (unsigned bit = 0; bit < 2; ++bit) {
+                Word v = slots[static_cast<size_t>(f.node) * 2 + bit];
+                std::uint64_t prefix =
+                    f.prefix | (std::uint64_t{bit} << f.depth);
+                if (v == 0)
+                    continue;
+                if (v == 1)
+                    return false;  // a lock was leaked
+                if ((v & 3) == 2) {
+                    stack.push_back(
+                        Frame{v >> 2, f.depth + 1, prefix});
+                    continue;
+                }
+                std::uint64_t key = static_cast<std::uint64_t>(v) >> 2;
+                // The key must match the path prefix in its low bits.
+                std::uint64_t low_mask =
+                    (std::uint64_t{1} << (f.depth + 1)) - 1;
+                if ((key & low_mask) != prefix)
+                    return false;
+                ++located;
+            }
+        }
+        return located == p_.bodies;
+    }
+
+    std::vector<const Program *>
+    programs() const override
+    {
+        return {&prog_};
+    }
+
+  private:
+    BhTreeParams p_;
+    Program prog_;
+    std::vector<Word> keys_;
+    Addr keysAddr_ = 0;
+    Addr nodesAddr_ = 0;
+    Addr counterAddr_ = 0;
+    std::uint64_t nodeCapacity_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelHarness>
+makeBhTree(const BhTreeParams &p)
+{
+    return std::make_unique<BhTreeHarness>(p);
+}
+
+}  // namespace bowsim

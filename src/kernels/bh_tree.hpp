@@ -1,0 +1,33 @@
+#ifndef BOWSIM_KERNELS_BH_TREE_HPP
+#define BOWSIM_KERNELS_BH_TREE_HPP
+
+#include <memory>
+
+#include "src/kernels/kernel_harness.hpp"
+
+/**
+ * @file
+ * TB: BarnesHut-style concurrent tree building. Threads insert bodies
+ * into a binary radix tree with per-slot locking: descend to a null/body
+ * slot, CAS-lock it, place the body or split it into a new internal node,
+ * and publish to unlock. As in the original TB kernel, the retry loop is
+ * throttled by a CTA barrier (each failed thread backs off to the barrier
+ * before retrying) and the CTA count is limited — which is why BOWS has
+ * little left to improve here.
+ */
+
+namespace bowsim {
+
+struct BhTreeParams {
+    unsigned bodies = 6000;
+    unsigned ctas = 15;
+    unsigned threadsPerCta = 256;
+    /** Key width in bits (keys are distinct within this width). */
+    unsigned keyBits = 20;
+};
+
+std::unique_ptr<KernelHarness> makeBhTree(const BhTreeParams &p);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_KERNELS_BH_TREE_HPP

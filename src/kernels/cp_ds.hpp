@@ -1,0 +1,34 @@
+#ifndef BOWSIM_KERNELS_CP_DS_HPP
+#define BOWSIM_KERNELS_CP_DS_HPP
+
+#include <memory>
+
+#include "src/kernels/kernel_harness.hpp"
+
+/**
+ * @file
+ * DS: the Cloth Physics distance solver. Constraints connect particle
+ * pairs on a cloth grid; each constraint update takes both particles'
+ * locks with the nested try-lock/release-and-retry pattern (Fig. 6a) and
+ * moves the pair toward its rest distance. Updates are symmetric
+ * (x_i += c, x_j -= c), so the total coordinate sum is an invariant the
+ * harness validates.
+ */
+
+namespace bowsim {
+
+struct CpDsParams {
+    /** Cloth grid side (particles = side^2). */
+    unsigned side = 48;
+    /** Solver relaxation iterations. */
+    unsigned iterations = 2;
+    unsigned ctas = 16;
+    unsigned threadsPerCta = 192;
+    std::uint64_t seed = 909090;
+};
+
+std::unique_ptr<KernelHarness> makeCpDs(const CpDsParams &p);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_KERNELS_CP_DS_HPP

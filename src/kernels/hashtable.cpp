@@ -1,0 +1,233 @@
+#include "src/kernels/hashtable.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/log.hpp"
+#include "src/isa/assembler.hpp"
+
+namespace bowsim {
+
+namespace {
+
+/** Fig. 1a kernel. Node layout: {key, next} (16 bytes). */
+constexpr const char *kHtSource = R"(
+.kernel ht_insert
+.param 6
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;       // global thread id
+  mov %r2, %nctaid;
+  mul %r2, %r2, %r1;             // stride = total threads
+  ld.param.u64 %r10, [0];        // keys
+  ld.param.u64 %r11, [8];        // locks
+  ld.param.u64 %r12, [16];       // heads
+  ld.param.u64 %r13, [24];       // nodes
+  ld.param.u64 %r14, [32];       // buckets
+  ld.param.u64 %r15, [40];       // numKeys
+  mov %r3, %r0;                  // i = tid
+OUTER:
+  setp.ge.s64 %p0, %r3, %r15;
+  @%p0 exit;
+  shl %r4, %r3, 3;
+  add %r4, %r10, %r4;
+  ld.global.u64 %r5, [%r4];      // key
+  rem %r6, %r5, %r14;            // bucket
+  shl %r6, %r6, 3;
+  add %r7, %r11, %r6;            // &locks[bucket]
+  add %r8, %r12, %r6;            // &heads[bucket]
+  shl %r9, %r3, 4;
+  add %r9, %r13, %r9;            // &nodes[i]
+  st.global.u64 [%r9], %r5;      // node.key = key
+  mov %r20, 0;                   // done = false
+.annot sync_begin
+LOOP:
+  .annot acquire
+  atom.global.cas.b64 %r16, [%r7], 0, 1;
+  setp.ne.s64 %p1, %r16, 0;
+  @%p1 bra SKIP;
+.annot sync_end
+  membar;
+  ld.global.u64 %r17, [%r8];     // head
+  st.global.u64 [%r9+8], %r17;   // node.next = head
+  st.global.u64 [%r8], %r9;      // head = node
+  mov %r20, 1;                   // done = true
+  membar;
+.annot sync_begin
+  atom.global.exch.b64 %r18, [%r7], 0;
+SKIP:
+  setp.eq.s64 %p2, %r20, 0;
+  .annot spin
+  @%p2 bra LOOP;
+.annot sync_end
+  add %r3, %r3, %r2;
+  bra.uni OUTER;
+)";
+
+/**
+ * Fig. 3 variant: the same kernel with the software back-off delay code
+ * of Fig. 3a on the failure path (param[6] = DELAY_FACTOR; threads wait
+ * DELAY_FACTOR * ctaid cycles before retrying the acquire).
+ */
+constexpr const char *kHtSwDelaySource = R"(
+.kernel ht_insert_swdelay
+.param 7
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;
+  mov %r2, %nctaid;
+  mul %r2, %r2, %r1;
+  ld.param.u64 %r10, [0];
+  ld.param.u64 %r11, [8];
+  ld.param.u64 %r12, [16];
+  ld.param.u64 %r13, [24];
+  ld.param.u64 %r14, [32];
+  ld.param.u64 %r15, [40];
+  ld.param.u64 %r19, [48];       // delay factor
+  mov %r26, %ctaid;
+  mul %r19, %r19, %r26;          // threshold = factor * ctaid
+  mov %r3, %r0;
+OUTER:
+  setp.ge.s64 %p0, %r3, %r15;
+  @%p0 exit;
+  shl %r4, %r3, 3;
+  add %r4, %r10, %r4;
+  ld.global.u64 %r5, [%r4];
+  rem %r6, %r5, %r14;
+  shl %r6, %r6, 3;
+  add %r7, %r11, %r6;
+  add %r8, %r12, %r6;
+  shl %r9, %r3, 4;
+  add %r9, %r13, %r9;
+  st.global.u64 [%r9], %r5;
+  mov %r20, 0;
+.annot sync_begin
+LOOP:
+  .annot acquire
+  atom.global.cas.b64 %r16, [%r7], 0, 1;
+  setp.ne.s64 %p1, %r16, 0;
+  @%p1 bra BACKOFF;
+.annot sync_end
+  membar;
+  ld.global.u64 %r17, [%r8];
+  st.global.u64 [%r9+8], %r17;
+  st.global.u64 [%r8], %r9;
+  mov %r20, 1;
+  membar;
+.annot sync_begin
+  atom.global.exch.b64 %r18, [%r7], 0;
+  bra.uni SKIP;
+BACKOFF:
+  clock %r21;                    // start = clock()
+DELAY:
+  clock %r22;                    // now = clock()
+  sub %r23, %r22, %r21;
+  setp.lt.s64 %p3, %r23, %r19;   // cycles < threshold?
+  @%p3 bra DELAY;
+SKIP:
+  setp.eq.s64 %p2, %r20, 0;
+  .annot spin
+  @%p2 bra LOOP;
+.annot sync_end
+  add %r3, %r3, %r2;
+  bra.uni OUTER;
+)";
+
+class HashtableHarness : public KernelHarness {
+  public:
+    explicit HashtableHarness(const HashtableParams &p)
+        : KernelHarness("HT"), p_(p),
+          prog_(assemble(p.delayFactor > 0 ? kHtSwDelaySource : kHtSource))
+    {
+        if (p_.buckets == 0 || p_.insertions == 0)
+            fatal("HT: buckets and insertions must be positive");
+    }
+
+    void
+    setup(Gpu &gpu) override
+    {
+        keys_.resize(p_.insertions);
+        std::uint64_t x = p_.seed;
+        for (auto &k : keys_) {
+            // xorshift64*: deterministic pseudo-random keys.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            k = static_cast<Word>((x * 0x2545F4914F6CDD1Dull) >> 16 &
+                                  0x7fffffff);
+        }
+        keysAddr_ = gpu.malloc(p_.insertions * 8);
+        locksAddr_ = gpu.malloc(p_.buckets * 8);
+        headsAddr_ = gpu.malloc(p_.buckets * 8);
+        nodesAddr_ = gpu.malloc(std::uint64_t{p_.insertions} * 16);
+        gpu.memcpyToDevice(keysAddr_, keys_.data(), p_.insertions * 8);
+    }
+
+    std::vector<LaunchSpec>
+    launches() const override
+    {
+        std::vector<Word> params = {
+            static_cast<Word>(keysAddr_),  static_cast<Word>(locksAddr_),
+            static_cast<Word>(headsAddr_), static_cast<Word>(nodesAddr_),
+            static_cast<Word>(p_.buckets),
+            static_cast<Word>(p_.insertions)};
+        if (p_.delayFactor > 0)
+            params.push_back(static_cast<Word>(p_.delayFactor));
+        return {LaunchSpec{&prog_, Dim3{p_.ctas, 1, 1},
+                           Dim3{p_.threadsPerCta, 1, 1}, params}};
+    }
+
+    bool
+    validate(Gpu &gpu) const override
+    {
+        // Every key must appear exactly once, in the right bucket chain.
+        std::vector<Word> heads(p_.buckets);
+        gpu.memcpyFromDevice(heads.data(), headsAddr_, p_.buckets * 8);
+        std::unordered_set<Addr> visited;
+        std::uint64_t found = 0;
+        for (unsigned b = 0; b < p_.buckets; ++b) {
+            Addr node = static_cast<Addr>(heads[b]);
+            while (node != 0) {
+                if (!visited.insert(node).second)
+                    return false;  // cycle or double-link
+                Word kv[2];
+                gpu.memcpyFromDevice(kv, node, 16);
+                if (static_cast<std::uint64_t>(kv[0]) % p_.buckets != b)
+                    return false;  // key in the wrong bucket
+                ++found;
+                node = static_cast<Addr>(kv[1]);
+            }
+            // All locks must be released.
+            Word lock = 0;
+            gpu.memcpyFromDevice(&lock, locksAddr_ + 8 * b, 8);
+            if (lock != 0)
+                return false;
+        }
+        return found == p_.insertions;
+    }
+
+    std::vector<const Program *>
+    programs() const override
+    {
+        return {&prog_};
+    }
+
+  private:
+    HashtableParams p_;
+    Program prog_;
+    std::vector<Word> keys_;
+    Addr keysAddr_ = 0;
+    Addr locksAddr_ = 0;
+    Addr headsAddr_ = 0;
+    Addr nodesAddr_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<KernelHarness>
+makeHashtable(const HashtableParams &p)
+{
+    return std::make_unique<HashtableHarness>(p);
+}
+
+}  // namespace bowsim

@@ -1,0 +1,41 @@
+#include "src/kernels/kernel_harness.hpp"
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+std::set<Pc>
+KernelHarness::groundTruthSibs() const
+{
+    std::set<Pc> sibs;
+    for (const Program *p : programs())
+        sibs.insert(p->sync.spinBranches.begin(),
+                    p->sync.spinBranches.end());
+    return sibs;
+}
+
+KernelStats
+KernelHarness::run(Gpu &gpu)
+{
+    setup(gpu);
+    KernelStats total;
+    total.kernel = name();
+    bool first = true;
+    for (const LaunchSpec &spec : launches()) {
+        KernelStats s =
+            gpu.launch(*spec.prog, spec.grid, spec.block, spec.params);
+        if (first) {
+            std::string keep = total.kernel;
+            total = s;
+            total.kernel = keep;
+            first = false;
+        } else {
+            total += s;
+        }
+    }
+    if (!validate(gpu))
+        fatal("benchmark '", name(), "' failed validation");
+    return total;
+}
+
+}  // namespace bowsim

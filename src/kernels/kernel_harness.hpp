@@ -1,0 +1,67 @@
+#ifndef BOWSIM_KERNELS_KERNEL_HARNESS_HPP
+#define BOWSIM_KERNELS_KERNEL_HARNESS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/isa/program.hpp"
+#include "src/sim/gpu.hpp"
+#include "src/stats/stats.hpp"
+
+/**
+ * @file
+ * Benchmark harness framework. Each benchmark kernel (Section V of the
+ * paper) is a KernelHarness: it assembles its device code, sets up device
+ * memory, describes one or more launches, and validates the results
+ * against a host reference after the run.
+ */
+
+namespace bowsim {
+
+/** One kernel launch: program + geometry + parameters. */
+struct LaunchSpec {
+    const Program *prog;
+    Dim3 grid;
+    Dim3 block;
+    std::vector<Word> params;
+};
+
+class KernelHarness {
+  public:
+    explicit KernelHarness(std::string name) : name_(std::move(name)) {}
+    virtual ~KernelHarness() = default;
+
+    KernelHarness(const KernelHarness &) = delete;
+    KernelHarness &operator=(const KernelHarness &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Allocates and initializes device memory. */
+    virtual void setup(Gpu &gpu) = 0;
+
+    /** Launches to execute, in order. Valid after setup(). */
+    virtual std::vector<LaunchSpec> launches() const = 0;
+
+    /** Checks device results against the host reference. */
+    virtual bool validate(Gpu &gpu) const = 0;
+
+    /** Ground-truth spin branches across all programs (Table I). */
+    std::set<Pc> groundTruthSibs() const;
+
+    /** All programs this harness launches (for DDOS scoring). */
+    virtual std::vector<const Program *> programs() const = 0;
+
+    /**
+     * Convenience driver: setup + all launches + validate. Returns the
+     * accumulated statistics; throws FatalError if validation fails.
+     */
+    KernelStats run(Gpu &gpu);
+
+  private:
+    std::string name_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_KERNELS_KERNEL_HARNESS_HPP

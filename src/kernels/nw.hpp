@@ -1,0 +1,37 @@
+#ifndef BOWSIM_KERNELS_NW_HPP
+#define BOWSIM_KERNELS_NW_HPP
+
+#include <memory>
+
+#include "src/kernels/kernel_harness.hpp"
+
+/**
+ * @file
+ * NW1/NW2: lock-free wavefront Needleman-Wunsch sequence alignment in the
+ * fine-grained dataflow style of Li et al. [ICS'15]. One thread owns one
+ * matrix row; before computing cell (r, c) it spins on progress[r-1]
+ * until the upper neighbour is final, computes the cell, then publishes
+ * progress[r] = c+1 — a wait-and-signal chain. NW1 fills the matrix
+ * top-left to bottom-right, NW2 bottom-right to top-left (the paper's two
+ * kernels traverse the grid in opposite directions); younger rows depend
+ * on older ones, which is why GTO's oldest-first order suits NW.
+ */
+
+namespace bowsim {
+
+struct NwParams {
+    /** Sequence length (matrix is (n+1) x (n+1)). */
+    unsigned n = 96;
+    unsigned threadsPerCta = 64;
+    Word matchScore = 2;
+    Word mismatchPenalty = -1;
+    Word gapPenalty = 1;
+    std::uint64_t seed = 31337;
+};
+
+/** @param reverse false = NW1 (forward), true = NW2 (reverse sweep). */
+std::unique_ptr<KernelHarness> makeNw(const NwParams &p, bool reverse);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_KERNELS_NW_HPP

@@ -1,0 +1,37 @@
+#ifndef BOWSIM_KERNELS_REGISTRY_HPP
+#define BOWSIM_KERNELS_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernels/kernel_harness.hpp"
+
+/**
+ * @file
+ * Benchmark registry: the paper's kernel suite by name, with inputs
+ * scaled to run in seconds on a laptop (EXPERIMENTS.md records the
+ * scaling). Section V of the paper:
+ *
+ *   sync kernels: TB, ST, DS, ATM, HT, TSP, NW1, NW2
+ *   sync-free:    VEC, KM, MS, HL, RED, STEN
+ */
+
+namespace bowsim {
+
+/** The eight busy-wait synchronization kernels, in the paper's order. */
+const std::vector<std::string> &syncKernelNames();
+
+/** The synchronization-free control kernels. */
+const std::vector<std::string> &syncFreeKernelNames();
+
+/**
+ * Creates the named benchmark with its default (scaled) inputs.
+ * @param scale multiplies the default problem size (1.0 = default).
+ */
+std::unique_ptr<KernelHarness> makeBenchmark(const std::string &name,
+                                             double scale = 1.0);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_KERNELS_REGISTRY_HPP

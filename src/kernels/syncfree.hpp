@@ -1,0 +1,43 @@
+#ifndef BOWSIM_KERNELS_SYNCFREE_HPP
+#define BOWSIM_KERNELS_SYNCFREE_HPP
+
+#include <memory>
+
+#include "src/kernels/kernel_harness.hpp"
+
+/**
+ * @file
+ * Synchronization-free control kernels (the paper's Rodinia stand-ins).
+ * Used to measure DDOS false detections (Table I) and the overhead BOWS
+ * imposes when a branch is falsely classified (Fig. 14):
+ *
+ *  - VEC: grid-stride vector add.
+ *  - KM: kmeans invert_mapping-style copy loop (the Fig. 7c example).
+ *  - MS: merge-sort-style pass whose inner loop's induction variable
+ *    advances by 256 — invisible to an 8-bit MODULO hash, so MODULO
+ *    DDOS falsely flags its loop branch as spin-inducing.
+ *  - HL: heart-wall-style windowed sum with a 512-stride loop (the
+ *    paper's second false-detection case).
+ *  - RED: shared-memory tree reduction with barriers + a final atomic.
+ *  - STEN: 3-point stencil.
+ */
+
+namespace bowsim {
+
+struct SyncFreeParams {
+    unsigned elements = 65536;
+    unsigned ctas = 30;
+    unsigned threadsPerCta = 256;
+    std::uint64_t seed = 2025;
+};
+
+std::unique_ptr<KernelHarness> makeVecAdd(const SyncFreeParams &p);
+std::unique_ptr<KernelHarness> makeKmeansInvert(const SyncFreeParams &p);
+std::unique_ptr<KernelHarness> makeMergeSortPass(const SyncFreeParams &p);
+std::unique_ptr<KernelHarness> makeHeartWall(const SyncFreeParams &p);
+std::unique_ptr<KernelHarness> makeReduction(const SyncFreeParams &p);
+std::unique_ptr<KernelHarness> makeStencil(const SyncFreeParams &p);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_KERNELS_SYNCFREE_HPP

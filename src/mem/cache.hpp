@@ -1,0 +1,68 @@
+#ifndef BOWSIM_MEM_CACHE_HPP
+#define BOWSIM_MEM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/types.hpp"
+
+/**
+ * @file
+ * Set-associative tag array with true-LRU replacement. Data never lives
+ * here (functional values are in MemorySpace); the cache tracks presence
+ * and dirtiness for timing and traffic accounting only.
+ */
+
+namespace bowsim {
+
+class Cache {
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Looks up @p line without changing state. */
+    bool probe(Addr line) const;
+
+    /**
+     * Performs an access: on hit, updates LRU and returns true; on miss
+     * returns false and leaves the array unchanged.
+     * @param write marks the line dirty on hit.
+     */
+    bool access(Addr line, bool write);
+
+    /**
+     * Installs @p line, evicting the set's LRU victim if needed.
+     * @param write marks the new line dirty.
+     * @param[out] evicted_dirty true when a dirty victim was evicted.
+     * @return true when a valid victim was evicted.
+     */
+    bool fill(Addr line, bool write, bool *evicted_dirty);
+
+    /** Invalidates every line. */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    unsigned numSets() const { return numSets_; }
+
+  private:
+    struct Line {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    unsigned setOf(Addr line) const;
+
+    CacheConfig cfg_;
+    unsigned numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_MEM_CACHE_HPP

@@ -1,0 +1,21 @@
+#include "src/mem/coalescer.hpp"
+
+#include <algorithm>
+
+namespace bowsim {
+
+std::vector<Addr>
+coalesce(const std::array<Addr, kWarpSize> &lane_addrs, LaneMask mask)
+{
+    std::vector<Addr> lines;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!((mask >> lane) & 1))
+            continue;
+        Addr line = lineBase(lane_addrs[lane]);
+        if (std::find(lines.begin(), lines.end(), line) == lines.end())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+}  // namespace bowsim

@@ -1,0 +1,28 @@
+#ifndef BOWSIM_MEM_COALESCER_HPP
+#define BOWSIM_MEM_COALESCER_HPP
+
+#include <array>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+/**
+ * @file
+ * Memory-access coalescing: the per-lane byte addresses of one warp
+ * memory instruction collapse into one transaction per distinct 128-byte
+ * line, exactly as on Fermi-class hardware.
+ */
+
+namespace bowsim {
+
+/**
+ * Returns the distinct line base addresses touched by @p mask lanes.
+ * Order is first-touch order (lane 0 upward), which keeps the timing
+ * model deterministic.
+ */
+std::vector<Addr> coalesce(const std::array<Addr, kWarpSize> &lane_addrs,
+                           LaneMask mask);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_MEM_COALESCER_HPP

@@ -1,0 +1,3 @@
+#include "src/mem/dram.hpp"
+
+// Header-only; this translation unit anchors the component in the library.

@@ -1,0 +1,58 @@
+#ifndef BOWSIM_MEM_DRAM_HPP
+#define BOWSIM_MEM_DRAM_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/types.hpp"
+
+/**
+ * @file
+ * Analytic DRAM channel: fixed access latency plus a service period that
+ * caps channel bandwidth (one access every dramServicePeriod cycles).
+ */
+
+namespace bowsim {
+
+class DramChannel {
+  public:
+    DramChannel(unsigned latency, unsigned service_period)
+        : latency_(latency), period_(service_period)
+    {
+    }
+
+    /**
+     * Schedules an access that becomes serviceable at @p ready; returns
+     * the cycle its data is available.
+     */
+    Cycle
+    schedule(Cycle ready)
+    {
+        Cycle start = std::max(ready, free_);
+        free_ = start + period_;
+        ++accesses_;
+        return start + latency_;
+    }
+
+    /** Consumes bandwidth without a consumer (write-back traffic). */
+    void
+    scheduleWriteback(Cycle ready)
+    {
+        (void)schedule(ready);
+        ++writebacks_;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    unsigned latency_;
+    unsigned period_;
+    Cycle free_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_MEM_DRAM_HPP

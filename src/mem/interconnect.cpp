@@ -1,0 +1,3 @@
+#include "src/mem/interconnect.hpp"
+
+// Header-only; this translation unit anchors the component in the library.

@@ -1,0 +1,70 @@
+#include "src/mem/l2_bank.hpp"
+
+namespace bowsim {
+
+Cycle
+L2Bank::access(const MemPacket &pkt, Cycle arrival)
+{
+    ++accesses_;
+    bool is_atomic = pkt.type == MemPacket::Type::Atomic;
+    bool is_write = pkt.type == MemPacket::Type::Write;
+    if (is_atomic)
+        ++atomics_;
+
+    Cycle start = std::max(arrival, free_);
+    free_ = start + (is_atomic ? atomicPeriod_ : 1);
+
+    // Atomics arrive with byte addresses (they serialize per address);
+    // the tag array works on line granularity.
+    Addr line = lineBase(pkt.line);
+    bool hit = cache_.access(line, is_write || is_atomic);
+    Cycle tag_done = start + hitLatency_;
+    if (hit)
+        return tag_done;
+
+    // Miss: fetch the line from DRAM and install it (write-allocate).
+    bool evicted_dirty = false;
+    cache_.fill(line, is_write || is_atomic, &evicted_dirty);
+    if (evicted_dirty)
+        dram_.scheduleWriteback(tag_done);
+    return dram_.schedule(tag_done);
+}
+
+MemorySystem::MemorySystem(const GpuConfig &cfg)
+    : cfg_(cfg),
+      toMem_(cfg.numCores, cfg.icntLatency),
+      toSm_(cfg.numL2Banks, cfg.icntLatency)
+{
+    banks_.reserve(cfg.numL2Banks);
+    for (unsigned b = 0; b < cfg.numL2Banks; ++b)
+        banks_.emplace_back(cfg);
+}
+
+Cycle
+MemorySystem::request(const MemPacket &pkt, Cycle now)
+{
+    Cycle arrival = toMem_.inject(pkt.smId, now);
+    unsigned bank = static_cast<unsigned>(
+        (lineBase(pkt.line) / kLineBytes) % banks_.size());
+    Cycle bank_done = banks_[bank].access(pkt, arrival);
+    if (pkt.type == MemPacket::Type::Write)
+        return 0;
+    return toSm_.inject(bank, bank_done);
+}
+
+MemSystemStats
+MemorySystem::stats() const
+{
+    MemSystemStats s;
+    for (const L2Bank &b : banks_) {
+        s.l2Accesses += b.accesses();
+        s.l2Hits += b.cache().hits();
+        s.l2Misses += b.cache().misses();
+        s.dramAccesses += b.dram().accesses() + b.dram().writebacks();
+        s.atomics += b.atomics();
+    }
+    s.icntPackets = toMem_.packets() + toSm_.packets();
+    return s;
+}
+
+}  // namespace bowsim

@@ -1,0 +1,104 @@
+#ifndef BOWSIM_MEM_L2_BANK_HPP
+#define BOWSIM_MEM_L2_BANK_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/mem/cache.hpp"
+#include "src/mem/dram.hpp"
+#include "src/mem/interconnect.hpp"
+
+/**
+ * @file
+ * Banked L2 plus the memory-side network and DRAM channels, composed into
+ * a MemorySystem. Atomics bypass the L1 and execute at the home L2 bank
+ * (as on real GPUs), where a per-bank service period serializes them —
+ * the property that makes failed lock acquires consume memory bandwidth.
+ */
+
+namespace bowsim {
+
+/** One request from an SM into the memory system. */
+struct MemPacket {
+    enum class Type : std::uint8_t { Read, Write, Atomic };
+
+    Addr line = 0;
+    Type type = Type::Read;
+    unsigned smId = 0;
+    /** Opaque transaction id, returned with the reply. */
+    std::uint64_t token = 0;
+};
+
+/** One L2 slice with its DRAM channel. */
+class L2Bank {
+  public:
+    L2Bank(const GpuConfig &cfg)
+        : cache_(cfg.l2),
+          dram_(cfg.dramLatency, cfg.dramServicePeriod),
+          hitLatency_(cfg.l2HitLatency),
+          atomicPeriod_(4)
+    {
+    }
+
+    /**
+     * Services @p pkt arriving at @p arrival; returns the cycle the bank
+     * finishes (data ready to travel back for reads/atomics).
+     */
+    Cycle access(const MemPacket &pkt, Cycle arrival);
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t atomics() const { return atomics_; }
+    const Cache &cache() const { return cache_; }
+    const DramChannel &dram() const { return dram_; }
+
+  private:
+    Cache cache_;
+    DramChannel dram_;
+    unsigned hitLatency_;
+    /** Minimum cycles between atomic operations at this bank. */
+    unsigned atomicPeriod_;
+    Cycle free_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t atomics_ = 0;
+};
+
+/** Aggregate counters for the shared memory system. */
+struct MemSystemStats {
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t icntPackets = 0;
+};
+
+/**
+ * The device-level memory system: SM-to-memory crossbar, L2 banks (one
+ * DRAM channel each) and the return network. All timing is analytic —
+ * request() directly returns the reply-arrival cycle.
+ */
+class MemorySystem {
+  public:
+    explicit MemorySystem(const GpuConfig &cfg);
+
+    /**
+     * Issues @p pkt at @p now. Returns the cycle the reply reaches the
+     * requesting SM; writes return 0 (no reply — write-through traffic is
+     * still modeled and counted).
+     */
+    Cycle request(const MemPacket &pkt, Cycle now);
+
+    MemSystemStats stats() const;
+
+  private:
+    GpuConfig cfg_;
+    std::vector<L2Bank> banks_;
+    Interconnect toMem_;
+    Interconnect toSm_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_MEM_L2_BANK_HPP

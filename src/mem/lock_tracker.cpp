@@ -1,0 +1,33 @@
+#include "src/mem/lock_tracker.hpp"
+
+namespace bowsim {
+
+CasOutcome
+LockTracker::onCas(Addr addr, std::uint64_t warp_key, Word old_value,
+                   Word expected, Word desired)
+{
+    if (old_value == expected) {
+        if (desired != 0) {
+            owner_[addr] = warp_key;
+        } else {
+            owner_.erase(addr);  // CAS-release pattern
+        }
+        return CasOutcome::Success;
+    }
+    auto it = owner_.find(addr);
+    if (it != owner_.end() && it->second == warp_key)
+        return CasOutcome::IntraWarpFail;
+    return CasOutcome::InterWarpFail;
+}
+
+void
+LockTracker::onWrite(Addr addr, Word value)
+{
+    // Any plain write to a held lock word releases it: writing 0 is the
+    // mutex-release idiom, and publishing a non-sentinel value is the
+    // lock-free "unlock by publish" idiom (BH tree build).
+    (void)value;
+    owner_.erase(addr);
+}
+
+}  // namespace bowsim

@@ -1,0 +1,45 @@
+#ifndef BOWSIM_MEM_LOCK_TRACKER_HPP
+#define BOWSIM_MEM_LOCK_TRACKER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/types.hpp"
+
+/**
+ * @file
+ * Measurement-only lock ownership tracker behind the Figure 2 / Figure 12
+ * outcome distributions. Successful `atomicCAS(m, 0, v)` records the
+ * acquiring warp; failed attempts are classified as intra-warp (the holder
+ * is the same warp) or inter-warp failures. Writing 0 back releases.
+ */
+
+namespace bowsim {
+
+enum class CasOutcome { Success, InterWarpFail, IntraWarpFail };
+
+class LockTracker {
+  public:
+    /**
+     * Records a CAS attempt on @p addr by global warp @p warp_key.
+     * @param old_value    value read by the CAS
+     * @param expected     the compare value
+     * @param desired      the swap value
+     */
+    CasOutcome onCas(Addr addr, std::uint64_t warp_key, Word old_value,
+                     Word expected, Word desired);
+
+    /** Records a plain store/exchange of @p value to @p addr. */
+    void onWrite(Addr addr, Word value);
+
+    /** Number of currently-held tracked locks. */
+    size_t held() const { return owner_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> owner_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_MEM_LOCK_TRACKER_HPP

@@ -1,0 +1,100 @@
+#include "src/mem/memory_space.hpp"
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+Addr
+MemorySpace::allocate(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    Addr base = next_;
+    next_ += (bytes + 255) & ~std::uint64_t{255};
+    return base;
+}
+
+void
+MemorySpace::clear()
+{
+    pages_.clear();
+    next_ = kHeapBase;
+}
+
+const std::vector<std::uint8_t> *
+MemorySpace::findPage(Addr page) const
+{
+    auto it = pages_.find(page);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint8_t> &
+MemorySpace::touchPage(Addr page)
+{
+    auto &p = pages_[page];
+    if (p.empty())
+        p.assign(kPageBytes, 0);
+    return p;
+}
+
+Word
+MemorySpace::read(Addr addr, unsigned size) const
+{
+    if (size != 2 && size != 4 && size != 8)
+        panic("MemorySpace::read: bad size ", size);
+    std::uint64_t raw = 0;
+    readBytes(addr, &raw, size);
+    if (size == 4)
+        return static_cast<Word>(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(raw)));
+    if (size == 2)
+        return static_cast<Word>(static_cast<std::int16_t>(
+            static_cast<std::uint16_t>(raw)));
+    return static_cast<Word>(raw);
+}
+
+void
+MemorySpace::write(Addr addr, Word value, unsigned size)
+{
+    if (size != 2 && size != 4 && size != 8)
+        panic("MemorySpace::write: bad size ", size);
+    std::uint64_t raw = static_cast<std::uint64_t>(value);
+    writeBytes(addr, &raw, size);
+}
+
+void
+MemorySpace::readBytes(Addr addr, void *out, std::uint64_t bytes) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        Addr a = addr + done;
+        Addr page = a / kPageBytes;
+        Addr off = a % kPageBytes;
+        std::uint64_t chunk = std::min(bytes - done, kPageBytes - off);
+        const auto *p = findPage(page);
+        if (p) {
+            std::memcpy(dst + done, p->data() + off, chunk);
+        } else {
+            std::memset(dst + done, 0, chunk);
+        }
+        done += chunk;
+    }
+}
+
+void
+MemorySpace::writeBytes(Addr addr, const void *in, std::uint64_t bytes)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        Addr a = addr + done;
+        Addr page = a / kPageBytes;
+        Addr off = a % kPageBytes;
+        std::uint64_t chunk = std::min(bytes - done, kPageBytes - off);
+        std::memcpy(touchPage(page).data() + off, src + done, chunk);
+        done += chunk;
+    }
+}
+
+}  // namespace bowsim

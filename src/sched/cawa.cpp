@@ -1,0 +1,31 @@
+#include "src/sched/cawa.hpp"
+
+#include <algorithm>
+
+namespace bowsim {
+
+void
+CawaScheduler::order(std::vector<Warp *> &warps, Cycle now)
+{
+    (void)now;
+    std::stable_sort(warps.begin(), warps.end(),
+                     [](const Warp *a, const Warp *b) {
+                         double ca = a->cawa().criticality();
+                         double cb = b->cawa().criticality();
+                         if (ca != cb)
+                             return ca > cb;
+                         return a->age() < b->age();
+                     });
+    // CAWA keeps GTO's greedy component: stick with the last-issued warp
+    // while it remains schedulable.
+    if (lastIssued_) {
+        auto it = std::find(warps.begin(), warps.end(), lastIssued_);
+        if (it != warps.end()) {
+            Warp *w = *it;
+            warps.erase(it);
+            warps.insert(warps.begin(), w);
+        }
+    }
+}
+
+}  // namespace bowsim

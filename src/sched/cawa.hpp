@@ -1,0 +1,26 @@
+#ifndef BOWSIM_SCHED_CAWA_HPP
+#define BOWSIM_SCHED_CAWA_HPP
+
+#include "src/sched/scheduler.hpp"
+
+/**
+ * @file
+ * CAWA criticality-aware scheduling [Lee et al., ISCA'15], as characterized
+ * in Section II of the paper: per-warp criticality is estimated as
+ * nInst × CPIavg + nStall and the most critical warp is prioritized.
+ * The nInst estimate grows when a warp takes a backward branch (it will
+ * run the loop body again) — which is exactly why CAWA misclassifies
+ * spinning warps as critical and accelerates them.
+ */
+
+namespace bowsim {
+
+class CawaScheduler : public Scheduler {
+  public:
+    void order(std::vector<Warp *> &warps, Cycle now) override;
+    const char *name() const override { return "CAWA"; }
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_SCHED_CAWA_HPP

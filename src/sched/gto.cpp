@@ -1,0 +1,33 @@
+#include "src/sched/gto.hpp"
+
+#include <algorithm>
+
+namespace bowsim {
+
+void
+GtoScheduler::order(std::vector<Warp *> &warps, Cycle now)
+{
+    std::sort(warps.begin(), warps.end(),
+              [](const Warp *a, const Warp *b) {
+                  if (a->age() != b->age())
+                      return a->age() < b->age();
+                  return a->id() < b->id();
+              });
+    // Periodic age rotation (livelock avoidance): shift which resident
+    // warp currently counts as oldest.
+    if (rotatePeriod_ > 0 && !warps.empty()) {
+        size_t rot = static_cast<size_t>(now / rotatePeriod_) % warps.size();
+        std::rotate(warps.begin(), warps.begin() + rot, warps.end());
+    }
+    // Greedy: the last-issued warp keeps top priority.
+    if (lastIssued_) {
+        auto it = std::find(warps.begin(), warps.end(), lastIssued_);
+        if (it != warps.end()) {
+            Warp *w = *it;
+            warps.erase(it);
+            warps.insert(warps.begin(), w);
+        }
+    }
+}
+
+}  // namespace bowsim

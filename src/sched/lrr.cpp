@@ -1,0 +1,21 @@
+#include "src/sched/lrr.hpp"
+
+#include <algorithm>
+
+namespace bowsim {
+
+void
+LrrScheduler::order(std::vector<Warp *> &warps, Cycle now)
+{
+    (void)now;
+    std::sort(warps.begin(), warps.end(),
+              [](const Warp *a, const Warp *b) { return a->id() < b->id(); });
+    if (!lastIssued_)
+        return;
+    // Rotate so the warp following the last-issued one leads.
+    auto it = std::find(warps.begin(), warps.end(), lastIssued_);
+    if (it != warps.end())
+        std::rotate(warps.begin(), it + 1, warps.end());
+}
+
+}  // namespace bowsim

@@ -1,0 +1,22 @@
+#ifndef BOWSIM_SCHED_LRR_HPP
+#define BOWSIM_SCHED_LRR_HPP
+
+#include "src/sched/scheduler.hpp"
+
+/**
+ * @file
+ * Loose round-robin: priority rotates so the warp after the last-issued
+ * one (by warp id) comes first each cycle.
+ */
+
+namespace bowsim {
+
+class LrrScheduler : public Scheduler {
+  public:
+    void order(std::vector<Warp *> &warps, Cycle now) override;
+    const char *name() const override { return "LRR"; }
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_SCHED_LRR_HPP

@@ -1,0 +1,27 @@
+#include "src/sched/scheduler.hpp"
+
+#include "src/common/log.hpp"
+#include "src/sched/cawa.hpp"
+#include "src/sched/gto.hpp"
+#include "src/sched/lrr.hpp"
+#include "src/sched/two_level.hpp"
+
+namespace bowsim {
+
+std::unique_ptr<Scheduler>
+makeScheduler(const GpuConfig &cfg)
+{
+    switch (cfg.scheduler) {
+      case SchedulerKind::LRR:
+        return std::make_unique<LrrScheduler>();
+      case SchedulerKind::GTO:
+        return std::make_unique<GtoScheduler>(cfg.gtoRotatePeriod);
+      case SchedulerKind::CAWA:
+        return std::make_unique<CawaScheduler>();
+      case SchedulerKind::TwoLevel:
+        return std::make_unique<TwoLevelScheduler>(cfg.twoLevelGroupSize);
+    }
+    fatal("unknown scheduler kind");
+}
+
+}  // namespace bowsim

@@ -1,0 +1,55 @@
+#ifndef BOWSIM_SCHED_SCHEDULER_HPP
+#define BOWSIM_SCHED_SCHEDULER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "src/arch/warp.hpp"
+#include "src/common/config.hpp"
+
+/**
+ * @file
+ * Warp-scheduler policies. Each SM scheduler unit owns one Scheduler
+ * instance; every cycle the core asks it to order the unit's resident
+ * warps by descending priority and issues the first *eligible* one (the
+ * eligibility test — scoreboard, barrier, BOWS back-off — stays in the
+ * core so policies remain pure priority functions).
+ */
+
+namespace bowsim {
+
+class Scheduler {
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Sorts @p warps into descending scheduling priority. */
+    virtual void order(std::vector<Warp *> &warps, Cycle now) = 0;
+
+    /** Called when @p warp wins arbitration this cycle. */
+    virtual void
+    notifyIssued(Warp *warp, Cycle now)
+    {
+        (void)now;
+        lastIssued_ = warp;
+    }
+
+    /** Called when @p warp retires so stale pointers are dropped. */
+    virtual void
+    notifyFinished(Warp *warp)
+    {
+        if (lastIssued_ == warp)
+            lastIssued_ = nullptr;
+    }
+
+    virtual const char *name() const = 0;
+
+  protected:
+    Warp *lastIssued_ = nullptr;
+};
+
+/** Creates the configured base policy. */
+std::unique_ptr<Scheduler> makeScheduler(const GpuConfig &cfg);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_SCHED_SCHEDULER_HPP

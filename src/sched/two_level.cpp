@@ -1,0 +1,38 @@
+#include "src/sched/two_level.hpp"
+
+#include <algorithm>
+
+namespace bowsim {
+
+void
+TwoLevelScheduler::order(std::vector<Warp *> &warps, Cycle now)
+{
+    (void)now;
+    // Sort by (group distance from the active group, LRR order inside
+    // the group). Group ids wrap so "next" groups follow the active one.
+    unsigned max_group = 0;
+    for (const Warp *w : warps)
+        max_group = std::max(max_group, w->id() / groupSize_);
+    const unsigned num_groups = max_group + 1;
+
+    unsigned last_id =
+        lastIssued_ ? lastIssued_->id() % groupSize_ : groupSize_ - 1;
+    std::sort(warps.begin(), warps.end(), [&](const Warp *a,
+                                              const Warp *b) {
+        unsigned ga = (a->id() / groupSize_ + num_groups - activeGroup_) %
+                      num_groups;
+        unsigned gb = (b->id() / groupSize_ + num_groups - activeGroup_) %
+                      num_groups;
+        if (ga != gb)
+            return ga < gb;
+        // Round-robin within the group, starting after the last-issued
+        // warp's slot.
+        unsigned ra =
+            (a->id() % groupSize_ + groupSize_ - 1 - last_id) % groupSize_;
+        unsigned rb =
+            (b->id() % groupSize_ + groupSize_ - 1 - last_id) % groupSize_;
+        return ra < rb;
+    });
+}
+
+}  // namespace bowsim

@@ -1,0 +1,88 @@
+#include "src/sim/gpu.hpp"
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+Gpu::Gpu(GpuConfig cfg) : cfg_(std::move(cfg)) {}
+
+Addr
+Gpu::malloc(std::uint64_t bytes)
+{
+    return mem_.allocate(bytes);
+}
+
+void
+Gpu::memcpyToDevice(Addr dst, const void *src, std::uint64_t bytes)
+{
+    mem_.writeBytes(dst, src, bytes);
+}
+
+void
+Gpu::memcpyFromDevice(void *dst, Addr src, std::uint64_t bytes)
+{
+    mem_.readBytes(src, dst, bytes);
+}
+
+KernelStats
+Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
+            const std::vector<Word> &params)
+{
+    if (prog.code.empty())
+        fatal("launch of an empty kernel");
+    if (params.size() < prog.numParams)
+        fatal("kernel '", prog.name, "' expects ", prog.numParams,
+              " params, got ", params.size());
+    if (block.count() == 0 || grid.count() == 0)
+        fatal("launch with an empty grid or block");
+
+    MemorySystem memsys(cfg_);
+    LaunchState launch;
+    launch.prog = &prog;
+    launch.grid = grid;
+    launch.block = block;
+    launch.params = params;
+    launch.mem = &mem_;
+    launch.memsys = &memsys;
+    launch.spinDetect = cfg_.spinDetect;
+    launch.stats.kernel = prog.name;
+
+    std::vector<std::unique_ptr<SmCore>> cores;
+    cores.reserve(cfg_.numCores);
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        cores.push_back(std::make_unique<SmCore>(c, cfg_, launch));
+
+    Cycle now = 0;
+    bool any_busy = true;
+    while (any_busy) {
+        ++now;
+        if (now > cfg_.watchdogCycles)
+            fatal("kernel '", prog.name, "' exceeded the ",
+                  cfg_.watchdogCycles, "-cycle watchdog (deadlock?)");
+        any_busy = false;
+        for (auto &core : cores) {
+            core->cycle(now);
+            any_busy = any_busy || core->busy();
+        }
+    }
+
+    KernelStats &stats = launch.stats;
+    stats.cycles = now;
+    stats.mem = memsys.stats();
+    stats.energy.l2Accesses = stats.mem.l2Accesses;
+    stats.energy.dramAccesses = stats.mem.dramAccesses;
+    stats.energy.icntPackets = stats.mem.icntPackets;
+    stats.energy.atomicOps = stats.mem.atomics;
+    stats.energyNj = energy_.dynamicEnergyNj(stats.energy);
+
+    // DDOS accuracy: merge the per-SM collectors and score against the
+    // kernel's ground-truth annotations.
+    DdosAccuracy merged;
+    for (auto &core : cores)
+        merged.merge(core->ddos().accuracy());
+    stats.ddos = merged.report(prog.sync.spinBranches);
+
+    return stats;
+}
+
+}  // namespace bowsim

@@ -1,0 +1,62 @@
+#ifndef BOWSIM_SIM_GPU_HPP
+#define BOWSIM_SIM_GPU_HPP
+
+#include <memory>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/energy/energy_model.hpp"
+#include "src/isa/program.hpp"
+#include "src/mem/memory_space.hpp"
+#include "src/sim/sm_core.hpp"
+#include "src/stats/stats.hpp"
+
+/**
+ * @file
+ * Public simulator facade. Typical use:
+ *
+ *     GpuConfig cfg = makeGtx480Config();
+ *     cfg.bows.enabled = true;
+ *     Gpu gpu(cfg);
+ *     Addr buf = gpu.malloc(bytes);
+ *     gpu.memcpyToDevice(buf, host.data(), bytes);
+ *     Program prog = assemble(kernel_source);
+ *     KernelStats stats = gpu.launch(prog, {grid}, {block}, {buf, n});
+ *     gpu.memcpyFromDevice(host.data(), buf, bytes);
+ */
+
+namespace bowsim {
+
+class Gpu {
+  public:
+    explicit Gpu(GpuConfig cfg);
+
+    /** Allocates device memory; contents are zero-initialized. */
+    Addr malloc(std::uint64_t bytes);
+
+    void memcpyToDevice(Addr dst, const void *src, std::uint64_t bytes);
+    void memcpyFromDevice(void *dst, Addr src, std::uint64_t bytes);
+
+    /** Direct functional-memory access (tests and host-side setup). */
+    MemorySpace &mem() { return mem_; }
+    const MemorySpace &mem() const { return mem_; }
+
+    /**
+     * Runs @p prog to completion and returns its statistics. Timing state
+     * (caches, queues) starts cold at each launch; functional memory
+     * persists across launches.
+     */
+    KernelStats launch(const Program &prog, Dim3 grid, Dim3 block,
+                       const std::vector<Word> &params);
+
+    const GpuConfig &config() const { return cfg_; }
+
+  private:
+    GpuConfig cfg_;
+    MemorySpace mem_;
+    EnergyModel energy_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_SIM_GPU_HPP

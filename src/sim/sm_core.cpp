@@ -1,0 +1,670 @@
+#include "src/sim/sm_core.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/log.hpp"
+
+namespace bowsim {
+
+namespace {
+
+unsigned
+popcount(LaneMask m)
+{
+    return static_cast<unsigned>(std::popcount(m));
+}
+
+unsigned
+firstLane(LaneMask m)
+{
+    return static_cast<unsigned>(std::countr_zero(m));
+}
+
+}  // namespace
+
+SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch)
+    : id_(id), cfg_(cfg), launch_(launch),
+      ldst_(cfg, id, *launch.memsys, launch.stats),
+      backoff_(cfg.bows), maxWarps_(cfg.maxWarpsPerCore())
+{
+    for (unsigned s = 0; s < cfg.numSchedulersPerCore; ++s)
+        schedulers_.push_back(makeScheduler(cfg));
+    ddos_ = std::make_unique<DdosUnit>(cfg.ddos, maxWarps_);
+
+    const Program &prog = *launch_.prog;
+    unsigned threads_per_cta = launch_.block.count();
+    if (threads_per_cta == 0)
+        fatal("kernel launch with an empty block");
+    warpsPerCta_ = (threads_per_cta + kWarpSize - 1) / kWarpSize;
+
+    // CTA residency limits (threads, CTA cap, registers, shared memory).
+    unsigned by_threads = cfg.maxThreadsPerCore / threads_per_cta;
+    unsigned regs_per_cta = prog.numRegs * threads_per_cta;
+    unsigned by_regs = regs_per_cta == 0
+                           ? cfg.maxCtasPerCore
+                           : cfg.numRegsPerCore / regs_per_cta;
+    unsigned by_shared = prog.sharedBytes == 0
+                             ? cfg.maxCtasPerCore
+                             : cfg.sharedMemPerCore / prog.sharedBytes;
+    unsigned by_warps = maxWarps_ / warpsPerCta_;
+    maxResidentCtas_ = std::min({cfg.maxCtasPerCore, by_threads, by_regs,
+                                 by_shared, by_warps});
+    if (maxResidentCtas_ == 0)
+        fatal("kernel '", prog.name, "' does not fit on an SM (",
+              threads_per_cta, " threads/CTA)");
+    ctas_.resize(maxResidentCtas_);
+}
+
+bool
+SmCore::busy() const
+{
+    for (const Cta &cta : ctas_) {
+        if (cta.valid)
+            return true;
+    }
+    // CTAs are handed out by the shared dispatcher; this SM stays busy
+    // while work remains so it can pick CTAs up as slots free.
+    return launch_.nextCta < launch_.grid.count();
+}
+
+void
+SmCore::tryLaunchCtas()
+{
+    const Program &prog = *launch_.prog;
+    unsigned total_ctas = launch_.grid.count();
+    for (Cta &slot : ctas_) {
+        if (slot.valid)
+            continue;
+        if (launch_.nextCta >= total_ctas)
+            return;
+        unsigned cta_id = launch_.nextCta++;
+        slot.valid = true;
+        slot.id = cta_id;
+        slot.shared.assign(prog.sharedBytes, 0);
+        slot.warps.clear();
+        slot.arrivedAtBarrier = 0;
+
+        unsigned threads = launch_.block.count();
+        unsigned cta_index =
+            static_cast<unsigned>(&slot - ctas_.data());
+        for (unsigned wi = 0; wi < warpsPerCta_; ++wi) {
+            unsigned lanes = std::min(kWarpSize, threads - wi * kWarpSize);
+            LaneMask mask = lanes == kWarpSize
+                                ? kFullMask
+                                : ((LaneMask{1} << lanes) - 1);
+            unsigned warp_slot = cta_index * warpsPerCta_ + wi;
+            auto warp = std::make_unique<Warp>(
+                warp_slot, cta_id, wi, launch_.warpAgeCounter++,
+                prog.numRegs, prog.numPreds, mask);
+            ddos_->resetWarp(warp_slot);
+            resident_.push_back(warp.get());
+            slot.warps.push_back(std::move(warp));
+        }
+        slot.liveWarps = warpsPerCta_;
+    }
+}
+
+void
+SmCore::retireFinishedCtas()
+{
+    for (Cta &cta : ctas_) {
+        if (!cta.valid || cta.liveWarps != 0)
+            continue;
+        bool drained = true;
+        for (const auto &w : cta.warps) {
+            if (!w->scoreboard().idle() || w->ldstOutstanding() != 0) {
+                drained = false;
+                break;
+            }
+        }
+        if (!drained)
+            continue;
+        for (const auto &w : cta.warps) {
+            for (auto &sched : schedulers_)
+                sched->notifyFinished(w.get());
+        }
+        cta.warps.clear();
+        cta.valid = false;
+    }
+}
+
+void
+SmCore::checkBarrier(Cta &cta)
+{
+    if (cta.liveWarps == 0 || cta.arrivedAtBarrier < cta.liveWarps)
+        return;
+    for (auto &w : cta.warps) {
+        if (!w->done())
+            w->setAtBarrier(false);
+    }
+    cta.arrivedAtBarrier = 0;
+}
+
+bool
+SmCore::isSib(Pc pc) const
+{
+    switch (launch_.spinDetect) {
+      case SpinDetect::None:
+        return false;
+      case SpinDetect::Oracle:
+        return launch_.prog->sync.isSpinBranch(pc);
+      case SpinDetect::Ddos:
+        return ddos_->isSib(pc);
+    }
+    return false;
+}
+
+bool
+SmCore::eligible(Warp &w) const
+{
+    if (w.done() || w.atBarrier())
+        return false;
+    if (!backoff_.mayIssue(w))
+        return false;
+    const Instruction &inst = launch_.prog->at(w.stack().pc());
+    if (!w.scoreboard().canIssue(inst))
+        return false;
+    if (inst.isMemory() && inst.space != MemSpace::Param &&
+        !ldst_.canAccept()) {
+        return false;
+    }
+    return true;
+}
+
+Word
+SmCore::readOperand(Warp &w, const Operand &op, unsigned lane) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        return w.regs().read(lane, op.index);
+      case Operand::Kind::Imm:
+        return op.imm;
+      case Operand::Kind::Pred:
+        return w.regs().readPred(lane, op.index) ? 1 : 0;
+      case Operand::Kind::Special:
+        switch (static_cast<SpecialReg>(op.index)) {
+          case SpecialReg::TidX:
+            return static_cast<Word>(w.warpInCta() * kWarpSize + lane);
+          case SpecialReg::CtaIdX:
+            return static_cast<Word>(w.cta());
+          case SpecialReg::NTidX:
+            return static_cast<Word>(launch_.block.count());
+          case SpecialReg::NCtaIdX:
+            return static_cast<Word>(launch_.grid.count());
+          case SpecialReg::LaneId:
+            return static_cast<Word>(lane);
+          case SpecialReg::WarpId:
+            return static_cast<Word>(w.warpInCta());
+          case SpecialReg::SmId:
+            return static_cast<Word>(id_);
+        }
+        return 0;
+      case Operand::Kind::None:
+        panic("readOperand on a missing operand");
+    }
+    return 0;
+}
+
+namespace {
+
+/** Wrapping signed arithmetic via unsigned (overflow is defined). */
+Word
+wrapAdd(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<std::uint64_t>(a) +
+                             static_cast<std::uint64_t>(b));
+}
+
+Word
+wrapSub(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<std::uint64_t>(a) -
+                             static_cast<std::uint64_t>(b));
+}
+
+Word
+wrapMul(Word a, Word b)
+{
+    return static_cast<Word>(static_cast<std::uint64_t>(a) *
+                             static_cast<std::uint64_t>(b));
+}
+
+Word
+aluCompute(const Instruction &inst, Word a, Word b, Word c)
+{
+    switch (inst.op) {
+      case Opcode::Mov: return a;
+      case Opcode::Add: return wrapAdd(a, b);
+      case Opcode::Sub: return wrapSub(a, b);
+      case Opcode::Mul: return wrapMul(a, b);
+      case Opcode::Mad: return wrapAdd(wrapMul(a, b), c);
+      // Division by zero yields 0; INT64_MIN / -1 wraps (both are
+      // UB in C++ but well-defined device behaviour here).
+      case Opcode::Div:
+        return b == 0 ? 0 : (b == -1 ? wrapSub(0, a) : a / b);
+      case Opcode::Rem:
+        return b == 0 ? 0 : (b == -1 ? 0 : a % b);
+      case Opcode::Min: return std::min(a, b);
+      case Opcode::Max: return std::max(a, b);
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Not: return ~a;
+      case Opcode::Shl: return static_cast<Word>(
+          static_cast<std::uint64_t>(a) << (b & 63));
+      case Opcode::Shr: return static_cast<Word>(
+          static_cast<std::uint64_t>(a) >> (b & 63));
+      default:
+        panic("aluCompute on non-ALU opcode");
+    }
+}
+
+bool
+compare(CmpOp op, Word a, Word b)
+{
+    switch (op) {
+      case CmpOp::Eq: return a == b;
+      case CmpOp::Ne: return a != b;
+      case CmpOp::Lt: return a < b;
+      case CmpOp::Le: return a <= b;
+      case CmpOp::Gt: return a > b;
+      case CmpOp::Ge: return a >= b;
+    }
+    return false;
+}
+
+}  // namespace
+
+void
+SmCore::executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
+                   Cycle now)
+{
+    KernelStats &st = launch_.stats;
+    const bool is_setp = inst.op == Opcode::Setp;
+
+    // DDOS profiles the first active thread of the warp at every setp.
+    if (is_setp) {
+        LaneMask active = w.stack().activeMask();
+        if (active != 0) {
+            unsigned lane = firstLane(active);
+            Word v0 = readOperand(w, inst.src[0], lane);
+            Word v1 = readOperand(w, inst.src[1], lane);
+            ddos_->onSetp(w.id(), w.stack().pc(), v0, v1, now);
+        }
+    }
+
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!((exec >> lane) & 1))
+            continue;
+        switch (inst.op) {
+          case Opcode::Setp: {
+            Word a = readOperand(w, inst.src[0], lane);
+            Word b = readOperand(w, inst.src[1], lane);
+            bool r = compare(inst.cmp, a, b);
+            w.regs().writePred(lane, inst.dst.index, r);
+            if (launch_.prog->sync.waitChecks.count(w.stack().pc())) {
+                if (r)
+                    ++st.outcomes.waitExitSuccess;
+                else
+                    ++st.outcomes.waitExitFail;
+            }
+            break;
+          }
+          case Opcode::Selp: {
+            Word a = readOperand(w, inst.src[0], lane);
+            Word b = readOperand(w, inst.src[1], lane);
+            bool p = w.regs().readPred(lane, inst.src[2].index);
+            w.regs().write(lane, inst.dst.index, p ? a : b);
+            break;
+          }
+          case Opcode::Clock:
+            w.regs().write(lane, inst.dst.index, static_cast<Word>(now));
+            break;
+          case Opcode::Ld: {
+            // ld.param: constant access, ALU-class latency.
+            Word base = readOperand(w, inst.src[0], lane);
+            Addr offset = static_cast<Addr>(base + inst.memOffset);
+            unsigned index = static_cast<unsigned>(offset / 8);
+            if (index >= launch_.params.size())
+                fatal("ld.param index ", index, " out of range in '",
+                      launch_.prog->name, "'");
+            w.regs().write(lane, inst.dst.index, launch_.params[index]);
+            break;
+          }
+          default: {
+            Word a = inst.src[0].valid() ? readOperand(w, inst.src[0], lane)
+                                         : 0;
+            Word b = inst.src[1].valid() ? readOperand(w, inst.src[1], lane)
+                                         : 0;
+            Word c = inst.src[2].valid() ? readOperand(w, inst.src[2], lane)
+                                         : 0;
+            w.regs().write(lane, inst.dst.index,
+                           aluCompute(inst, a, b, c));
+            break;
+          }
+        }
+    }
+
+    if (inst.dst.valid()) {
+        w.scoreboard().reserve(inst);
+        unsigned latency =
+            inst.longLatency() ? cfg_.mulDivLatency : cfg_.aluLatency;
+        writebacks_.push(WbEvent{now + latency, ++wbSeq_, &w, &inst});
+    }
+}
+
+void
+SmCore::executeAtomicLane(Warp &w, const Instruction &inst, unsigned lane,
+                          Addr addr, bool is_acquire)
+{
+    MemorySpace &mem = *launch_.mem;
+    KernelStats &st = launch_.stats;
+    Word old = mem.read(addr, inst.size);
+    Word operand = readOperand(w, inst.src[1], lane);
+    Word next = old;
+    switch (inst.atom) {
+      case AtomOp::Cas: {
+        Word desired = readOperand(w, inst.src[2], lane);
+        next = (old == operand) ? desired : old;
+        std::uint64_t warp_key = w.age() + 1;  // globally unique, nonzero
+        CasOutcome outcome = launch_.lockTracker.onCas(
+            addr, warp_key, old, operand, desired);
+        if (is_acquire) {
+            switch (outcome) {
+              case CasOutcome::Success:
+                ++st.outcomes.lockSuccess;
+                break;
+              case CasOutcome::InterWarpFail:
+                ++st.outcomes.interWarpFail;
+                break;
+              case CasOutcome::IntraWarpFail:
+                ++st.outcomes.intraWarpFail;
+                break;
+            }
+        }
+        break;
+      }
+      case AtomOp::Exch:
+        next = operand;
+        launch_.lockTracker.onWrite(addr, operand);
+        break;
+      case AtomOp::Add:
+        next = static_cast<Word>(static_cast<std::uint64_t>(old) +
+                                 static_cast<std::uint64_t>(operand));
+        break;
+      case AtomOp::Min:
+        next = std::min(old, operand);
+        break;
+      case AtomOp::Max:
+        next = std::max(old, operand);
+        break;
+    }
+    mem.write(addr, next, inst.size);
+    if (inst.dst.valid())
+        w.regs().write(lane, inst.dst.index, old);
+}
+
+void
+SmCore::executeMemory(Warp &w, const Instruction &inst, LaneMask exec,
+                      bool sync, Cycle now)
+{
+    if (exec == 0)
+        return;  // fully predicated off: no transaction, no hazard
+
+    MemorySpace &mem = *launch_.mem;
+    std::array<Addr, kWarpSize> addrs{};
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!((exec >> lane) & 1))
+            continue;
+        Word base = readOperand(w, inst.src[0], lane);
+        addrs[lane] = static_cast<Addr>(base + inst.memOffset);
+    }
+
+    if (inst.space == MemSpace::Shared) {
+        Cta &cta = ctas_.at(w.id() / warpsPerCta_);
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (!((exec >> lane) & 1))
+                continue;
+            Addr a = addrs[lane];
+            if (a + inst.size > cta.shared.size())
+                fatal("shared-memory access out of bounds in '",
+                      launch_.prog->name, "' (addr ", a, ")");
+            if (inst.op == Opcode::Ld) {
+                Word v = 0;
+                std::memcpy(&v, cta.shared.data() + a, inst.size);
+                if (inst.size == 4)
+                    v = static_cast<Word>(static_cast<std::int32_t>(v));
+                w.regs().write(lane, inst.dst.index, v);
+            } else {
+                Word v = readOperand(w, inst.src[1], lane);
+                std::memcpy(cta.shared.data() + a, &v, inst.size);
+            }
+        }
+    } else {
+        switch (inst.op) {
+          case Opcode::Ld:
+            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (((exec >> lane) & 1)) {
+                    w.regs().write(lane, inst.dst.index,
+                                   mem.read(addrs[lane], inst.size));
+                }
+            }
+            break;
+          case Opcode::St:
+            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (((exec >> lane) & 1)) {
+                    Word v = readOperand(w, inst.src[1], lane);
+                    mem.write(addrs[lane], v, inst.size);
+                    launch_.lockTracker.onWrite(addrs[lane], v);
+                }
+            }
+            break;
+          case Opcode::Atom: {
+            bool acquire =
+                launch_.prog->sync.lockAcquires.count(w.stack().pc()) != 0;
+            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (((exec >> lane) & 1))
+                    executeAtomicLane(w, inst, lane, addrs[lane], acquire);
+            }
+            break;
+          }
+          default:
+            panic("executeMemory on non-memory opcode");
+        }
+    }
+
+    ldst_.submit(&w, inst, addrs, exec, sync, now);
+    if (inst.dst.valid())
+        w.scoreboard().reserve(inst);
+}
+
+void
+SmCore::issue(Warp &w, Cycle now)
+{
+    const Program &prog = *launch_.prog;
+    const Pc pc = w.stack().pc();
+    const Instruction &inst = prog.at(pc);
+    const LaneMask active = w.stack().activeMask();
+
+    LaneMask exec = active;
+    if (inst.guard >= 0) {
+        LaneMask pm = w.regs().predMask(inst.guard, active);
+        exec = inst.guardNegate ? (active & ~pm) : pm;
+    }
+
+    // --- accounting ----------------------------------------------------
+    KernelStats &st = launch_.stats;
+    ++st.warpInstructions;
+    unsigned lanes = popcount(active);
+    st.threadInstructions += lanes;
+    st.activeLaneSum += lanes;
+    const bool sync_pc = prog.sync.isSyncPc(pc);
+    if (sync_pc)
+        st.syncThreadInstructions += lanes;
+
+    ++st.energy.warpInstructions;
+    st.energy.laneAluOps += popcount(exec);
+    unsigned reg_srcs = 0;
+    for (const Operand &s : inst.src)
+        reg_srcs += s.isReg() ? 1 : 0;
+    st.energy.rfReadLanes += reg_srcs * lanes;
+    if (inst.dst.valid())
+        st.energy.rfWriteLanes += lanes;
+
+    // --- BOWS / CAWA state transitions at issue ---------------------------
+    backoff_.onIssue(w);
+    CawaState &cawa = w.cawa();
+    ++cawa.issued;
+    if (cawa.estRemaining > 0)
+        cawa.estRemaining -= 1.0;
+    w.setLastIssueCycle(now);
+
+    bool sib_executed = false;
+
+    // --- execute -----------------------------------------------------------
+    switch (inst.op) {
+      case Opcode::Bra: {
+        const LaneMask taken = exec;
+        const bool backward = inst.target <= pc;
+        if (backward && taken != 0) {
+            // The warp will re-run the loop body: grow CAWA's remaining-
+            // work estimate (this is the spin-prioritization pathology).
+            cawa.estRemaining += static_cast<double>(pc - inst.target + 1);
+            ddos_->onBackwardBranch(w.id(), pc, now);
+        }
+        if (backward && taken != 0 && isSib(pc)) {
+            sib_executed = true;
+            ++st.sibInstructions;
+            backoff_.onSpinBranch(w);
+        }
+        w.stack().branch(inst, taken);
+        break;
+      }
+      case Opcode::Exit:
+        w.stack().exitLanes(exec);
+        break;
+      case Opcode::Bar: {
+        w.stack().advance();
+        Cta &cta = ctas_.at(w.id() / warpsPerCta_);
+        w.setAtBarrier(true);
+        ++cta.arrivedAtBarrier;
+        checkBarrier(cta);
+        break;
+      }
+      case Opcode::Nop:
+      case Opcode::Membar:
+        // Fences are a timing no-op here: functional memory updates are
+        // already globally visible at issue (documented approximation).
+        w.stack().advance();
+        break;
+      case Opcode::Ld:
+        if (inst.space == MemSpace::Param) {
+            executeAlu(w, inst, exec, now);
+        } else {
+            executeMemory(w, inst, exec, sync_pc, now);
+        }
+        w.stack().advance();
+        break;
+      case Opcode::St:
+      case Opcode::Atom:
+        executeMemory(w, inst, exec, sync_pc, now);
+        w.stack().advance();
+        break;
+      default:
+        executeAlu(w, inst, exec, now);
+        w.stack().advance();
+        break;
+    }
+
+    backoff_.onInstruction(sib_executed);
+
+    if (w.done())
+        onWarpFinished(w);
+}
+
+void
+SmCore::onWarpFinished(Warp &w)
+{
+    ddos_->resetWarp(w.id());
+    for (auto &sched : schedulers_)
+        sched->notifyFinished(&w);
+    resident_.erase(std::remove(resident_.begin(), resident_.end(), &w),
+                    resident_.end());
+    Cta &cta = ctas_.at(w.id() / warpsPerCta_);
+    if (cta.liveWarps == 0)
+        panic("warp finished in an already-empty CTA");
+    --cta.liveWarps;
+    checkBarrier(cta);
+}
+
+void
+SmCore::cycle(Cycle now)
+{
+    tryLaunchCtas();
+
+    // 1. Memory and ALU writebacks due this cycle.
+    memCompletions_.clear();
+    ldst_.cycle(now, memCompletions_);
+    for (const MemCompletion &c : memCompletions_) {
+        if (c.inst->dst.valid())
+            c.warp->scoreboard().release(*c.inst);
+    }
+    while (!writebacks_.empty() && writebacks_.top().when <= now) {
+        WbEvent ev = writebacks_.top();
+        writebacks_.pop();
+        ev.warp->scoreboard().release(*ev.inst);
+    }
+
+    // 2. BOWS pending-delay counters and the adaptive window.
+    backoff_.cycle(resident_);
+    backoff_.tickWindow(now);
+    launch_.stats.delayLimitCycleSum += backoff_.delayLimit();
+    ++launch_.stats.smCycles;
+
+    // 3. Issue: one instruction per scheduler unit per cycle (Fig. 8
+    //    arbitration: base-policy order over non-backed-off warps, then
+    //    the backed-off queue in FIFO order).
+    const unsigned units = static_cast<unsigned>(schedulers_.size());
+    for (unsigned u = 0; u < units; ++u) {
+        unitWarps_.clear();
+        for (Warp *w : resident_) {
+            if (w->id() % units == u)
+                unitWarps_.push_back(w);
+        }
+        if (unitWarps_.empty())
+            continue;
+        schedulers_[u]->order(unitWarps_, now);
+        if (backoff_.deprioritizes()) {
+            auto mid = std::stable_partition(
+                unitWarps_.begin(), unitWarps_.end(),
+                [](const Warp *w) { return !w->bows().backedOff; });
+            std::sort(mid, unitWarps_.end(),
+                      [](const Warp *a, const Warp *b) {
+                          return a->bows().backoffSeq < b->bows().backoffSeq;
+                      });
+        }
+        for (Warp *w : unitWarps_) {
+            if (!eligible(*w))
+                continue;
+            issue(*w, now);
+            schedulers_[u]->notifyIssued(w, now);
+            break;
+        }
+    }
+
+    // 4. Per-cycle warp accounting (CAWA stalls, Fig. 11 occupancy).
+    KernelStats &st = launch_.stats;
+    for (Warp *w : resident_) {
+        ++w->cawa().activeCycles;
+        if (w->lastIssueCycle() != now)
+            ++w->cawa().stallCycles;
+        ++st.residentWarpCycles;
+        if (w->bows().backedOff)
+            ++st.backedOffWarpCycles;
+    }
+
+    retireFinishedCtas();
+}
+
+}  // namespace bowsim

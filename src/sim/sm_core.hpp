@@ -1,0 +1,129 @@
+#ifndef BOWSIM_SIM_SM_CORE_HPP
+#define BOWSIM_SIM_SM_CORE_HPP
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/arch/warp.hpp"
+#include "src/common/config.hpp"
+#include "src/core/bows/backoff.hpp"
+#include "src/core/ddos/ddos_unit.hpp"
+#include "src/isa/program.hpp"
+#include "src/mem/lock_tracker.hpp"
+#include "src/mem/memory_space.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/sim/ldst_unit.hpp"
+#include "src/stats/stats.hpp"
+
+/**
+ * @file
+ * One streaming multiprocessor: resident CTAs/warps, per-unit warp
+ * schedulers with BOWS arbitration (Fig. 8), functional execution at
+ * issue, the LD/ST unit, and the DDOS unit hooked into setp/branch
+ * execution.
+ */
+
+namespace bowsim {
+
+/** State shared by all SMs during one kernel launch. */
+struct LaunchState {
+    const Program *prog = nullptr;
+    Dim3 grid;
+    Dim3 block;
+    std::vector<Word> params;
+    MemorySpace *mem = nullptr;
+    MemorySystem *memsys = nullptr;
+    SpinDetect spinDetect = SpinDetect::Ddos;
+    LockTracker lockTracker;
+    KernelStats stats;
+    /** Next CTA index awaiting an SM. */
+    unsigned nextCta = 0;
+    /** Monotonic warp age counter (GTO's age ordering). */
+    std::uint64_t warpAgeCounter = 0;
+};
+
+class SmCore {
+  public:
+    SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch);
+
+    /** Advances the SM by one cycle. */
+    void cycle(Cycle now);
+
+    /** True while CTAs are resident or still waiting for dispatch. */
+    bool busy() const;
+
+    const DdosUnit &ddos() const { return *ddos_; }
+    const BackoffUnit &backoff() const { return backoff_; }
+    unsigned id() const { return id_; }
+
+  private:
+    struct Cta {
+        unsigned id = 0;
+        std::vector<std::unique_ptr<Warp>> warps;
+        std::vector<std::uint8_t> shared;
+        unsigned liveWarps = 0;
+        unsigned arrivedAtBarrier = 0;
+        bool valid = false;
+    };
+
+    /** ALU-pipeline writeback event. */
+    struct WbEvent {
+        Cycle when;
+        std::uint64_t seq;
+        Warp *warp;
+        const Instruction *inst;
+
+        bool
+        operator>(const WbEvent &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    void tryLaunchCtas();
+    void retireFinishedCtas();
+    void checkBarrier(Cta &cta);
+    bool eligible(Warp &w) const;
+    void issue(Warp &w, Cycle now);
+    bool isSib(Pc pc) const;
+
+    // Functional execution helpers.
+    Word readOperand(Warp &w, const Operand &op, unsigned lane) const;
+    void executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
+                    Cycle now);
+    void executeMemory(Warp &w, const Instruction &inst, LaneMask exec,
+                       bool sync, Cycle now);
+    void executeAtomicLane(Warp &w, const Instruction &inst, unsigned lane,
+                           Addr addr, bool is_acquire);
+    void onWarpFinished(Warp &w);
+
+    unsigned id_;
+    const GpuConfig &cfg_;
+    LaunchState &launch_;
+    LdstUnit ldst_;
+    std::vector<std::unique_ptr<Scheduler>> schedulers_;
+    std::unique_ptr<DdosUnit> ddos_;
+    BackoffUnit backoff_;
+
+    std::vector<Cta> ctas_;
+    /** Resident unfinished warps (refreshed as CTAs come and go). */
+    std::vector<Warp *> resident_;
+    /** Per-warp SM slot for the DDOS history registers. */
+    std::vector<int> warpSlotOf_;
+
+    std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<WbEvent>>
+        writebacks_;
+    std::uint64_t wbSeq_ = 0;
+    std::vector<MemCompletion> memCompletions_;
+    /** Scratch buffer for per-unit arbitration (reused every cycle). */
+    std::vector<Warp *> unitWarps_;
+
+    unsigned maxWarps_;
+    unsigned warpsPerCta_ = 0;
+    unsigned maxResidentCtas_ = 0;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_SIM_SM_CORE_HPP

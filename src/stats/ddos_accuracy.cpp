@@ -1,0 +1,3 @@
+#include "src/stats/ddos_accuracy.hpp"
+
+// Header-only; this translation unit anchors the component in the library.

@@ -1,0 +1,148 @@
+#ifndef BOWSIM_STATS_DDOS_ACCURACY_HPP
+#define BOWSIM_STATS_DDOS_ACCURACY_HPP
+
+#include <map>
+#include <set>
+
+#include "src/common/types.hpp"
+#include "src/isa/instruction.hpp"
+
+/**
+ * @file
+ * DDOS detection-accuracy bookkeeping behind Table I:
+ *
+ *  - TSDR (true spin detection rate): fraction of ground-truth
+ *    spin-inducing branches that DDOS confirmed.
+ *  - FSDR (false spin detection rate): fraction of non-spin backward
+ *    branches DDOS wrongly confirmed.
+ *  - DPR (detection phase ratio): cycles from a branch's first dynamic
+ *    encounter to its confirmation, relative to the span from its first
+ *    to last encounter. Lower = earlier detection.
+ */
+
+namespace bowsim {
+
+class DdosAccuracy {
+  public:
+    /** Records one dynamic execution of a backward branch. */
+    void
+    onBackwardBranch(Pc pc, Cycle now)
+    {
+        auto &r = records_[pc];
+        if (r.firstSeen == 0 && !r.seen) {
+            r.firstSeen = now;
+            r.seen = true;
+        }
+        r.lastSeen = now;
+    }
+
+    /** Records the cycle DDOS confirmed @p pc as a SIB. */
+    void
+    onConfirmed(Pc pc, Cycle now)
+    {
+        auto &r = records_[pc];
+        if (!r.confirmedValid) {
+            r.confirmedAt = now;
+            r.confirmedValid = true;
+        }
+    }
+
+    struct Report {
+        unsigned trueBranches = 0;      ///< ground-truth SIBs encountered
+        unsigned trueDetected = 0;
+        unsigned falseBranches = 0;     ///< other backward branches seen
+        unsigned falseDetected = 0;
+        double dprTrueSum = 0.0;        ///< sum of DPR over true detections
+        double dprFalseSum = 0.0;
+
+        double
+        tsdr() const
+        {
+            return trueBranches == 0
+                       ? 1.0
+                       : static_cast<double>(trueDetected) / trueBranches;
+        }
+        double
+        fsdr() const
+        {
+            return falseBranches == 0
+                       ? 0.0
+                       : static_cast<double>(falseDetected) / falseBranches;
+        }
+        double
+        dprTrue() const
+        {
+            return trueDetected == 0 ? 0.0 : dprTrueSum / trueDetected;
+        }
+        double
+        dprFalse() const
+        {
+            return falseDetected == 0 ? 0.0 : dprFalseSum / falseDetected;
+        }
+    };
+
+    /** Scores the recorded branches against @p ground_truth SIB PCs. */
+    Report
+    report(const std::set<Pc> &ground_truth) const
+    {
+        Report rep;
+        for (const auto &[pc, r] : records_) {
+            bool truth = ground_truth.count(pc) != 0;
+            double span = r.lastSeen > r.firstSeen
+                              ? static_cast<double>(r.lastSeen - r.firstSeen)
+                              : 1.0;
+            double dpr =
+                r.confirmedValid
+                    ? static_cast<double>(r.confirmedAt - r.firstSeen) / span
+                    : 0.0;
+            if (truth) {
+                ++rep.trueBranches;
+                if (r.confirmedValid) {
+                    ++rep.trueDetected;
+                    rep.dprTrueSum += dpr;
+                }
+            } else {
+                ++rep.falseBranches;
+                if (r.confirmedValid) {
+                    ++rep.falseDetected;
+                    rep.dprFalseSum += dpr;
+                }
+            }
+        }
+        return rep;
+    }
+
+    /** Merge another collector (e.g., from a different SM). */
+    void
+    merge(const DdosAccuracy &other)
+    {
+        for (const auto &[pc, r] : other.records_) {
+            auto &mine = records_[pc];
+            if (!mine.seen || (r.seen && r.firstSeen < mine.firstSeen))
+                mine.firstSeen = r.firstSeen;
+            mine.seen = mine.seen || r.seen;
+            if (r.lastSeen > mine.lastSeen)
+                mine.lastSeen = r.lastSeen;
+            if (r.confirmedValid &&
+                (!mine.confirmedValid || r.confirmedAt < mine.confirmedAt)) {
+                mine.confirmedValid = true;
+                mine.confirmedAt = r.confirmedAt;
+            }
+        }
+    }
+
+  private:
+    struct Record {
+        bool seen = false;
+        Cycle firstSeen = 0;
+        Cycle lastSeen = 0;
+        bool confirmedValid = false;
+        Cycle confirmedAt = 0;
+    };
+
+    std::map<Pc, Record> records_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_STATS_DDOS_ACCURACY_HPP

@@ -1,0 +1,51 @@
+#include "src/stats/stats.hpp"
+
+#include <sstream>
+
+namespace bowsim {
+
+KernelStats &
+KernelStats::operator+=(const KernelStats &o)
+{
+    cycles += o.cycles;
+    warpInstructions += o.warpInstructions;
+    threadInstructions += o.threadInstructions;
+    syncThreadInstructions += o.syncThreadInstructions;
+    sibInstructions += o.sibInstructions;
+    activeLaneSum += o.activeLaneSum;
+    l1Accesses += o.l1Accesses;
+    l1Hits += o.l1Hits;
+    l1Misses += o.l1Misses;
+    sharedAccesses += o.sharedAccesses;
+    syncMemTransactions += o.syncMemTransactions;
+    mem.l2Accesses += o.mem.l2Accesses;
+    mem.l2Hits += o.mem.l2Hits;
+    mem.l2Misses += o.mem.l2Misses;
+    mem.dramAccesses += o.mem.dramAccesses;
+    mem.atomics += o.mem.atomics;
+    mem.icntPackets += o.mem.icntPackets;
+    outcomes += o.outcomes;
+    residentWarpCycles += o.residentWarpCycles;
+    backedOffWarpCycles += o.backedOffWarpCycles;
+    delayLimitCycleSum += o.delayLimitCycleSum;
+    smCycles += o.smCycles;
+    energy += o.energy;
+    energyNj += o.energyNj;
+    return *this;
+}
+
+std::string
+summary(const KernelStats &s)
+{
+    std::ostringstream os;
+    os << s.kernel << ": " << s.cycles << " cycles, "
+       << s.warpInstructions << " warp insts (IPC "
+       << (s.cycles ? static_cast<double>(s.warpInstructions) / s.cycles
+                    : 0.0)
+       << "), SIMD eff " << s.simdEfficiency() * 100.0 << "%, sync insts "
+       << s.syncInstructionFraction() * 100.0 << "%, energy "
+       << s.energyNj / 1e6 << " mJ";
+    return os.str();
+}
+
+}  // namespace bowsim

@@ -1,0 +1,153 @@
+#ifndef BOWSIM_STATS_STATS_HPP
+#define BOWSIM_STATS_STATS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.hpp"
+#include "src/energy/energy_model.hpp"
+#include "src/mem/l2_bank.hpp"
+#include "src/stats/ddos_accuracy.hpp"
+
+/**
+ * @file
+ * Per-kernel statistics: everything the paper's figures report.
+ */
+
+namespace bowsim {
+
+/** Lock-acquire / wait-loop outcome counters (Figures 2 and 12). */
+struct SyncOutcomes {
+    std::uint64_t lockSuccess = 0;
+    std::uint64_t interWarpFail = 0;
+    std::uint64_t intraWarpFail = 0;
+    std::uint64_t waitExitSuccess = 0;
+    std::uint64_t waitExitFail = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return lockSuccess + interWarpFail + intraWarpFail +
+               waitExitSuccess + waitExitFail;
+    }
+
+    SyncOutcomes &
+    operator+=(const SyncOutcomes &o)
+    {
+        lockSuccess += o.lockSuccess;
+        interWarpFail += o.interWarpFail;
+        intraWarpFail += o.intraWarpFail;
+        waitExitSuccess += o.waitExitSuccess;
+        waitExitFail += o.waitExitFail;
+        return *this;
+    }
+};
+
+/** Everything measured over one kernel launch. */
+struct KernelStats {
+    std::string kernel;
+    Cycle cycles = 0;
+
+    // --- instruction counts -------------------------------------------
+    std::uint64_t warpInstructions = 0;
+    std::uint64_t threadInstructions = 0;
+    /** Thread instructions inside annotated synchronization regions. */
+    std::uint64_t syncThreadInstructions = 0;
+    /** Dynamic executions of (ground-truth or predicted) SIBs. */
+    std::uint64_t sibInstructions = 0;
+
+    // --- SIMD utilization ----------------------------------------------
+    std::uint64_t activeLaneSum = 0;
+
+    // --- memory ----------------------------------------------------------
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t sharedAccesses = 0;
+    /** L1D transactions issued from annotated sync-region instructions. */
+    std::uint64_t syncMemTransactions = 0;
+    MemSystemStats mem;
+
+    // --- synchronization ---------------------------------------------
+    SyncOutcomes outcomes;
+
+    // --- scheduler/BOWS occupancy (Fig. 11) ------------------------------
+    /** Sum over cycles of resident unfinished warps. */
+    std::uint64_t residentWarpCycles = 0;
+    /** Sum over cycles of warps in the backed-off state. */
+    std::uint64_t backedOffWarpCycles = 0;
+    /** Sum over SM-cycles of the (adaptive) back-off delay limit. */
+    std::uint64_t delayLimitCycleSum = 0;
+    /** SM-cycles accumulated into delayLimitCycleSum. */
+    std::uint64_t smCycles = 0;
+
+    /** Mean back-off delay limit over the run (Fig. 5 trajectory). */
+    double
+    avgDelayLimit() const
+    {
+        return smCycles == 0
+                   ? 0.0
+                   : static_cast<double>(delayLimitCycleSum) / smCycles;
+    }
+
+    // --- energy -----------------------------------------------------------
+    EnergyEvents energy;
+    double energyNj = 0.0;
+
+    // --- DDOS accuracy (Table I) --------------------------------------
+    DdosAccuracy::Report ddos;
+
+    // --- derived -----------------------------------------------------------
+    double
+    simdEfficiency() const
+    {
+        return warpInstructions == 0
+                   ? 0.0
+                   : static_cast<double>(activeLaneSum) /
+                         (static_cast<double>(warpInstructions) * kWarpSize);
+    }
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+                   ? 0.0
+                   : static_cast<double>(warpInstructions) / cycles;
+    }
+
+    /** Fraction of thread instructions that are synchronization overhead. */
+    double
+    syncInstructionFraction() const
+    {
+        return threadInstructions == 0
+                   ? 0.0
+                   : static_cast<double>(syncThreadInstructions) /
+                         threadInstructions;
+    }
+
+    double
+    backedOffFraction() const
+    {
+        return residentWarpCycles == 0
+                   ? 0.0
+                   : static_cast<double>(backedOffWarpCycles) /
+                         residentWarpCycles;
+    }
+
+    /** Simulated wall time at @p clock_mhz. */
+    double
+    milliseconds(double clock_mhz) const
+    {
+        return static_cast<double>(cycles) / (clock_mhz * 1e3);
+    }
+
+    /** Accumulates another launch (e.g., NW's second kernel). */
+    KernelStats &operator+=(const KernelStats &o);
+};
+
+/** One-line human-readable summary, for examples and debugging. */
+std::string summary(const KernelStats &s);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_STATS_STATS_HPP

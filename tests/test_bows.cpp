@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/bows/adaptive_delay.hpp"
+#include "src/core/bows/backoff.hpp"
+
+namespace bowsim {
+namespace {
+
+BowsConfig
+fixedCfg(Cycle limit)
+{
+    BowsConfig cfg;
+    cfg.enabled = true;
+    cfg.adaptive = false;
+    cfg.delayLimit = limit;
+    return cfg;
+}
+
+std::unique_ptr<Warp>
+makeWarp(unsigned id)
+{
+    return std::make_unique<Warp>(id, 0, id, id, 8, 2, kFullMask);
+}
+
+// ---------------------------------------------------------- BackoffUnit
+
+TEST(Backoff, SpinBranchEntersBackedOffState)
+{
+    BackoffUnit b(fixedCfg(100));
+    auto w = makeWarp(0);
+    EXPECT_TRUE(b.mayIssue(*w));
+    b.onSpinBranch(*w);
+    EXPECT_TRUE(w->bows().backedOff);
+    // Fresh back-off: pending delay still zero, so it may issue when its
+    // turn comes (at the back of the queue).
+    EXPECT_TRUE(b.mayIssue(*w));
+}
+
+TEST(Backoff, IssueLeavesBackedOffAndArmsDelay)
+{
+    BackoffUnit b(fixedCfg(100));
+    auto w = makeWarp(0);
+    b.onSpinBranch(*w);
+    b.onIssue(*w);
+    EXPECT_FALSE(w->bows().backedOff);
+    EXPECT_EQ(w->bows().pendingDelay, 100u);
+}
+
+TEST(Backoff, PendingDelayBlocksNextSpinIteration)
+{
+    BackoffUnit b(fixedCfg(3));
+    auto w = makeWarp(0);
+    b.onSpinBranch(*w);
+    b.onIssue(*w);  // leaves backed-off, arms delay = 3
+    b.onSpinBranch(*w);  // hits the SIB again before the delay expired
+    EXPECT_FALSE(b.mayIssue(*w));
+    std::vector<Warp *> resident{w.get()};
+    b.cycle(resident);
+    b.cycle(resident);
+    EXPECT_FALSE(b.mayIssue(*w));
+    b.cycle(resident);  // delay reaches zero
+    EXPECT_TRUE(b.mayIssue(*w));
+}
+
+TEST(Backoff, FifoTicketsOrderBackedOffWarps)
+{
+    BackoffUnit b(fixedCfg(0));
+    auto w0 = makeWarp(0);
+    auto w1 = makeWarp(1);
+    b.onSpinBranch(*w1);
+    b.onSpinBranch(*w0);
+    EXPECT_LT(w1->bows().backoffSeq, w0->bows().backoffSeq);
+    // Re-backing-off an already backed-off warp keeps its ticket.
+    std::uint64_t ticket = w1->bows().backoffSeq;
+    b.onSpinBranch(*w1);
+    EXPECT_EQ(w1->bows().backoffSeq, ticket);
+}
+
+TEST(Backoff, DisabledUnitIsTransparent)
+{
+    BowsConfig cfg;
+    cfg.enabled = false;
+    BackoffUnit b(cfg);
+    auto w = makeWarp(0);
+    b.onSpinBranch(*w);
+    EXPECT_FALSE(w->bows().backedOff);
+    EXPECT_TRUE(b.mayIssue(*w));
+}
+
+TEST(Backoff, ZeroLimitDeprioritizesWithoutThrottling)
+{
+    BackoffUnit b(fixedCfg(0));
+    auto w = makeWarp(0);
+    b.onSpinBranch(*w);
+    b.onIssue(*w);
+    EXPECT_EQ(w->bows().pendingDelay, 0u);
+    b.onSpinBranch(*w);
+    EXPECT_TRUE(b.mayIssue(*w));  // queued last, but never delay-blocked
+}
+
+// -------------------------------------------------- AdaptiveDelayEstimator
+
+BowsConfig
+adaptiveCfg()
+{
+    BowsConfig cfg;
+    cfg.enabled = true;
+    cfg.adaptive = true;
+    cfg.window = 1000;
+    cfg.delayStep = 250;
+    cfg.minLimit = 0;
+    cfg.maxLimit = 10000;
+    cfg.frac1 = 0.1;
+    cfg.frac2 = 0.8;
+    return cfg;
+}
+
+TEST(AdaptiveDelay, GrowsUnderHeavySpinning)
+{
+    AdaptiveDelayEstimator e(adaptiveCfg());
+    for (int w = 0; w < 4; ++w) {
+        for (int i = 0; i < 100; ++i)
+            e.onInstruction(i % 5 == 0);  // 20% SIBs
+        e.applyWindow();
+    }
+    EXPECT_EQ(e.limit(), 4u * 250u);
+}
+
+TEST(AdaptiveDelay, StaysAtZeroWithoutSpinning)
+{
+    AdaptiveDelayEstimator e(adaptiveCfg());
+    for (int w = 0; w < 4; ++w) {
+        for (int i = 0; i < 100; ++i)
+            e.onInstruction(false);
+        e.applyWindow();
+    }
+    EXPECT_EQ(e.limit(), 0u);
+}
+
+TEST(AdaptiveDelay, BacksOffByDoubleStepWhenUsefulRatioDrops)
+{
+    AdaptiveDelayEstimator e(adaptiveCfg());
+    // Window 1: 20% SIBs (ratio total/SIB = 5) -> +step.
+    for (int i = 0; i < 100; ++i)
+        e.onInstruction(i % 5 == 0);
+    e.applyWindow();
+    ASSERT_EQ(e.limit(), 250u);
+    // Window 2: ratio collapses to 2 (< 0.8 * 5): +step - 2*step.
+    for (int i = 0; i < 100; ++i)
+        e.onInstruction(i % 2 == 0);
+    e.applyWindow();
+    EXPECT_EQ(e.limit(), 0u);  // 250 + 250 - 500
+}
+
+TEST(AdaptiveDelay, ClampsToMaxLimit)
+{
+    BowsConfig cfg = adaptiveCfg();
+    cfg.maxLimit = 600;
+    AdaptiveDelayEstimator e(cfg);
+    for (int w = 0; w < 10; ++w) {
+        for (int i = 0; i < 100; ++i)
+            e.onInstruction(i % 5 == 0);
+        e.applyWindow();
+    }
+    EXPECT_EQ(e.limit(), 600u);
+}
+
+TEST(AdaptiveDelay, ClampsToMinLimit)
+{
+    BowsConfig cfg = adaptiveCfg();
+    cfg.minLimit = 500;
+    AdaptiveDelayEstimator e(cfg);
+    EXPECT_EQ(e.limit(), 500u);
+    // Degrading ratios cannot push the limit below the floor.
+    for (int i = 0; i < 100; ++i)
+        e.onInstruction(i % 5 == 0);
+    e.applyWindow();
+    for (int i = 0; i < 100; ++i)
+        e.onInstruction(i % 2 == 0);
+    e.applyWindow();
+    EXPECT_GE(e.limit(), 500u);
+}
+
+TEST(AdaptiveDelay, TickHonoursWindowBoundaries)
+{
+    AdaptiveDelayEstimator e(adaptiveCfg());
+    for (int i = 0; i < 100; ++i)
+        e.onInstruction(true);
+    e.tick(10);   // first tick sets the window end
+    e.tick(500);  // still inside the window: no update
+    EXPECT_EQ(e.limit(), 250u);  // first tick applied one window
+    for (int i = 0; i < 100; ++i)
+        e.onInstruction(true);
+    e.tick(1200);  // past the boundary: apply
+    EXPECT_EQ(e.limit(), 500u);
+}
+
+TEST(Backoff, AdaptiveLimitFlowsIntoIssuedWarps)
+{
+    BowsConfig cfg = adaptiveCfg();
+    BackoffUnit b(cfg);
+    auto w = makeWarp(0);
+    // Build up spinning pressure over one window.
+    for (int i = 0; i < 100; ++i)
+        b.onInstruction(i % 3 == 0);
+    b.tickWindow(10);
+    b.tickWindow(2000);
+    EXPECT_GT(b.delayLimit(), 0u);
+    b.onSpinBranch(*w);
+    b.onIssue(*w);
+    EXPECT_EQ(w->bows().pendingDelay, b.delayLimit());
+}
+
+}  // namespace
+}  // namespace bowsim

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hpp"
+#include "src/isa/cfg.hpp"
+
+namespace bowsim {
+namespace {
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Program p = assemble(R"(
+.kernel straight
+  mov %r1, 1;
+  add %r1, %r1, 2;
+  exit;
+)");
+    Cfg cfg = buildCfg(p);
+    EXPECT_EQ(cfg.blocks.size(), 1u);
+    EXPECT_EQ(cfg.blocks[0].first, 0u);
+    EXPECT_EQ(cfg.blocks[0].last, 2u);
+    EXPECT_EQ(cfg.blocks[0].succs,
+              std::vector<int>{cfg.exitNode});
+}
+
+TEST(Cfg, IfElseReconvergesAtJoin)
+{
+    // pc: 0 setp, 1 bra ELSE, 2 mov, 3 bra.uni JOIN, 4 ELSE:mov, 5 JOIN:..
+    Program p = assemble(R"(
+.kernel ifelse
+  setp.eq.s64 %p1, %r1, 0;
+  @%p1 bra ELSE;
+  mov %r2, 1;
+  bra.uni JOIN;
+ELSE:
+  mov %r2, 2;
+JOIN:
+  add %r2, %r2, 1;
+  exit;
+)");
+    EXPECT_EQ(p.code[1].reconvergence, 5u);
+}
+
+TEST(Cfg, IfWithoutElseReconvergesAfterThen)
+{
+    Program p = assemble(R"(
+.kernel ifonly
+  setp.eq.s64 %p1, %r1, 0;
+  @%p1 bra SKIP;
+  mov %r2, 1;
+SKIP:
+  add %r2, %r2, 1;
+  exit;
+)");
+    EXPECT_EQ(p.code[1].reconvergence, 3u);
+}
+
+TEST(Cfg, LoopBackEdgeReconvergesAfterLoop)
+{
+    Program p = assemble(R"(
+.kernel loop
+LOOP:
+  add %r1, %r1, 1;
+  setp.lt.s64 %p1, %r1, 10;
+  @%p1 bra LOOP;
+  mov %r2, 0;
+  exit;
+)");
+    EXPECT_EQ(p.code[2].reconvergence, 3u);
+}
+
+TEST(Cfg, NestedIfReconvergences)
+{
+    Program p = assemble(R"(
+.kernel nested
+  setp.eq.s64 %p1, %r1, 0;
+  @%p1 bra OUTER_SKIP;
+  setp.eq.s64 %p2, %r2, 0;
+  @%p2 bra INNER_SKIP;
+  mov %r3, 1;
+INNER_SKIP:
+  mov %r4, 2;
+OUTER_SKIP:
+  mov %r5, 3;
+  exit;
+)");
+    EXPECT_EQ(p.code[1].reconvergence, 6u);  // OUTER_SKIP
+    EXPECT_EQ(p.code[3].reconvergence, 5u);  // INNER_SKIP
+}
+
+TEST(Cfg, GuardedExitReconvergenceIsExitNode)
+{
+    Program p = assemble(R"(
+.kernel gexit
+  setp.eq.s64 %p1, %r1, 0;
+  @%p1 exit;
+  mov %r2, 1;
+  exit;
+)");
+    // Paths only merge at the (virtual) exit.
+    EXPECT_EQ(p.code[1].reconvergence, kInvalidPc);
+}
+
+TEST(Cfg, DivergentBranchToExitOnlyPathsHasInvalidRpc)
+{
+    Program p = assemble(R"(
+.kernel noreconv
+  setp.eq.s64 %p1, %r1, 0;
+  @%p1 bra A;
+  mov %r2, 1;
+  exit;
+A:
+  mov %r2, 2;
+  exit;
+)");
+    EXPECT_EQ(p.code[1].reconvergence, kInvalidPc);
+}
+
+TEST(Cfg, UniformBranchGetsNoReconvergence)
+{
+    Program p = assemble(R"(
+.kernel uni
+  bra.uni SKIP;
+SKIP:
+  exit;
+)");
+    EXPECT_EQ(p.code[0].reconvergence, kInvalidPc);
+}
+
+TEST(Cfg, BlockOfMapsEveryPc)
+{
+    Program p = assemble(R"(
+.kernel blocks
+  mov %r1, 0;
+LOOP:
+  add %r1, %r1, 1;
+  setp.lt.s64 %p1, %r1, 4;
+  @%p1 bra LOOP;
+  exit;
+)");
+    Cfg cfg = buildCfg(p);
+    for (Pc pc = 0; pc < p.length(); ++pc) {
+        int b = cfg.blockOf[pc];
+        ASSERT_GE(b, 0);
+        EXPECT_GE(pc, cfg.blocks[b].first);
+        EXPECT_LE(pc, cfg.blocks[b].last);
+    }
+}
+
+TEST(Cfg, PredsMatchSuccs)
+{
+    Program p = assemble(R"(
+.kernel edges
+  setp.eq.s64 %p1, %r1, 0;
+  @%p1 bra B;
+  mov %r2, 1;
+B:
+  exit;
+)");
+    Cfg cfg = buildCfg(p);
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        for (int s : cfg.blocks[b].succs) {
+            if (s == cfg.exitNode)
+                continue;
+            const auto &preds = cfg.blocks[s].preds;
+            EXPECT_NE(std::find(preds.begin(), preds.end(),
+                                static_cast<int>(b)),
+                      preds.end());
+        }
+    }
+}
+
+TEST(Cfg, WhileLoopWithInteriorIf)
+{
+    // The HT spin-loop shape: loop { if (acquired) {crit} ; backedge }.
+    Program p = assemble(R"(
+.kernel spinshape
+LOOP:
+  atom.global.cas.b64 %r1, [%r2], 0, 1;
+  setp.ne.s64 %p1, %r1, 0;
+  @%p1 bra SKIP;
+  mov %r3, 1;
+SKIP:
+  setp.eq.s64 %p2, %r3, 0;
+  @%p2 bra LOOP;
+  exit;
+)");
+    EXPECT_EQ(p.code[2].reconvergence, 4u);  // SKIP
+    EXPECT_EQ(p.code[5].reconvergence, 6u);  // loop exit
+}
+
+}  // namespace
+}  // namespace bowsim

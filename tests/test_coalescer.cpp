@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/mem/coalescer.hpp"
+
+namespace bowsim {
+namespace {
+
+std::array<Addr, kWarpSize>
+laneAddrs(std::function<Addr(unsigned)> f)
+{
+    std::array<Addr, kWarpSize> a{};
+    for (unsigned i = 0; i < kWarpSize; ++i)
+        a[i] = f(i);
+    return a;
+}
+
+TEST(Coalescer, UnitStride64BitAccessesNeedTwoLines)
+{
+    // 32 lanes x 8 bytes = 256 B = two 128 B lines.
+    auto addrs = laneAddrs([](unsigned l) { return 0x1000 + 8 * l; });
+    auto lines = coalesce(addrs, kFullMask);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0x1000u);
+    EXPECT_EQ(lines[1], 0x1080u);
+}
+
+TEST(Coalescer, SameAddressCollapsesToOneLine)
+{
+    auto addrs = laneAddrs([](unsigned) { return Addr{0x2008}; });
+    auto lines = coalesce(addrs, kFullMask);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x2000u);
+}
+
+TEST(Coalescer, StridedAccessesScatterToManyLines)
+{
+    auto addrs =
+        laneAddrs([](unsigned l) { return Addr{l} * 1024; });
+    auto lines = coalesce(addrs, kFullMask);
+    EXPECT_EQ(lines.size(), kWarpSize);
+}
+
+TEST(Coalescer, MaskSelectsParticipatingLanes)
+{
+    auto addrs =
+        laneAddrs([](unsigned l) { return Addr{l} * 1024; });
+    auto lines = coalesce(addrs, 0x5);  // lanes 0 and 2
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0u);
+    EXPECT_EQ(lines[1], 2048u);
+}
+
+TEST(Coalescer, EmptyMaskProducesNoTransactions)
+{
+    auto addrs = laneAddrs([](unsigned l) { return Addr{l}; });
+    EXPECT_TRUE(coalesce(addrs, 0).empty());
+}
+
+TEST(Coalescer, MisalignedRunStraddlesALineBoundary)
+{
+    // 8-byte accesses starting 8 bytes before a boundary.
+    auto addrs =
+        laneAddrs([](unsigned l) { return 0x1078 + 8 * Addr{l}; });
+    auto lines = coalesce(addrs, 0x3);  // lanes 0,1 straddle
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0x1000u);
+    EXPECT_EQ(lines[1], 0x1080u);
+}
+
+TEST(Coalescer, OrderIsFirstTouch)
+{
+    std::array<Addr, kWarpSize> addrs{};
+    addrs[0] = 0x3080;
+    addrs[1] = 0x3000;
+    addrs[2] = 0x3080;
+    auto lines = coalesce(addrs, 0x7);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0x3080u);
+    EXPECT_EQ(lines[1], 0x3000u);
+}
+
+}  // namespace
+}  // namespace bowsim

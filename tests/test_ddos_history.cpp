@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "src/common/log.hpp"
+#include "src/core/ddos/hashing.hpp"
+#include "src/core/ddos/history.hpp"
+
+namespace bowsim {
+namespace {
+
+DdosConfig
+cfgWithLength(unsigned l)
+{
+    DdosConfig cfg;
+    cfg.historyLength = l;
+    return cfg;
+}
+
+// ------------------------------------------------------------- hashing --
+
+TEST(Hashing, ModuloKeepsLowBits)
+{
+    EXPECT_EQ(hashHistory(HashKind::Modulo, 8, 0x12345), 0x45u);
+    EXPECT_EQ(hashHistory(HashKind::Modulo, 4, 0x12345), 0x5u);
+}
+
+TEST(Hashing, XorFoldsAllBits)
+{
+    // 0x12345 in 8-bit chunks: 0x45 ^ 0x23 ^ 0x01 = 0x67.
+    EXPECT_EQ(hashHistory(HashKind::Xor, 8, 0x12345), 0x67u);
+}
+
+TEST(Hashing, XorSeesHighBitChanges)
+{
+    // Values differing only above bit 8: MODULO collides, XOR does not.
+    std::uint64_t a = 0x100;
+    std::uint64_t b = 0x200;
+    EXPECT_EQ(hashHistory(HashKind::Modulo, 8, a),
+              hashHistory(HashKind::Modulo, 8, b));
+    EXPECT_NE(hashHistory(HashKind::Xor, 8, a),
+              hashHistory(HashKind::Xor, 8, b));
+}
+
+TEST(Hashing, ZeroHashesToZero)
+{
+    EXPECT_EQ(hashHistory(HashKind::Xor, 8, 0), 0u);
+    EXPECT_EQ(hashHistory(HashKind::Modulo, 8, 0), 0u);
+}
+
+TEST(Hashing, RejectsBadWidth)
+{
+    EXPECT_THROW(hashHistory(HashKind::Xor, 0, 1), FatalError);
+    EXPECT_THROW(hashHistory(HashKind::Xor, 33, 1), FatalError);
+}
+
+// -------------------------------------------------- history FSM (paper) --
+
+TEST(History, PaperWorkedExampleSpinLoop)
+{
+    // Fig. 7b: two setps per spin iteration with constant values.
+    HistoryRegisters h(cfgWithLength(8));
+    // 1a/1b: first setp (PC hash 0x7, values {1, 0}).
+    h.insert(0x7, 0x1, 0x0);
+    EXPECT_EQ(h.matchPointer(), 0u);
+    EXPECT_FALSE(h.spinning());
+    // 2a/2b: second setp (PC hash 0x2, values {0, 0}); mismatch.
+    h.insert(0x2, 0x0, 0x0);
+    EXPECT_EQ(h.matchPointer(), 1u);
+    // 3: first setp again -> match at distance 1 (period 2).
+    h.insert(0x7, 0x1, 0x0);
+    EXPECT_EQ(h.matchPointer(), 2u);
+    EXPECT_EQ(h.remainingMatches(), 1u);
+    EXPECT_FALSE(h.spinning());
+    // 4: second setp again -> confirmed spinning.
+    h.insert(0x2, 0x0, 0x0);
+    EXPECT_TRUE(h.spinning());
+    // 5: lock acquired -> value changes -> spinning state lost.
+    h.insert(0x7, 0x0, 0x0);
+    EXPECT_FALSE(h.spinning());
+    EXPECT_EQ(h.matchPointer(), 0u);
+}
+
+TEST(History, PaperWorkedExampleNormalLoop)
+{
+    // Fig. 7d: one setp per iteration whose first operand (the induction
+    // variable) changes -> never spinning.
+    HistoryRegisters h(cfgWithLength(8));
+    for (std::uint32_t i = 0; i < 20; ++i) {
+        h.insert(0x2, i & 0xff, 0xe);
+        EXPECT_FALSE(h.spinning()) << "iteration " << i;
+    }
+}
+
+TEST(History, PeriodOneLoopDetected)
+{
+    // Tight `while(CAS) ;` style loop: a single setp repeating.
+    HistoryRegisters h(cfgWithLength(8));
+    h.insert(0x3, 0x1, 0x0);
+    EXPECT_FALSE(h.spinning());
+    h.insert(0x3, 0x1, 0x0);
+    // Period 1: remaining = 0 at the first match.
+    EXPECT_TRUE(h.spinning());
+}
+
+TEST(History, LongerPeriodNeedsFullConfirmation)
+{
+    // Period-3 loop: detection at distance 2, then 2 more matches.
+    HistoryRegisters h(cfgWithLength(8));
+    auto iteration = [&h]() {
+        h.insert(0xa, 0x1, 0x0);
+        h.insert(0xb, 0x2, 0x0);
+        h.insert(0xc, 0x3, 0x0);
+    };
+    iteration();
+    EXPECT_FALSE(h.spinning());
+    // Second iteration: the match at distance 2 plus (period-1) further
+    // matches completes confirmation exactly at the iteration boundary.
+    h.insert(0xa, 0x1, 0x0);
+    EXPECT_FALSE(h.spinning());
+    h.insert(0xb, 0x2, 0x0);
+    EXPECT_FALSE(h.spinning());
+    h.insert(0xc, 0x3, 0x0);
+    EXPECT_TRUE(h.spinning());
+}
+
+TEST(History, ValueChangeBreaksPathOnlyRepetition)
+{
+    // The path repeats but one source value advances (normal loop).
+    HistoryRegisters h(cfgWithLength(8));
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        h.insert(0x5, i, 0x7);
+        EXPECT_FALSE(h.spinning());
+    }
+}
+
+TEST(History, SpinningSurvivesContinuedRepetition)
+{
+    HistoryRegisters h(cfgWithLength(8));
+    for (int i = 0; i < 50; ++i)
+        h.insert(0x3, 0x1, 0x0);
+    EXPECT_TRUE(h.spinning());
+}
+
+TEST(History, ResetClearsState)
+{
+    HistoryRegisters h(cfgWithLength(8));
+    h.insert(0x3, 0x1, 0x0);
+    h.insert(0x3, 0x1, 0x0);
+    EXPECT_TRUE(h.spinning());
+    h.reset();
+    EXPECT_FALSE(h.spinning());
+    EXPECT_EQ(h.matchPointer(), 0u);
+    h.insert(0x3, 0x1, 0x0);
+    EXPECT_FALSE(h.spinning());  // must re-confirm from scratch
+}
+
+TEST(History, PeriodLongerThanHistoryNotDetected)
+{
+    // A "loop" of period 10 with history length 8: the match pointer
+    // wraps before ever reaching the repetition distance.
+    HistoryRegisters h(cfgWithLength(8));
+    for (int rep = 0; rep < 10; ++rep) {
+        for (std::uint32_t k = 0; k < 10; ++k)
+            h.insert(0x10 + k, 0x1, 0x0);
+    }
+    EXPECT_FALSE(h.spinning());
+}
+
+/** Property over period: loops up to the history length are detected. */
+class HistoryPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HistoryPeriod, DetectsLoopOfThisPeriod)
+{
+    const unsigned period = GetParam();
+    HistoryRegisters h(cfgWithLength(8));
+    bool detected = false;
+    for (int rep = 0; rep < 12 && !detected; ++rep) {
+        for (unsigned k = 0; k < period; ++k)
+            h.insert(0x20 + k, 0x1, 0x0);
+        detected = h.spinning();
+    }
+    EXPECT_TRUE(detected) << "period " << period;
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToHistoryLength, HistoryPeriod,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+}  // namespace
+}  // namespace bowsim

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "src/energy/energy_model.hpp"
+
+namespace bowsim {
+namespace {
+
+TEST(Energy, ZeroEventsZeroEnergy)
+{
+    EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.dynamicEnergyNj(EnergyEvents{}), 0.0);
+}
+
+TEST(Energy, SingleEventCostsMatchTable)
+{
+    EnergyModel m;
+    const EnergyCosts &c = m.costs();
+    EnergyEvents ev;
+    ev.warpInstructions = 1;
+    EXPECT_DOUBLE_EQ(m.dynamicEnergyNj(ev), c.issuePj / 1000.0);
+    ev = EnergyEvents{};
+    ev.dramAccesses = 2;
+    EXPECT_DOUBLE_EQ(m.dynamicEnergyNj(ev), 2 * c.dramPj / 1000.0);
+}
+
+TEST(Energy, EnergyIsLinearInEvents)
+{
+    EnergyModel m;
+    EnergyEvents ev;
+    ev.warpInstructions = 10;
+    ev.laneAluOps = 320;
+    ev.l1Accesses = 5;
+    double one = m.dynamicEnergyNj(ev);
+    EnergyEvents doubled = ev;
+    doubled += ev;
+    EXPECT_DOUBLE_EQ(m.dynamicEnergyNj(doubled), 2 * one);
+}
+
+TEST(Energy, AccumulationSumsFieldwise)
+{
+    EnergyEvents a;
+    a.l1Accesses = 3;
+    a.atomicOps = 1;
+    EnergyEvents b;
+    b.l1Accesses = 4;
+    b.icntPackets = 7;
+    a += b;
+    EXPECT_EQ(a.l1Accesses, 7u);
+    EXPECT_EQ(a.atomicOps, 1u);
+    EXPECT_EQ(a.icntPackets, 7u);
+}
+
+TEST(Energy, MemoryEventsDominateComputeEvents)
+{
+    // Sanity on the cost table: a DRAM access costs more than an L2
+    // access, which costs more than an L1 access, which costs more than
+    // a lane ALU op — the ordering every energy model must respect.
+    EnergyCosts c;
+    EXPECT_GT(c.dramPj, c.l2Pj);
+    EXPECT_GT(c.l2Pj, c.l1Pj);
+    EXPECT_GT(c.l1Pj, c.aluLanePj);
+    EXPECT_GT(c.atomicPj, c.l2Pj);
+}
+
+TEST(Energy, CustomCostsAreRespected)
+{
+    EnergyCosts costs;
+    costs.issuePj = 1000.0;
+    EnergyModel m(costs);
+    EnergyEvents ev;
+    ev.warpInstructions = 3;
+    EXPECT_DOUBLE_EQ(m.dynamicEnergyNj(ev), 3.0);
+}
+
+}  // namespace
+}  // namespace bowsim

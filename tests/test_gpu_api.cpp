@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "src/common/log.hpp"
+#include "src/isa/assembler.hpp"
+#include "src/sim/gpu.hpp"
+
+namespace bowsim {
+namespace {
+
+GpuConfig
+smallConfig()
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 2;
+    return cfg;
+}
+
+Program
+trivialKernel()
+{
+    return assemble(R"(
+.kernel trivial
+.param 1
+  ld.param.u64 %r1, [0];
+  st.global.u64 [%r1], 1;
+  exit;
+)");
+}
+
+TEST(GpuApi, MemcpyRoundTrip)
+{
+    Gpu gpu(smallConfig());
+    Addr a = gpu.malloc(256);
+    std::vector<std::uint8_t> in(256);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i);
+    gpu.memcpyToDevice(a, in.data(), in.size());
+    std::vector<std::uint8_t> out(256);
+    gpu.memcpyFromDevice(out.data(), a, out.size());
+    EXPECT_EQ(in, out);
+}
+
+TEST(GpuApi, LaunchRejectsMissingParams)
+{
+    Gpu gpu(smallConfig());
+    Program p = trivialKernel();
+    EXPECT_THROW(gpu.launch(p, Dim3{1, 1, 1}, Dim3{32, 1, 1}, {}),
+                 FatalError);
+}
+
+TEST(GpuApi, LaunchRejectsEmptyGeometry)
+{
+    Gpu gpu(smallConfig());
+    Program p = trivialKernel();
+    Addr a = gpu.malloc(8);
+    EXPECT_THROW(gpu.launch(p, Dim3{0, 1, 1}, Dim3{32, 1, 1},
+                            {static_cast<Word>(a)}),
+                 FatalError);
+    EXPECT_THROW(gpu.launch(p, Dim3{1, 1, 1}, Dim3{0, 1, 1},
+                            {static_cast<Word>(a)}),
+                 FatalError);
+}
+
+TEST(GpuApi, LaunchRejectsBlockExceedingSmLimits)
+{
+    Gpu gpu(smallConfig());
+    Program p = trivialKernel();
+    Addr a = gpu.malloc(8);
+    // 1536 threads/SM max on Fermi: a 2048-thread CTA cannot fit.
+    EXPECT_THROW(gpu.launch(p, Dim3{1, 1, 1}, Dim3{2048, 1, 1},
+                            {static_cast<Word>(a)}),
+                 FatalError);
+}
+
+TEST(GpuApi, LaunchRejectsSharedMemoryOverflow)
+{
+    Gpu gpu(smallConfig());
+    Program p = trivialKernel();
+    p.sharedBytes = 1024 * 1024;  // exceeds the 48 KiB per-SM budget
+    Addr a = gpu.malloc(8);
+    EXPECT_THROW(gpu.launch(p, Dim3{1, 1, 1}, Dim3{32, 1, 1},
+                            {static_cast<Word>(a)}),
+                 FatalError);
+}
+
+TEST(GpuApi, MemoryPersistsAcrossLaunches)
+{
+    Gpu gpu(smallConfig());
+    Addr a = gpu.malloc(8);
+    Program inc = assemble(R"(
+.kernel inc
+.param 1
+  ld.param.u64 %r1, [0];
+  atom.global.add.b64 %r2, [%r1], 1;
+  exit;
+)");
+    for (int i = 0; i < 3; ++i)
+        gpu.launch(inc, Dim3{1, 1, 1}, Dim3{1, 1, 1},
+                   {static_cast<Word>(a)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, a, 8);
+    EXPECT_EQ(v, 3);
+}
+
+TEST(GpuApi, WatchdogCatchesSimtInducedDeadlock)
+{
+    // The canonical SIMT-induced deadlock (Section IV of the paper):
+    //   while (atomicCAS(mutex, 0, 1) != 0) ;
+    //   ...critical section...
+    //   atomicExch(mutex, 0);
+    // With two lanes contending for the same lock, the winner parks at
+    // the reconvergence point while the loser spins forever waiting for
+    // a release that can never execute.
+    GpuConfig cfg = smallConfig();
+    cfg.watchdogCycles = 100000;
+    Gpu gpu(cfg);
+    Addr mutex = gpu.malloc(8);
+    Program deadlock = assemble(R"(
+.kernel simt_deadlock
+.param 1
+  ld.param.u64 %r1, [0];
+TRY:
+  atom.global.cas.b64 %r2, [%r1], 0, 1;
+  setp.ne.s64 %p1, %r2, 0;
+  @%p1 bra TRY;
+  atom.global.exch.b64 %r3, [%r1], 0;
+  exit;
+)");
+    EXPECT_THROW(gpu.launch(deadlock, Dim3{1, 1, 1}, Dim3{32, 1, 1},
+                            {static_cast<Word>(mutex)}),
+                 FatalError);
+}
+
+TEST(GpuApi, SingleLaneTightSpinIsFine)
+{
+    // The same while(CAS) loop is safe when only one thread runs it.
+    Gpu gpu(smallConfig());
+    Addr mutex = gpu.malloc(8);
+    Program p = assemble(R"(
+.kernel single
+.param 1
+  ld.param.u64 %r1, [0];
+TRY:
+  atom.global.cas.b64 %r2, [%r1], 0, 1;
+  setp.ne.s64 %p1, %r2, 0;
+  @%p1 bra TRY;
+  atom.global.exch.b64 %r3, [%r1], 0;
+  exit;
+)");
+    KernelStats s = gpu.launch(p, Dim3{1, 1, 1}, Dim3{1, 1, 1},
+                               {static_cast<Word>(mutex)});
+    EXPECT_GT(s.cycles, 0u);
+}
+
+TEST(GpuApi, MoreCtasThanResidencyDrainsInWaves)
+{
+    Gpu gpu(smallConfig());
+    Addr counter = gpu.malloc(8);
+    Program inc = assemble(R"(
+.kernel inc
+.param 1
+  ld.param.u64 %r1, [0];
+  atom.global.add.b64 %r2, [%r1], 1;
+  exit;
+)");
+    // 64 CTAs on 2 SMs with an 8-CTA residency cap: several waves.
+    gpu.launch(inc, Dim3{64, 1, 1}, Dim3{64, 1, 1},
+               {static_cast<Word>(counter)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, counter, 8);
+    EXPECT_EQ(v, 64 * 64);
+}
+
+TEST(GpuApi, PascalConfigHasTableIiGeometry)
+{
+    GpuConfig cfg = makeGtx1080TiConfig();
+    EXPECT_EQ(cfg.numCores, 28u);
+    EXPECT_EQ(cfg.maxThreadsPerCore, 2048u);
+    EXPECT_EQ(cfg.numSchedulersPerCore, 4u);
+    EXPECT_EQ(cfg.numRegsPerCore, 65536u);
+    GpuConfig fermi = makeGtx480Config();
+    EXPECT_EQ(fermi.numCores, 15u);
+    EXPECT_EQ(fermi.maxWarpsPerCore(), 48u);
+}
+
+TEST(GpuApi, RegisterPressureLimitsResidency)
+{
+    // 32768 regs/SM and a 256-thread CTA using 64 regs/thread leaves
+    // room for exactly 2 resident CTAs; the kernel must still finish.
+    GpuConfig cfg = smallConfig();
+    Gpu gpu(cfg);
+    Program p = assemble(R"(
+.kernel hungry
+.reg 64
+.param 1
+  ld.param.u64 %r1, [0];
+  atom.global.add.b64 %r63, [%r1], 1;
+  exit;
+)");
+    Addr counter = gpu.malloc(8);
+    gpu.launch(p, Dim3{8, 1, 1}, Dim3{256, 1, 1},
+               {static_cast<Word>(counter)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, counter, 8);
+    EXPECT_EQ(v, 8 * 256);
+}
+
+}  // namespace
+}  // namespace bowsim

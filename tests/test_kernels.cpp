@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "src/kernels/atm.hpp"
+#include "src/kernels/bh_sort.hpp"
+#include "src/kernels/bh_tree.hpp"
+#include "src/kernels/cp_ds.hpp"
+#include "src/kernels/hashtable.hpp"
+#include "src/kernels/nw.hpp"
+#include "src/kernels/registry.hpp"
+#include "src/kernels/syncfree.hpp"
+#include "src/kernels/tsp.hpp"
+
+namespace bowsim {
+namespace {
+
+GpuConfig
+testConfig(SchedulerKind sched = SchedulerKind::GTO, bool bows = false)
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 4;
+    cfg.scheduler = sched;
+    cfg.bows.enabled = bows;
+    return cfg;
+}
+
+TEST(Kernels, HashtableValidatesHighContention)
+{
+    Gpu gpu(testConfig());
+    HashtableParams p;
+    p.insertions = 2048;
+    p.buckets = 16;  // heavy contention
+    p.ctas = 8;
+    p.threadsPerCta = 128;
+    auto h = makeHashtable(p);
+    KernelStats s = h->run(gpu);
+    EXPECT_GT(s.outcomes.lockSuccess, 0u);
+    EXPECT_GT(s.outcomes.interWarpFail + s.outcomes.intraWarpFail, 0u);
+    EXPECT_EQ(s.outcomes.lockSuccess, p.insertions);
+}
+
+TEST(Kernels, HashtableValidatesLowContention)
+{
+    Gpu gpu(testConfig());
+    HashtableParams p;
+    p.insertions = 2048;
+    p.buckets = 4096;
+    p.ctas = 8;
+    p.threadsPerCta = 128;
+    auto h = makeHashtable(p);
+    KernelStats s = h->run(gpu);
+    EXPECT_EQ(s.outcomes.lockSuccess, p.insertions);
+}
+
+TEST(Kernels, HashtableWithSoftwareDelayValidates)
+{
+    Gpu gpu(testConfig());
+    HashtableParams p;
+    p.insertions = 1024;
+    p.buckets = 64;
+    p.ctas = 4;
+    p.threadsPerCta = 128;
+    p.delayFactor = 50;
+    auto h = makeHashtable(p);
+    KernelStats s = h->run(gpu);
+    EXPECT_EQ(s.outcomes.lockSuccess, p.insertions);
+}
+
+TEST(Kernels, AtmConservesMoney)
+{
+    Gpu gpu(testConfig());
+    AtmParams p;
+    p.transactions = 2048;
+    p.accounts = 128;
+    p.ctas = 8;
+    p.threadsPerCta = 128;
+    auto h = makeAtm(p);
+    KernelStats s = h->run(gpu);
+    // At least two acquires per transaction; lock1 may be re-acquired
+    // each time lock2 fails and forces a release-and-retry.
+    EXPECT_GE(s.outcomes.lockSuccess, 2u * p.transactions);
+}
+
+TEST(Kernels, TspFindsTheMinimum)
+{
+    Gpu gpu(testConfig());
+    TspParams p;
+    p.climbers = 512;
+    p.rounds = 2;
+    auto h = makeTsp(p);
+    KernelStats s = h->run(gpu);
+    EXPECT_GT(s.outcomes.lockSuccess, 0u);
+}
+
+TEST(Kernels, Nw1MatchesHostReference)
+{
+    Gpu gpu(testConfig());
+    NwParams p;
+    p.n = 64;
+    auto h = makeNw(p, false);
+    KernelStats s = h->run(gpu);
+    EXPECT_GT(s.outcomes.waitExitSuccess, 0u);
+}
+
+TEST(Kernels, Nw2MatchesHostReference)
+{
+    Gpu gpu(testConfig());
+    NwParams p;
+    p.n = 64;
+    auto h = makeNw(p, true);
+    (void)h->run(gpu);
+}
+
+TEST(Kernels, BhTreeBuildsAValidTree)
+{
+    Gpu gpu(testConfig());
+    BhTreeParams p;
+    p.bodies = 1500;
+    p.ctas = 4;
+    p.threadsPerCta = 128;
+    auto h = makeBhTree(p);
+    KernelStats s = h->run(gpu);
+    EXPECT_GT(s.outcomes.lockSuccess, 0u);
+}
+
+TEST(Kernels, BhSortSignalsEveryNode)
+{
+    Gpu gpu(testConfig());
+    BhSortParams p;
+    p.leaves = 1024;
+    p.ctas = 4;
+    p.threadsPerCta = 128;
+    auto h = makeBhSort(p);
+    KernelStats s = h->run(gpu);
+    EXPECT_GT(s.outcomes.waitExitSuccess, 0u);
+}
+
+TEST(Kernels, CpDsPreservesCoordinateSum)
+{
+    Gpu gpu(testConfig());
+    CpDsParams p;
+    p.side = 24;
+    p.iterations = 1;
+    p.ctas = 4;
+    p.threadsPerCta = 128;
+    auto h = makeCpDs(p);
+    KernelStats s = h->run(gpu);
+    EXPECT_GT(s.outcomes.lockSuccess, 0u);
+}
+
+class SyncFreeKernels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SyncFreeKernels, ValidatesAndHasNoLockTraffic)
+{
+    Gpu gpu(testConfig());
+    auto h = makeBenchmark(GetParam(), 0.25);
+    KernelStats s = h->run(gpu);
+    EXPECT_EQ(s.outcomes.lockSuccess, 0u);
+    EXPECT_EQ(s.outcomes.interWarpFail, 0u);
+    EXPECT_GT(s.warpInstructions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SyncFreeKernels,
+                         ::testing::Values("VEC", "KM", "MS", "HL", "RED",
+                                           "STEN"),
+                         [](const auto &info) { return info.param; });
+
+/** Every sync kernel must validate under every scheduler, with and
+ *  without BOWS — BOWS must never change functional results. */
+class SyncKernelMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, SchedulerKind, bool>> {};
+
+TEST_P(SyncKernelMatrix, Validates)
+{
+    const auto &[name, sched, bows] = GetParam();
+    Gpu gpu(testConfig(sched, bows));
+    auto h = makeBenchmark(name, 0.2);
+    KernelStats s = h->run(gpu);
+    EXPECT_GT(s.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SyncKernelMatrix,
+    ::testing::Combine(::testing::Values("HT", "ATM", "TSP", "NW1", "NW2",
+                                         "TB", "ST", "DS"),
+                       ::testing::Values(SchedulerKind::LRR,
+                                         SchedulerKind::GTO,
+                                         SchedulerKind::CAWA),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               toString(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "_BOWS" : "_base");
+    });
+
+}  // namespace
+}  // namespace bowsim

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hpp"
+#include "src/sim/gpu.hpp"
+
+/**
+ * Observable timing-model properties of the memory pipeline, asserted
+ * through whole-simulation statistics: volatile loads bypass the L1,
+ * coalescing collapses unit-stride warps to line transactions, and MSHRs
+ * merge concurrent misses to one DRAM fetch.
+ */
+
+namespace bowsim {
+namespace {
+
+GpuConfig
+oneCore()
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 1;
+    return cfg;
+}
+
+KernelStats
+runLoadLoop(bool use_volatile, unsigned iters)
+{
+    Gpu gpu(oneCore());
+    Addr flag = gpu.malloc(8);
+    std::string src = std::string(R"(
+.kernel poll
+.param 2
+  ld.param.u64 %r1, [0];
+  ld.param.u64 %r2, [8];
+  mov %r3, 0;
+LOOP:
+)") + (use_volatile ? "  ld.volatile.global.u64 %r4, [%r1];\n"
+                    : "  ld.global.u64 %r4, [%r1];\n") +
+                      R"(
+  add %r3, %r3, 1;
+  setp.lt.s64 %p1, %r3, %r2;
+  @%p1 bra LOOP;
+  exit;
+)";
+    Program prog = assemble(src);
+    return gpu.launch(prog, Dim3{1, 1, 1}, Dim3{32, 1, 1},
+                      {static_cast<Word>(flag),
+                       static_cast<Word>(iters)});
+}
+
+TEST(LdstTiming, VolatileLoadsBypassTheL1)
+{
+    const unsigned iters = 64;
+    KernelStats vol = runLoadLoop(true, iters);
+    KernelStats cached = runLoadLoop(false, iters);
+    // Cached polling hits in the L1 after the first fill...
+    EXPECT_GE(cached.l1Hits, iters - 2);
+    // ...volatile polling never does: every access reaches the L2.
+    EXPECT_EQ(vol.l1Hits, 0u);
+    EXPECT_GE(vol.mem.l2Accesses, static_cast<std::uint64_t>(iters));
+    EXPECT_LE(cached.mem.l2Accesses, 4u);
+}
+
+TEST(LdstTiming, UnitStrideCoalescesToTwoLinesPerWarp)
+{
+    Gpu gpu(oneCore());
+    const unsigned n = 1024;
+    Addr data = gpu.malloc(n * 8);
+    // One load per thread, unit stride: 32 lanes x 8 B = 2 lines/warp.
+    Program prog = assemble(R"(
+.kernel unit
+.param 1
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;
+  ld.param.u64 %r2, [0];
+  shl %r3, %r0, 3;
+  add %r3, %r2, %r3;
+  ld.global.u64 %r4, [%r3];
+  exit;
+)");
+    KernelStats s = gpu.launch(prog, Dim3{4, 1, 1}, Dim3{256, 1, 1},
+                               {static_cast<Word>(data)});
+    unsigned warps = 4 * 256 / kWarpSize;
+    EXPECT_EQ(s.l1Accesses, 2u * warps);
+}
+
+TEST(LdstTiming, LineStrideScattersToThirtyTwoLinesPerWarp)
+{
+    Gpu gpu(oneCore());
+    const unsigned n = 1024;
+    Addr data = gpu.malloc(std::uint64_t{n} * kLineBytes);
+    Program prog = assemble(R"(
+.kernel strided
+.param 1
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;
+  ld.param.u64 %r2, [0];
+  mul %r3, %r0, 128;
+  add %r3, %r2, %r3;
+  ld.global.u64 %r4, [%r3];
+  exit;
+)");
+    KernelStats s = gpu.launch(prog, Dim3{1, 1, 1}, Dim3{256, 1, 1},
+                               {static_cast<Word>(data)});
+    unsigned warps = 256 / kWarpSize;
+    EXPECT_EQ(s.l1Accesses, kWarpSize * warps);
+}
+
+TEST(LdstTiming, MshrsMergeConcurrentMissesToOneFetch)
+{
+    Gpu gpu(oneCore());
+    Addr data = gpu.malloc(kLineBytes);
+    // Every warp loads the same line at roughly the same time: one DRAM
+    // fetch services them all (plus the store-through traffic of zero).
+    Program prog = assemble(R"(
+.kernel sameline
+.param 1
+  ld.param.u64 %r1, [0];
+  ld.global.u64 %r2, [%r1];
+  exit;
+)");
+    KernelStats s = gpu.launch(prog, Dim3{1, 1, 1}, Dim3{512, 1, 1},
+                               {static_cast<Word>(data)});
+    // 16 warps touch the line; misses merge in the MSHR, so DRAM sees
+    // only the single compulsory fetch.
+    EXPECT_EQ(s.mem.dramAccesses, 1u);
+    EXPECT_LE(s.mem.l2Misses, 1u);
+}
+
+TEST(LdstTiming, StoresAreWriteThroughNoAllocate)
+{
+    Gpu gpu(oneCore());
+    Addr data = gpu.malloc(64 * kLineBytes);
+    Program prog = assemble(R"(
+.kernel wt
+.param 1
+  mov %r0, %tid;
+  ld.param.u64 %r1, [0];
+  mul %r2, %r0, 128;
+  add %r2, %r1, %r2;
+  st.global.u64 [%r2], %r0;
+  ld.global.u64 %r3, [%r2];
+  exit;
+)");
+    KernelStats s = gpu.launch(prog, Dim3{1, 1, 1}, Dim3{32, 1, 1},
+                               {static_cast<Word>(data)});
+    // The store does not allocate, so the following load misses: the L1
+    // records zero store-hits and the loads all miss once.
+    EXPECT_EQ(s.l1Hits, 0u);
+    EXPECT_GE(s.l1Misses, 32u);
+}
+
+TEST(LdstTiming, MemoryLatencyOrdersDependentChain)
+{
+    // A pointer-chase serializes on memory latency; its cycle count must
+    // scale linearly with chain length.
+    auto chase = [](unsigned hops) {
+        Gpu gpu(oneCore());
+        const unsigned n = 512;
+        std::vector<Word> chain(n);
+        Addr base = gpu.malloc(n * 8);
+        for (unsigned i = 0; i < n; ++i)
+            chain[i] =
+                static_cast<Word>(base + ((i * 67 + 1) % n) * 8);
+        gpu.memcpyToDevice(base, chain.data(), n * 8);
+        Program prog = assemble(R"(
+.kernel chase
+.param 2
+  ld.param.u64 %r1, [0];
+  ld.param.u64 %r2, [8];
+  mov %r3, 0;
+LOOP:
+  ld.global.u64 %r1, [%r1];
+  add %r3, %r3, 1;
+  setp.lt.s64 %p1, %r3, %r2;
+  @%p1 bra LOOP;
+  exit;
+)");
+        return gpu
+            .launch(prog, Dim3{1, 1, 1}, Dim3{1, 1, 1},
+                    {static_cast<Word>(base), static_cast<Word>(hops)})
+            .cycles;
+    };
+    Cycle short_chain = chase(16);
+    Cycle long_chain = chase(64);
+    double ratio = static_cast<double>(long_chain) / short_chain;
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 6.0);
+}
+
+}  // namespace
+}  // namespace bowsim

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/mem/lock_tracker.hpp"
+
+namespace bowsim {
+namespace {
+
+TEST(LockTracker, SuccessfulAcquireRecordsOwner)
+{
+    LockTracker t;
+    EXPECT_EQ(t.onCas(0x100, 7, 0, 0, 1), CasOutcome::Success);
+    EXPECT_EQ(t.held(), 1u);
+}
+
+TEST(LockTracker, FailByOtherWarpIsInterWarp)
+{
+    LockTracker t;
+    t.onCas(0x100, 7, 0, 0, 1);
+    EXPECT_EQ(t.onCas(0x100, 9, 1, 0, 1), CasOutcome::InterWarpFail);
+}
+
+TEST(LockTracker, FailBySameWarpIsIntraWarp)
+{
+    LockTracker t;
+    t.onCas(0x100, 7, 0, 0, 1);
+    EXPECT_EQ(t.onCas(0x100, 7, 1, 0, 1), CasOutcome::IntraWarpFail);
+}
+
+TEST(LockTracker, UnknownOwnerDefaultsToInterWarp)
+{
+    LockTracker t;
+    EXPECT_EQ(t.onCas(0x200, 7, 1, 0, 1), CasOutcome::InterWarpFail);
+}
+
+TEST(LockTracker, ExchReleaseClearsOwnership)
+{
+    LockTracker t;
+    t.onCas(0x100, 7, 0, 0, 1);
+    t.onWrite(0x100, 0);
+    EXPECT_EQ(t.held(), 0u);
+    EXPECT_EQ(t.onCas(0x100, 9, 0, 0, 1), CasOutcome::Success);
+}
+
+TEST(LockTracker, PublishReleaseClearsOwnershipToo)
+{
+    // BH tree build unlocks by publishing a non-zero value.
+    LockTracker t;
+    t.onCas(0x300, 7, 0, 0, 1);
+    t.onWrite(0x300, 0x1234);
+    EXPECT_EQ(t.held(), 0u);
+}
+
+TEST(LockTracker, CasReleasePatternClearsOwnership)
+{
+    LockTracker t;
+    t.onCas(0x100, 7, 0, 0, 1);
+    // CAS(lock, 1, 0) releases.
+    EXPECT_EQ(t.onCas(0x100, 7, 1, 1, 0), CasOutcome::Success);
+    EXPECT_EQ(t.held(), 0u);
+}
+
+TEST(LockTracker, IndependentLocksTrackIndependently)
+{
+    LockTracker t;
+    t.onCas(0x100, 7, 0, 0, 1);
+    t.onCas(0x200, 9, 0, 0, 1);
+    EXPECT_EQ(t.onCas(0x100, 9, 1, 0, 1), CasOutcome::InterWarpFail);
+    EXPECT_EQ(t.onCas(0x200, 9, 1, 0, 1), CasOutcome::IntraWarpFail);
+    EXPECT_EQ(t.held(), 2u);
+}
+
+TEST(LockTracker, ReacquireAfterReleaseSwitchesOwner)
+{
+    LockTracker t;
+    t.onCas(0x100, 7, 0, 0, 1);
+    t.onWrite(0x100, 0);
+    t.onCas(0x100, 9, 0, 0, 1);
+    EXPECT_EQ(t.onCas(0x100, 7, 1, 0, 1), CasOutcome::InterWarpFail);
+    EXPECT_EQ(t.onCas(0x100, 9, 1, 0, 1), CasOutcome::IntraWarpFail);
+}
+
+TEST(LockTracker, CasWithNonLockExpectedValue)
+{
+    // BH-style CAS(slot, observed, LOCK): success when old == expected.
+    LockTracker t;
+    EXPECT_EQ(t.onCas(0x400, 7, 0x55, 0x55, 1), CasOutcome::Success);
+    EXPECT_EQ(t.onCas(0x400, 9, 1, 0x55, 1), CasOutcome::InterWarpFail);
+}
+
+}  // namespace
+}  // namespace bowsim

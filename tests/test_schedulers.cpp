@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sched/cawa.hpp"
+#include "src/sched/gto.hpp"
+#include "src/sched/lrr.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/sched/two_level.hpp"
+
+#include "src/isa/assembler.hpp"
+#include "src/sim/gpu.hpp"
+
+namespace bowsim {
+namespace {
+
+std::vector<std::unique_ptr<Warp>>
+makeWarps(unsigned n)
+{
+    std::vector<std::unique_ptr<Warp>> warps;
+    for (unsigned i = 0; i < n; ++i) {
+        warps.push_back(
+            std::make_unique<Warp>(i, 0, i, i, 8, 2, kFullMask));
+    }
+    return warps;
+}
+
+std::vector<Warp *>
+raw(const std::vector<std::unique_ptr<Warp>> &warps)
+{
+    std::vector<Warp *> out;
+    for (const auto &w : warps)
+        out.push_back(w.get());
+    return out;
+}
+
+std::vector<unsigned>
+ids(const std::vector<Warp *> &warps)
+{
+    std::vector<unsigned> out;
+    for (const Warp *w : warps)
+        out.push_back(w->id());
+    return out;
+}
+
+// ------------------------------------------------------------------ LRR
+
+TEST(Lrr, InitialOrderIsById)
+{
+    auto owned = makeWarps(4);
+    auto list = raw(owned);
+    LrrScheduler lrr;
+    lrr.order(list, 0);
+    EXPECT_EQ(ids(list), (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(Lrr, RotatesPastLastIssued)
+{
+    auto owned = makeWarps(4);
+    auto list = raw(owned);
+    LrrScheduler lrr;
+    lrr.notifyIssued(owned[1].get(), 0);
+    lrr.order(list, 1);
+    EXPECT_EQ(ids(list), (std::vector<unsigned>{2, 3, 0, 1}));
+}
+
+TEST(Lrr, FullRotationIsFair)
+{
+    auto owned = makeWarps(3);
+    LrrScheduler lrr;
+    std::vector<unsigned> issued;
+    for (int c = 0; c < 6; ++c) {
+        auto list = raw(owned);
+        lrr.order(list, c);
+        lrr.notifyIssued(list.front(), c);
+        issued.push_back(list.front()->id());
+    }
+    EXPECT_EQ(issued, (std::vector<unsigned>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Lrr, FinishedWarpDropsFromRotation)
+{
+    auto owned = makeWarps(3);
+    LrrScheduler lrr;
+    lrr.notifyIssued(owned[2].get(), 0);
+    lrr.notifyFinished(owned[2].get());
+    std::vector<Warp *> list = {owned[0].get(), owned[1].get()};
+    lrr.order(list, 1);
+    EXPECT_EQ(ids(list), (std::vector<unsigned>{0, 1}));
+}
+
+// ------------------------------------------------------------------ GTO
+
+TEST(Gto, OldestFirstWithoutGreedy)
+{
+    auto owned = makeWarps(4);
+    owned[0]->setAge(30);
+    owned[1]->setAge(10);
+    owned[2]->setAge(20);
+    owned[3]->setAge(40);
+    auto list = raw(owned);
+    GtoScheduler gto(0);
+    gto.order(list, 0);
+    EXPECT_EQ(ids(list), (std::vector<unsigned>{1, 2, 0, 3}));
+}
+
+TEST(Gto, GreedyKeepsLastIssuedOnTop)
+{
+    auto owned = makeWarps(4);
+    auto list = raw(owned);
+    GtoScheduler gto(0);
+    gto.notifyIssued(owned[3].get(), 0);
+    gto.order(list, 1);
+    EXPECT_EQ(list.front()->id(), 3u);
+    // The rest stay oldest-first.
+    EXPECT_EQ(ids(list), (std::vector<unsigned>{3, 0, 1, 2}));
+}
+
+TEST(Gto, RotationShiftsAgePriorityOverTime)
+{
+    auto owned = makeWarps(4);
+    GtoScheduler gto(1000);
+    auto list = raw(owned);
+    gto.order(list, 500);  // rotation bucket 0
+    EXPECT_EQ(list.front()->id(), 0u);
+    list = raw(owned);
+    gto.order(list, 1500);  // rotation bucket 1
+    EXPECT_EQ(list.front()->id(), 1u);
+    list = raw(owned);
+    gto.order(list, 2500);
+    EXPECT_EQ(list.front()->id(), 2u);
+}
+
+TEST(Gto, FinishedGreedyWarpForgotten)
+{
+    auto owned = makeWarps(2);
+    GtoScheduler gto(0);
+    gto.notifyIssued(owned[1].get(), 0);
+    gto.notifyFinished(owned[1].get());
+    std::vector<Warp *> list = {owned[0].get()};
+    gto.order(list, 1);
+    EXPECT_EQ(list.front()->id(), 0u);
+}
+
+// ----------------------------------------------------------------- CAWA
+
+TEST(Cawa, PrioritizesHighestCriticality)
+{
+    auto owned = makeWarps(3);
+    // Warp 2 looks critical: many estimated remaining instructions and
+    // lots of accumulated stall.
+    owned[2]->cawa().estRemaining = 1000;
+    owned[2]->cawa().stallCycles = 5000;
+    owned[0]->cawa().estRemaining = 10;
+    owned[1]->cawa().estRemaining = 10;
+    auto list = raw(owned);
+    CawaScheduler cawa;
+    cawa.order(list, 0);
+    EXPECT_EQ(list.front()->id(), 2u);
+}
+
+TEST(Cawa, SpinningWarpGainsPriorityAsEstimateGrows)
+{
+    // The paper's pathology: taken backward branches inflate nInst, so a
+    // spinning warp's criticality overtakes a steadily-working warp.
+    auto owned = makeWarps(2);
+    CawaState &spinner = owned[0]->cawa();
+    CawaState &worker = owned[1]->cawa();
+    spinner.estRemaining = 50;
+    worker.estRemaining = 50;
+    spinner.issued = worker.issued = 100;
+    spinner.activeCycles = worker.activeCycles = 1000;
+
+    CawaScheduler cawa;
+    auto list = raw(owned);
+    cawa.order(list, 0);
+    // Equal criticality: oldest (warp 0) leads; but now the spinner keeps
+    // re-running its loop and its estimate balloons.
+    for (int i = 0; i < 100; ++i)
+        spinner.estRemaining += 5;  // backward-branch inflation
+    list = raw(owned);
+    cawa.order(list, 1);
+    EXPECT_EQ(list.front()->id(), 0u);
+    EXPECT_GT(spinner.criticality(), worker.criticality());
+}
+
+TEST(Cawa, CriticalityFormulaMatchesPaper)
+{
+    CawaState s;
+    s.estRemaining = 100;
+    s.issued = 50;
+    s.activeCycles = 200;  // CPIavg = 4
+    s.stallCycles = 30;
+    EXPECT_DOUBLE_EQ(s.criticality(), 100 * 4.0 + 30);
+}
+
+TEST(Cawa, GreedyComponentKeepsLastIssued)
+{
+    auto owned = makeWarps(3);
+    owned[0]->cawa().estRemaining = 100;
+    auto list = raw(owned);
+    CawaScheduler cawa;
+    cawa.notifyIssued(owned[2].get(), 0);
+    cawa.order(list, 1);
+    EXPECT_EQ(list.front()->id(), 2u);
+}
+
+// ------------------------------------------------------------ TwoLevel
+
+TEST(TwoLevel, ActiveGroupLeadsTheOrder)
+{
+    auto owned = makeWarps(16);
+    TwoLevelScheduler tl(4);
+    // Issue from warp 9: group 2 becomes active.
+    tl.notifyIssued(owned[9].get(), 0);
+    auto list = raw(owned);
+    tl.order(list, 1);
+    // The first four entries are all of group 2 (ids 8..11).
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(list[i]->id() / 4, 2u) << "position " << i;
+    }
+    // Round-robin inside the group: warp after 9 leads.
+    EXPECT_EQ(list[0]->id(), 10u);
+}
+
+TEST(TwoLevel, GroupsFollowInWrapOrder)
+{
+    auto owned = makeWarps(12);
+    TwoLevelScheduler tl(4);
+    tl.notifyIssued(owned[8].get(), 0);  // active group = 2 (last)
+    auto list = raw(owned);
+    tl.order(list, 1);
+    // Order of groups: 2, then 0, then 1.
+    EXPECT_EQ(list[0]->id() / 4, 2u);
+    EXPECT_EQ(list[4]->id() / 4, 0u);
+    EXPECT_EQ(list[8]->id() / 4, 1u);
+}
+
+TEST(TwoLevel, RunsAKernelCorrectly)
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 2;
+    cfg.scheduler = SchedulerKind::TwoLevel;
+    Gpu gpu(cfg);
+    Addr counter = gpu.malloc(8);
+    Program prog = assemble(R"(
+.kernel count
+.param 1
+  ld.param.u64 %r1, [0];
+  atom.global.add.b64 %r2, [%r1], 1;
+  exit;
+)");
+    gpu.launch(prog, Dim3{4, 1, 1}, Dim3{256, 1, 1},
+               {static_cast<Word>(counter)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, counter, 8);
+    EXPECT_EQ(v, 4 * 256);
+}
+
+// -------------------------------------------------------------- factory
+
+TEST(SchedulerFactory, CreatesConfiguredKind)
+{
+    GpuConfig cfg;
+    cfg.scheduler = SchedulerKind::LRR;
+    EXPECT_STREQ(makeScheduler(cfg)->name(), "LRR");
+    cfg.scheduler = SchedulerKind::GTO;
+    EXPECT_STREQ(makeScheduler(cfg)->name(), "GTO");
+    cfg.scheduler = SchedulerKind::CAWA;
+    EXPECT_STREQ(makeScheduler(cfg)->name(), "CAWA");
+    cfg.scheduler = SchedulerKind::TwoLevel;
+    EXPECT_STREQ(makeScheduler(cfg)->name(), "TwoLevel");
+}
+
+}  // namespace
+}  // namespace bowsim

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/core/ddos/sib_table.hpp"
+
+namespace bowsim {
+namespace {
+
+DdosConfig
+tableCfg(unsigned entries = 16, unsigned threshold = 4)
+{
+    DdosConfig cfg;
+    cfg.sibTableEntries = entries;
+    cfg.confidenceThreshold = threshold;
+    return cfg;
+}
+
+TEST(SibTable, ConfirmsAfterThresholdSpinningExecutions)
+{
+    SibTable t(tableCfg());
+    for (int i = 0; i < 3; ++i) {
+        t.onSpinningBranch(0x98);
+        EXPECT_FALSE(t.isConfirmed(0x98)) << "after " << i + 1;
+    }
+    t.onSpinningBranch(0x98);
+    EXPECT_TRUE(t.isConfirmed(0x98));
+}
+
+TEST(SibTable, NonSpinningExecutionsDecayConfidence)
+{
+    SibTable t(tableCfg());
+    t.onSpinningBranch(0x98);
+    t.onSpinningBranch(0x98);
+    t.onNonSpinningBranch(0x98);
+    t.onNonSpinningBranch(0x98);
+    // Confidence back to zero: entry dropped, two more spinning hits do
+    // not confirm.
+    t.onSpinningBranch(0x98);
+    t.onSpinningBranch(0x98);
+    EXPECT_FALSE(t.isConfirmed(0x98));
+}
+
+TEST(SibTable, AliasingNoiseSuppressedByDecay)
+{
+    // Alternating spinning/non-spinning observations never confirm.
+    SibTable t(tableCfg());
+    for (int i = 0; i < 20; ++i) {
+        t.onSpinningBranch(0x40);
+        t.onNonSpinningBranch(0x40);
+    }
+    EXPECT_FALSE(t.isConfirmed(0x40));
+}
+
+TEST(SibTable, NonSpinningOnUnknownBranchIsIgnored)
+{
+    SibTable t(tableCfg());
+    t.onNonSpinningBranch(0x123);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SibTable, TracksMultipleBranches)
+{
+    SibTable t(tableCfg());
+    for (int i = 0; i < 4; ++i) {
+        t.onSpinningBranch(0x10);
+        t.onSpinningBranch(0x20);
+    }
+    EXPECT_TRUE(t.isConfirmed(0x10));
+    EXPECT_TRUE(t.isConfirmed(0x20));
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SibTable, CapacityEvictsLowestConfidenceUnconfirmed)
+{
+    SibTable t(tableCfg(2, 4));
+    t.onSpinningBranch(0x10);
+    t.onSpinningBranch(0x10);
+    t.onSpinningBranch(0x20);
+    // Table full; a new branch evicts the weaker entry (0x20).
+    t.onSpinningBranch(0x30);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_TRUE(t.entries().count(0x10));
+    EXPECT_TRUE(t.entries().count(0x30));
+    EXPECT_FALSE(t.entries().count(0x20));
+}
+
+TEST(SibTable, ConfirmedEntriesAreNotEvicted)
+{
+    SibTable t(tableCfg(1, 2));
+    t.onSpinningBranch(0x10);
+    t.onSpinningBranch(0x10);
+    ASSERT_TRUE(t.isConfirmed(0x10));
+    // A new branch cannot displace the confirmed SIB.
+    for (int i = 0; i < 4; ++i)
+        t.onSpinningBranch(0x20);
+    EXPECT_TRUE(t.isConfirmed(0x10));
+    EXPECT_FALSE(t.isConfirmed(0x20));
+}
+
+TEST(SibTable, ConfidenceSaturatesAtThreshold)
+{
+    SibTable t(tableCfg(16, 4));
+    for (int i = 0; i < 100; ++i)
+        t.onSpinningBranch(0x10);
+    EXPECT_EQ(t.entries().at(0x10).confidence, 4u);
+}
+
+TEST(SibTable, PeakOccupancyHighWaterMark)
+{
+    SibTable t(tableCfg());
+    for (Pc pc = 0; pc < 5; ++pc)
+        t.onSpinningBranch(pc);
+    EXPECT_EQ(t.peakOccupancy(), 5u);
+}
+
+/** Property: threshold t requires exactly t spinning executions. */
+class SibThreshold : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SibThreshold, ExactlyThresholdHitsConfirm)
+{
+    unsigned threshold = GetParam();
+    SibTable t(tableCfg(16, threshold));
+    for (unsigned i = 0; i + 1 < threshold; ++i) {
+        t.onSpinningBranch(0x50);
+        EXPECT_FALSE(t.isConfirmed(0x50));
+    }
+    t.onSpinningBranch(0x50);
+    EXPECT_TRUE(t.isConfirmed(0x50));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SibThreshold,
+                         ::testing::Values(1u, 2u, 4u, 8u, 12u));
+
+}  // namespace
+}  // namespace bowsim

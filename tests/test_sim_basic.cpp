@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hpp"
+#include "src/sim/gpu.hpp"
+
+namespace bowsim {
+namespace {
+
+GpuConfig
+smallConfig()
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 4;
+    return cfg;
+}
+
+TEST(SimBasic, SingleThreadArithmetic)
+{
+    Gpu gpu(smallConfig());
+    Addr out = gpu.malloc(8);
+    Program prog = assemble(R"(
+.kernel arith
+.param 1
+  ld.param.u64 %r1, [0];
+  mov %r2, 6;
+  mul %r2, %r2, 7;
+  st.global.u64 [%r1], %r2;
+  exit;
+)");
+    KernelStats s =
+        gpu.launch(prog, Dim3{1, 1, 1}, Dim3{1, 1, 1},
+                   {static_cast<Word>(out)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, out, 8);
+    EXPECT_EQ(v, 42);
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GE(s.warpInstructions, 5u);
+}
+
+TEST(SimBasic, AllThreadsWriteTheirId)
+{
+    Gpu gpu(smallConfig());
+    const unsigned n = 2048;
+    Addr out = gpu.malloc(n * 8);
+    Program prog = assemble(R"(
+.kernel ids
+.param 1
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;
+  ld.param.u64 %r2, [0];
+  shl %r3, %r0, 3;
+  add %r3, %r2, %r3;
+  st.global.u64 [%r3], %r0;
+  exit;
+)");
+    gpu.launch(prog, Dim3{8, 1, 1}, Dim3{256, 1, 1},
+               {static_cast<Word>(out)});
+    std::vector<Word> host(n);
+    gpu.memcpyFromDevice(host.data(), out, n * 8);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_EQ(host[i], static_cast<Word>(i)) << "thread " << i;
+}
+
+TEST(SimBasic, DivergentBranchBothSidesExecute)
+{
+    Gpu gpu(smallConfig());
+    Addr out = gpu.malloc(64 * 8);
+    Program prog = assemble(R"(
+.kernel diverge
+.param 1
+  ld.param.u64 %r1, [0];
+  mov %r2, %tid;
+  and %r3, %r2, 1;
+  setp.eq.s64 %p1, %r3, 0;
+  @%p1 bra EVEN;
+  mov %r4, 111;
+  bra.uni STORE;
+EVEN:
+  mov %r4, 222;
+STORE:
+  shl %r5, %r2, 3;
+  add %r5, %r1, %r5;
+  st.global.u64 [%r5], %r4;
+  exit;
+)");
+    gpu.launch(prog, Dim3{1, 1, 1}, Dim3{64, 1, 1},
+               {static_cast<Word>(out)});
+    std::vector<Word> host(64);
+    gpu.memcpyFromDevice(host.data(), out, 64 * 8);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(host[i], (i % 2 == 0) ? 222 : 111) << "thread " << i;
+}
+
+TEST(SimBasic, LoopComputesSum)
+{
+    Gpu gpu(smallConfig());
+    Addr out = gpu.malloc(8);
+    Program prog = assemble(R"(
+.kernel sumloop
+.param 1
+  ld.param.u64 %r1, [0];
+  mov %r2, 0;
+  mov %r3, 0;
+LOOP:
+  add %r2, %r2, %r3;
+  add %r3, %r3, 1;
+  setp.lt.s64 %p1, %r3, 100;
+  @%p1 bra LOOP;
+  st.global.u64 [%r1], %r2;
+  exit;
+)");
+    gpu.launch(prog, Dim3{1, 1, 1}, Dim3{1, 1, 1},
+               {static_cast<Word>(out)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, out, 8);
+    EXPECT_EQ(v, 4950);
+}
+
+TEST(SimBasic, BarrierOrdersSharedMemory)
+{
+    Gpu gpu(smallConfig());
+    const unsigned n = 128;
+    Addr out = gpu.malloc(n * 8);
+    // Thread i writes tid to shared[tid], barrier, then reads neighbour
+    // (tid+1) % n — wrong without the barrier ordering warps.
+    Program prog = assemble(R"(
+.kernel neighbour
+.param 2
+.shared 1024
+  mov %r0, %tid;
+  ld.param.u64 %r1, [0];
+  ld.param.u64 %r2, [8];
+  shl %r3, %r0, 3;
+  st.shared.u64 [%r3], %r0;
+  bar.sync;
+  add %r4, %r0, 1;
+  rem %r4, %r4, %r2;
+  shl %r5, %r4, 3;
+  ld.shared.u64 %r6, [%r5];
+  shl %r7, %r0, 3;
+  add %r7, %r1, %r7;
+  st.global.u64 [%r7], %r6;
+  exit;
+)");
+    gpu.launch(prog, Dim3{1, 1, 1}, Dim3{n, 1, 1},
+               {static_cast<Word>(out), static_cast<Word>(n)});
+    std::vector<Word> host(n);
+    gpu.memcpyFromDevice(host.data(), out, n * 8);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_EQ(host[i], static_cast<Word>((i + 1) % n));
+}
+
+TEST(SimBasic, AtomicAddCountsAllThreads)
+{
+    Gpu gpu(smallConfig());
+    Addr counter = gpu.malloc(8);
+    Program prog = assemble(R"(
+.kernel count
+.param 1
+  ld.param.u64 %r1, [0];
+  atom.global.add.b64 %r2, [%r1], 1;
+  exit;
+)");
+    gpu.launch(prog, Dim3{6, 1, 1}, Dim3{192, 1, 1},
+               {static_cast<Word>(counter)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, counter, 8);
+    EXPECT_EQ(v, 6 * 192);
+}
+
+TEST(SimBasic, GridStrideLoopCoversAllElements)
+{
+    Gpu gpu(smallConfig());
+    const unsigned n = 10000;
+    Addr data = gpu.malloc(n * 8);
+    Program prog = assemble(R"(
+.kernel fill
+.param 2
+  mov %r0, %ctaid;
+  mov %r1, %ntid;
+  mad %r0, %r0, %r1, %tid;
+  mov %r2, %nctaid;
+  mul %r2, %r2, %r1;
+  ld.param.u64 %r3, [0];
+  ld.param.u64 %r4, [8];
+LOOP:
+  setp.ge.s64 %p0, %r0, %r4;
+  @%p0 exit;
+  shl %r5, %r0, 3;
+  add %r5, %r3, %r5;
+  mul %r6, %r0, 3;
+  st.global.u64 [%r5], %r6;
+  add %r0, %r0, %r2;
+  bra.uni LOOP;
+)");
+    gpu.launch(prog, Dim3{4, 1, 1}, Dim3{128, 1, 1},
+               {static_cast<Word>(data), static_cast<Word>(n)});
+    std::vector<Word> host(n);
+    gpu.memcpyFromDevice(host.data(), data, n * 8);
+    for (unsigned i = 0; i < n; ++i)
+        ASSERT_EQ(host[i], static_cast<Word>(i) * 3) << "element " << i;
+}
+
+TEST(SimBasic, DeterministicAcrossRuns)
+{
+    auto once = []() {
+        Gpu gpu(smallConfig());
+        Addr counter = gpu.malloc(8);
+        Program prog = assemble(R"(
+.kernel count
+.param 1
+  ld.param.u64 %r1, [0];
+  atom.global.add.b64 %r2, [%r1], 1;
+  exit;
+)");
+        return gpu
+            .launch(prog, Dim3{4, 1, 1}, Dim3{256, 1, 1},
+                    {static_cast<Word>(counter)})
+            .cycles;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(SimBasic, PartialWarpAndPartialBlock)
+{
+    Gpu gpu(smallConfig());
+    const unsigned n = 77;  // not a multiple of the warp size
+    Addr out = gpu.malloc(n * 8);
+    Program prog = assemble(R"(
+.kernel partial
+.param 1
+  mov %r0, %tid;
+  ld.param.u64 %r1, [0];
+  shl %r2, %r0, 3;
+  add %r2, %r1, %r2;
+  st.global.u64 [%r2], 7;
+  exit;
+)");
+    gpu.launch(prog, Dim3{1, 1, 1}, Dim3{n, 1, 1},
+               {static_cast<Word>(out)});
+    std::vector<Word> host(n);
+    gpu.memcpyFromDevice(host.data(), out, n * 8);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_EQ(host[i], 7);
+}
+
+TEST(SimBasic, ClockAdvances)
+{
+    Gpu gpu(smallConfig());
+    Addr out = gpu.malloc(16);
+    Program prog = assemble(R"(
+.kernel clk
+.param 1
+  ld.param.u64 %r1, [0];
+  clock %r2;
+  mov %r4, 0;
+LOOP:
+  add %r4, %r4, 1;
+  setp.lt.s64 %p0, %r4, 50;
+  @%p0 bra LOOP;
+  clock %r3;
+  st.global.u64 [%r1], %r2;
+  st.global.u64 [%r1+8], %r3;
+  exit;
+)");
+    gpu.launch(prog, Dim3{1, 1, 1}, Dim3{1, 1, 1},
+               {static_cast<Word>(out)});
+    Word t[2];
+    gpu.memcpyFromDevice(t, out, 16);
+    EXPECT_GT(t[1], t[0]);
+}
+
+}  // namespace
+}  // namespace bowsim

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hpp"
+#include "src/sim/gpu.hpp"
+
+namespace bowsim {
+namespace {
+
+GpuConfig
+syncConfig(SchedulerKind sched = SchedulerKind::GTO, bool bows = false)
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 2;
+    cfg.scheduler = sched;
+    cfg.bows.enabled = bows;
+    return cfg;
+}
+
+/** A minimal spin-lock kernel: every thread increments a counter inside
+ *  a global critical section. */
+constexpr const char *kSpinCounter = R"(
+.kernel spin_counter
+.param 2
+  ld.param.u64 %r1, [0];         // mutex
+  ld.param.u64 %r2, [8];         // counter
+  mov %r20, 0;
+.annot sync_begin
+LOOP:
+  .annot acquire
+  atom.global.cas.b64 %r3, [%r1], 0, 1;
+  setp.ne.s64 %p1, %r3, 0;
+  @%p1 bra SKIP;
+.annot sync_end
+  ld.global.u64 %r4, [%r2];
+  add %r4, %r4, 1;
+  st.global.u64 [%r2], %r4;
+  mov %r20, 1;
+  membar;
+.annot sync_begin
+  atom.global.exch.b64 %r5, [%r1], 0;
+SKIP:
+  setp.eq.s64 %p2, %r20, 0;
+  .annot spin
+  @%p2 bra LOOP;
+.annot sync_end
+  exit;
+)";
+
+TEST(SimSync, SpinLockCriticalSectionIsExact)
+{
+    Gpu gpu(syncConfig());
+    Addr mutex = gpu.malloc(8);
+    Addr counter = gpu.malloc(8);
+    Program prog = assemble(kSpinCounter);
+    KernelStats s = gpu.launch(prog, Dim3{4, 1, 1}, Dim3{128, 1, 1},
+                               {static_cast<Word>(mutex),
+                                static_cast<Word>(counter)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, counter, 8);
+    EXPECT_EQ(v, 4 * 128);
+    EXPECT_EQ(s.outcomes.lockSuccess, 4u * 128u);
+    EXPECT_GT(s.outcomes.intraWarpFail, 0u);  // one global lock per warp
+}
+
+TEST(SimSync, IntraVsInterWarpClassification)
+{
+    // One warp, one lock: all failures must be intra-warp.
+    Gpu gpu(syncConfig());
+    Addr mutex = gpu.malloc(8);
+    Addr counter = gpu.malloc(8);
+    Program prog = assemble(kSpinCounter);
+    KernelStats s = gpu.launch(prog, Dim3{1, 1, 1}, Dim3{32, 1, 1},
+                               {static_cast<Word>(mutex),
+                                static_cast<Word>(counter)});
+    EXPECT_GT(s.outcomes.intraWarpFail, 0u);
+    EXPECT_EQ(s.outcomes.interWarpFail, 0u);
+}
+
+TEST(SimSync, WaitAndSignalAcrossWarps)
+{
+    // Warp 1 spins until warp 0 publishes a flag (Fig. 6c pattern).
+    Gpu gpu(syncConfig());
+    Addr flag = gpu.malloc(8);
+    Addr out = gpu.malloc(8);
+    Program prog = assemble(R"(
+.kernel wait_signal
+.param 2
+  ld.param.u64 %r1, [0];
+  ld.param.u64 %r2, [8];
+  mov %r3, %warpid;
+  setp.eq.s64 %p1, %r3, 0;
+  @%p1 bra PRODUCER;
+WAIT:
+  ld.volatile.global.u64 %r4, [%r1];
+  .annot wait
+  setp.ne.s64 %p2, %r4, 0;
+  .annot spin
+  @!%p2 bra WAIT;
+  st.global.u64 [%r2], %r4;
+  exit;
+PRODUCER:
+  mov %r5, 0;
+DELAYLOOP:
+  add %r5, %r5, 1;
+  setp.lt.s64 %p3, %r5, 200;
+  @%p3 bra DELAYLOOP;
+  membar;
+  st.global.u64 [%r1], 77;
+  exit;
+)");
+    KernelStats s = gpu.launch(prog, Dim3{1, 1, 1}, Dim3{64, 1, 1},
+                               {static_cast<Word>(flag),
+                                static_cast<Word>(out)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, out, 8);
+    EXPECT_EQ(v, 77);
+    EXPECT_GT(s.outcomes.waitExitFail, 0u);
+    EXPECT_EQ(s.outcomes.waitExitSuccess, 32u);  // one per waiting lane
+}
+
+TEST(SimSync, DdosConfirmsTightSpinWithinOneKernel)
+{
+    Gpu gpu(syncConfig());
+    Addr mutex = gpu.malloc(8);
+    Addr counter = gpu.malloc(8);
+    Program prog = assemble(kSpinCounter);
+    KernelStats s = gpu.launch(prog, Dim3{4, 1, 1}, Dim3{256, 1, 1},
+                               {static_cast<Word>(mutex),
+                                static_cast<Word>(counter)});
+    EXPECT_DOUBLE_EQ(s.ddos.tsdr(), 1.0);
+    EXPECT_DOUBLE_EQ(s.ddos.fsdr(), 0.0);
+}
+
+TEST(SimSync, BowsThrottlesSpinRetries)
+{
+    GpuConfig base = syncConfig(SchedulerKind::GTO, false);
+    GpuConfig throttled = syncConfig(SchedulerKind::GTO, true);
+    throttled.bows.adaptive = false;
+    throttled.bows.delayLimit = 2000;
+
+    auto run = [](const GpuConfig &cfg) {
+        Gpu gpu(cfg);
+        Addr mutex = gpu.malloc(8);
+        Addr counter = gpu.malloc(8);
+        Program prog = assemble(kSpinCounter);
+        return gpu.launch(prog, Dim3{4, 1, 1}, Dim3{256, 1, 1},
+                          {static_cast<Word>(mutex),
+                           static_cast<Word>(counter)});
+    };
+    KernelStats b = run(base);
+    KernelStats t = run(throttled);
+    // Throttling cuts failed acquire attempts. (The single global lock
+    // serializes critical sections, so total runtime may grow and bound
+    // how far the count can drop — the 2000-cycle minimum spacing still
+    // removes a solid share of the retries.)
+    double b_fails = static_cast<double>(b.outcomes.interWarpFail +
+                                         b.outcomes.intraWarpFail);
+    EXPECT_LT(t.outcomes.interWarpFail + t.outcomes.intraWarpFail,
+              0.85 * b_fails);
+    // And with it, the atomic traffic.
+    EXPECT_LT(t.mem.atomics, b.mem.atomics);
+}
+
+TEST(SimSync, BackedOffWarpsStillRunWhenNothingElseIsReady)
+{
+    // Single resident warp: BOWS may deprioritize it, but with no
+    // competition it must keep issuing (no self-starvation).
+    GpuConfig cfg = syncConfig(SchedulerKind::GTO, true);
+    cfg.bows.adaptive = false;
+    cfg.bows.delayLimit = 0;
+    Gpu gpu(cfg);
+    Addr mutex = gpu.malloc(8);
+    Addr counter = gpu.malloc(8);
+    Program prog = assemble(kSpinCounter);
+    KernelStats s = gpu.launch(prog, Dim3{1, 1, 1}, Dim3{32, 1, 1},
+                               {static_cast<Word>(mutex),
+                                static_cast<Word>(counter)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, counter, 8);
+    EXPECT_EQ(v, 32);
+    EXPECT_GT(s.backedOffFraction(), 0.0);
+}
+
+TEST(SimSync, OracleModeNeedsNoDetectionPhase)
+{
+    GpuConfig cfg = syncConfig(SchedulerKind::GTO, true);
+    cfg.spinDetect = SpinDetect::Oracle;
+    Gpu gpu(cfg);
+    Addr mutex = gpu.malloc(8);
+    Addr counter = gpu.malloc(8);
+    Program prog = assemble(kSpinCounter);
+    KernelStats s = gpu.launch(prog, Dim3{2, 1, 1}, Dim3{64, 1, 1},
+                               {static_cast<Word>(mutex),
+                                static_cast<Word>(counter)});
+    // SIB executions are recognized from the very first iteration.
+    EXPECT_GT(s.sibInstructions, 0u);
+}
+
+TEST(SimSync, SibCountsTrackSpinning)
+{
+    Gpu gpu(syncConfig(SchedulerKind::GTO, true));
+    Addr mutex = gpu.malloc(8);
+    Addr counter = gpu.malloc(8);
+    Program prog = assemble(kSpinCounter);
+    KernelStats s = gpu.launch(prog, Dim3{4, 1, 1}, Dim3{256, 1, 1},
+                               {static_cast<Word>(mutex),
+                                static_cast<Word>(counter)});
+    EXPECT_GT(s.sibInstructions, 0u);
+    EXPECT_LT(s.sibInstructions, s.warpInstructions);
+}
+
+TEST(SimSync, LrrAndGtoBothCompleteUnderContention)
+{
+    for (SchedulerKind sched :
+         {SchedulerKind::LRR, SchedulerKind::GTO, SchedulerKind::CAWA}) {
+        Gpu gpu(syncConfig(sched));
+        Addr mutex = gpu.malloc(8);
+        Addr counter = gpu.malloc(8);
+        Program prog = assemble(kSpinCounter);
+        gpu.launch(prog, Dim3{2, 1, 1}, Dim3{128, 1, 1},
+                   {static_cast<Word>(mutex), static_cast<Word>(counter)});
+        Word v = 0;
+        gpu.memcpyFromDevice(&v, counter, 8);
+        EXPECT_EQ(v, 2 * 128) << toString(sched);
+    }
+}
+
+TEST(SimSync, MembarDoesNotBlockProgress)
+{
+    Gpu gpu(syncConfig());
+    Addr out = gpu.malloc(8);
+    Program prog = assemble(R"(
+.kernel fences
+.param 1
+  ld.param.u64 %r1, [0];
+  st.global.u64 [%r1], 1;
+  membar;
+  ld.global.u64 %r2, [%r1];
+  add %r2, %r2, 1;
+  membar;
+  st.global.u64 [%r1], %r2;
+  exit;
+)");
+    gpu.launch(prog, Dim3{1, 1, 1}, Dim3{1, 1, 1},
+               {static_cast<Word>(out)});
+    Word v = 0;
+    gpu.memcpyFromDevice(&v, out, 8);
+    EXPECT_EQ(v, 2);
+}
+
+}  // namespace
+}  // namespace bowsim

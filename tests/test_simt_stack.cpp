@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "src/arch/simt_stack.hpp"
+#include "src/common/log.hpp"
+
+namespace bowsim {
+namespace {
+
+Instruction
+braTo(Pc target, Pc rpc)
+{
+    Instruction i;
+    i.op = Opcode::Bra;
+    i.guard = 0;  // conditional
+    i.target = target;
+    i.reconvergence = rpc;
+    return i;
+}
+
+TEST(SimtStack, ResetStartsAtZeroWithGivenMask)
+{
+    SimtStack s;
+    s.reset(0xffff);
+    EXPECT_FALSE(s.done());
+    EXPECT_EQ(s.pc(), 0u);
+    EXPECT_EQ(s.activeMask(), 0xffffu);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, AdvanceIncrementsPc)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.advance();
+    s.advance();
+    EXPECT_EQ(s.pc(), 2u);
+}
+
+TEST(SimtStack, UniformTakenBranchJumps)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.branch(braTo(10, 20), kFullMask);
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, UniformNotTakenBranchFallsThrough)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.branch(braTo(10, 20), 0);
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, DivergenceRunsTakenSideFirstThenReconverges)
+{
+    SimtStack s;
+    s.reset(0xf);
+    // pc 0: branch to 10, reconverge at 20; lanes 0-1 taken.
+    s.branch(braTo(10, 20), 0x3);
+    EXPECT_EQ(s.depth(), 3u);
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.activeMask(), 0x3u);
+
+    // Taken side runs 10..19 then reaches the reconvergence point.
+    for (Pc pc = 10; pc < 20; ++pc)
+        s.advance();
+    // Now the fall-through side is on top, at pc 1.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), 0xcu);
+    for (Pc pc = 1; pc < 20; ++pc)
+        s.advance();
+    // Both sides merged: full mask at the reconvergence PC.
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), 0xfu);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack s;
+    s.reset(0xff);
+    s.branch(braTo(10, 30), 0x0f);  // outer split at pc 0
+    EXPECT_EQ(s.pc(), 10u);
+    s.branch(braTo(20, 25), 0x03);  // inner split on the taken side
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), 0x03u);
+    EXPECT_EQ(s.depth(), 5u);
+    // Inner taken side runs to 25.
+    for (Pc pc = 20; pc < 25; ++pc)
+        s.advance();
+    // Inner fall side (lanes 2-3) resumes at 11.
+    EXPECT_EQ(s.pc(), 11u);
+    EXPECT_EQ(s.activeMask(), 0x0cu);
+    for (Pc pc = 11; pc < 25; ++pc)
+        s.advance();
+    // Inner reconvergence: lanes 0-3 at 25.
+    EXPECT_EQ(s.pc(), 25u);
+    EXPECT_EQ(s.activeMask(), 0x0fu);
+}
+
+TEST(SimtStack, ExitAllLanesFinishesWarp)
+{
+    SimtStack s;
+    s.reset(0xf);
+    s.exitLanes(0xf);
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStack, PartialExitAdvancesRemainingLanes)
+{
+    SimtStack s;
+    s.reset(0xf);
+    s.exitLanes(0x3);
+    EXPECT_FALSE(s.done());
+    EXPECT_EQ(s.activeMask(), 0xcu);
+    EXPECT_EQ(s.pc(), 1u);
+}
+
+TEST(SimtStack, ExitInsideDivergedPathCleansWholeStack)
+{
+    SimtStack s;
+    s.reset(0xf);
+    s.branch(braTo(10, 20), 0x3);
+    // The taken lanes exit inside their path.
+    s.exitLanes(0x3);
+    // Fall-through side resumes.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), 0xcu);
+    for (Pc pc = 1; pc < 20; ++pc)
+        s.advance();
+    // Reconvergence entry holds only the surviving lanes.
+    EXPECT_EQ(s.pc(), 20u);
+    EXPECT_EQ(s.activeMask(), 0xcu);
+    s.exitLanes(0xc);
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStack, MergeAtExitDivergence)
+{
+    // Reconvergence PC kInvalidPc: both sides run to exit independently.
+    SimtStack s;
+    s.reset(0xf);
+    s.branch(braTo(10, kInvalidPc), 0x5);
+    EXPECT_EQ(s.pc(), 10u);
+    s.exitLanes(0x5);
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.activeMask(), 0xau);
+    s.exitLanes(0xa);
+    EXPECT_TRUE(s.done());
+}
+
+TEST(SimtStack, BackwardBranchLoopIteratesAndExits)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    // Loop body at 0..2; backward branch at 2 -> 0, reconverge at 3.
+    for (int iter = 0; iter < 3; ++iter) {
+        s.advance();
+        s.advance();
+        s.branch(braTo(0, 3), kFullMask);
+        EXPECT_EQ(s.pc(), 0u);
+    }
+    s.advance();
+    s.advance();
+    s.branch(braTo(0, 3), 0);  // all lanes leave the loop
+    EXPECT_EQ(s.pc(), 3u);
+}
+
+TEST(SimtStack, PartialLoopExitKeepsSpinningLanes)
+{
+    SimtStack s;
+    s.reset(0xf);
+    s.advance();  // pc 1
+    s.advance();  // pc 2
+    // Lanes 0-1 iterate again, lanes 2-3 leave: divergence with the
+    // backward branch.
+    s.branch(braTo(0, 3), 0x3);
+    EXPECT_EQ(s.pc(), 0u);
+    EXPECT_EQ(s.activeMask(), 0x3u);
+    // Spinning lanes finish the loop on the next pass.
+    s.advance();
+    s.advance();
+    s.branch(braTo(0, 3), 0);
+    EXPECT_EQ(s.pc(), 3u);
+    EXPECT_EQ(s.activeMask(), 0xfu);
+}
+
+TEST(SimtStack, PanicOnLanesOutsideMask)
+{
+    SimtStack s;
+    s.reset(0x3);
+    EXPECT_THROW(s.exitLanes(0xf), PanicError);
+    EXPECT_THROW(s.branch(braTo(1, 2), 0xff), PanicError);
+}
+
+TEST(SimtStack, PanicOnDivergentUniformBranch)
+{
+    SimtStack s;
+    s.reset(0xf);
+    Instruction i = braTo(4, 8);
+    i.uniform = true;
+    EXPECT_THROW(s.branch(i, 0x3), PanicError);
+}
+
+TEST(SimtStack, PanicOnUseAfterDone)
+{
+    SimtStack s;
+    s.reset(0x1);
+    s.exitLanes(0x1);
+    EXPECT_THROW(s.pc(), PanicError);
+    EXPECT_THROW(s.advance(), PanicError);
+}
+
+}  // namespace
+}  // namespace bowsim
