@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bows.dir/ablation_bows.cpp.o"
+  "CMakeFiles/ablation_bows.dir/ablation_bows.cpp.o.d"
+  "ablation_bows"
+  "ablation_bows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_hashtable.dir/fig01_hashtable.cpp.o"
+  "CMakeFiles/fig01_hashtable.dir/fig01_hashtable.cpp.o.d"
+  "fig01_hashtable"
+  "fig01_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

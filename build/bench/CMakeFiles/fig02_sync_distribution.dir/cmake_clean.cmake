@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_sync_distribution.dir/fig02_sync_distribution.cpp.o"
+  "CMakeFiles/fig02_sync_distribution.dir/fig02_sync_distribution.cpp.o.d"
+  "fig02_sync_distribution"
+  "fig02_sync_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_sync_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_sw_backoff.dir/fig03_sw_backoff.cpp.o"
+  "CMakeFiles/fig03_sw_backoff.dir/fig03_sw_backoff.cpp.o.d"
+  "fig03_sw_backoff"
+  "fig03_sw_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sw_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

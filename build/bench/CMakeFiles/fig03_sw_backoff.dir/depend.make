@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_sw_backoff.
+# This may be replaced when dependencies are built.

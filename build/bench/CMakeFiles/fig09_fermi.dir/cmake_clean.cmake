@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fermi.dir/fig09_fermi.cpp.o"
+  "CMakeFiles/fig09_fermi.dir/fig09_fermi.cpp.o.d"
+  "fig09_fermi"
+  "fig09_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

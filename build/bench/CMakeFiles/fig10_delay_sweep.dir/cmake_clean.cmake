@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_delay_sweep.dir/fig10_delay_sweep.cpp.o"
+  "CMakeFiles/fig10_delay_sweep.dir/fig10_delay_sweep.cpp.o.d"
+  "fig10_delay_sweep"
+  "fig10_delay_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_delay_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

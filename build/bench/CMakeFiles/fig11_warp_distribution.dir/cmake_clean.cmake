@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_warp_distribution.dir/fig11_warp_distribution.cpp.o"
+  "CMakeFiles/fig11_warp_distribution.dir/fig11_warp_distribution.cpp.o.d"
+  "fig11_warp_distribution"
+  "fig11_warp_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_warp_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

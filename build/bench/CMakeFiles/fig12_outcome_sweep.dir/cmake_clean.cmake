@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_outcome_sweep.dir/fig12_outcome_sweep.cpp.o"
+  "CMakeFiles/fig12_outcome_sweep.dir/fig12_outcome_sweep.cpp.o.d"
+  "fig12_outcome_sweep"
+  "fig12_outcome_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_outcome_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overheads.dir/fig13_overheads.cpp.o"
+  "CMakeFiles/fig13_overheads.dir/fig13_overheads.cpp.o.d"
+  "fig13_overheads"
+  "fig13_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

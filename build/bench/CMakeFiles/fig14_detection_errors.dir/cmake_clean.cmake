@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_detection_errors.dir/fig14_detection_errors.cpp.o"
+  "CMakeFiles/fig14_detection_errors.dir/fig14_detection_errors.cpp.o.d"
+  "fig14_detection_errors"
+  "fig14_detection_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_detection_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

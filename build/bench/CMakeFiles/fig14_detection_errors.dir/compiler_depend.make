@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_detection_errors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pascal.dir/fig15_pascal.cpp.o"
+  "CMakeFiles/fig15_pascal.dir/fig15_pascal.cpp.o.d"
+  "fig15_pascal"
+  "fig15_pascal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pascal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

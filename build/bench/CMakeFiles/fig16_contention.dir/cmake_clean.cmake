@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_contention.dir/fig16_contention.cpp.o"
+  "CMakeFiles/fig16_contention.dir/fig16_contention.cpp.o.d"
+  "fig16_contention"
+  "fig16_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_ddos_sensitivity.dir/tab1_ddos_sensitivity.cpp.o"
+  "CMakeFiles/tab1_ddos_sensitivity.dir/tab1_ddos_sensitivity.cpp.o.d"
+  "tab1_ddos_sensitivity"
+  "tab1_ddos_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_ddos_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_cost.dir/tab3_cost.cpp.o"
+  "CMakeFiles/tab3_cost.dir/tab3_cost.cpp.o.d"
+  "tab3_cost"
+  "tab3_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

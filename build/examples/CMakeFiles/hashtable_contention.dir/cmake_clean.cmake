@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashtable_contention.dir/hashtable_contention.cpp.o"
+  "CMakeFiles/hashtable_contention.dir/hashtable_contention.cpp.o.d"
+  "hashtable_contention"
+  "hashtable_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashtable_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

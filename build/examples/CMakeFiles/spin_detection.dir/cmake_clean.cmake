@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spin_detection.dir/spin_detection.cpp.o"
+  "CMakeFiles/spin_detection.dir/spin_detection.cpp.o.d"
+  "spin_detection"
+  "spin_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spin_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

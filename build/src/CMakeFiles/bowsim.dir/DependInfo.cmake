@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/register_file.cpp" "src/CMakeFiles/bowsim.dir/arch/register_file.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/arch/register_file.cpp.o.d"
+  "/root/repo/src/arch/scoreboard.cpp" "src/CMakeFiles/bowsim.dir/arch/scoreboard.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/arch/scoreboard.cpp.o.d"
+  "/root/repo/src/arch/simt_stack.cpp" "src/CMakeFiles/bowsim.dir/arch/simt_stack.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/arch/simt_stack.cpp.o.d"
+  "/root/repo/src/arch/warp.cpp" "src/CMakeFiles/bowsim.dir/arch/warp.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/arch/warp.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/bowsim.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/bowsim.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/common/log.cpp.o.d"
+  "/root/repo/src/core/bows/adaptive_delay.cpp" "src/CMakeFiles/bowsim.dir/core/bows/adaptive_delay.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/core/bows/adaptive_delay.cpp.o.d"
+  "/root/repo/src/core/bows/backoff.cpp" "src/CMakeFiles/bowsim.dir/core/bows/backoff.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/core/bows/backoff.cpp.o.d"
+  "/root/repo/src/core/ddos/ddos_unit.cpp" "src/CMakeFiles/bowsim.dir/core/ddos/ddos_unit.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/core/ddos/ddos_unit.cpp.o.d"
+  "/root/repo/src/core/ddos/hashing.cpp" "src/CMakeFiles/bowsim.dir/core/ddos/hashing.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/core/ddos/hashing.cpp.o.d"
+  "/root/repo/src/core/ddos/history.cpp" "src/CMakeFiles/bowsim.dir/core/ddos/history.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/core/ddos/history.cpp.o.d"
+  "/root/repo/src/core/ddos/sib_table.cpp" "src/CMakeFiles/bowsim.dir/core/ddos/sib_table.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/core/ddos/sib_table.cpp.o.d"
+  "/root/repo/src/cpuref/hashtable_cpu.cpp" "src/CMakeFiles/bowsim.dir/cpuref/hashtable_cpu.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/cpuref/hashtable_cpu.cpp.o.d"
+  "/root/repo/src/cpuref/nw_cpu.cpp" "src/CMakeFiles/bowsim.dir/cpuref/nw_cpu.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/cpuref/nw_cpu.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/bowsim.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/bowsim.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/cfg.cpp" "src/CMakeFiles/bowsim.dir/isa/cfg.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/isa/cfg.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/CMakeFiles/bowsim.dir/isa/instruction.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/isa/instruction.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/CMakeFiles/bowsim.dir/isa/program.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/isa/program.cpp.o.d"
+  "/root/repo/src/isa/verifier.cpp" "src/CMakeFiles/bowsim.dir/isa/verifier.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/isa/verifier.cpp.o.d"
+  "/root/repo/src/kernels/atm.cpp" "src/CMakeFiles/bowsim.dir/kernels/atm.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/atm.cpp.o.d"
+  "/root/repo/src/kernels/bh_sort.cpp" "src/CMakeFiles/bowsim.dir/kernels/bh_sort.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/bh_sort.cpp.o.d"
+  "/root/repo/src/kernels/bh_tree.cpp" "src/CMakeFiles/bowsim.dir/kernels/bh_tree.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/bh_tree.cpp.o.d"
+  "/root/repo/src/kernels/cp_ds.cpp" "src/CMakeFiles/bowsim.dir/kernels/cp_ds.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/cp_ds.cpp.o.d"
+  "/root/repo/src/kernels/hashtable.cpp" "src/CMakeFiles/bowsim.dir/kernels/hashtable.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/hashtable.cpp.o.d"
+  "/root/repo/src/kernels/kernel_harness.cpp" "src/CMakeFiles/bowsim.dir/kernels/kernel_harness.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/kernel_harness.cpp.o.d"
+  "/root/repo/src/kernels/nw.cpp" "src/CMakeFiles/bowsim.dir/kernels/nw.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/nw.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/bowsim.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/syncfree.cpp" "src/CMakeFiles/bowsim.dir/kernels/syncfree.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/syncfree.cpp.o.d"
+  "/root/repo/src/kernels/tsp.cpp" "src/CMakeFiles/bowsim.dir/kernels/tsp.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/kernels/tsp.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/bowsim.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/coalescer.cpp" "src/CMakeFiles/bowsim.dir/mem/coalescer.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/mem/coalescer.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/bowsim.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/interconnect.cpp" "src/CMakeFiles/bowsim.dir/mem/interconnect.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/mem/interconnect.cpp.o.d"
+  "/root/repo/src/mem/l2_bank.cpp" "src/CMakeFiles/bowsim.dir/mem/l2_bank.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/mem/l2_bank.cpp.o.d"
+  "/root/repo/src/mem/lock_tracker.cpp" "src/CMakeFiles/bowsim.dir/mem/lock_tracker.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/mem/lock_tracker.cpp.o.d"
+  "/root/repo/src/mem/memory_space.cpp" "src/CMakeFiles/bowsim.dir/mem/memory_space.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/mem/memory_space.cpp.o.d"
+  "/root/repo/src/sched/cawa.cpp" "src/CMakeFiles/bowsim.dir/sched/cawa.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/sched/cawa.cpp.o.d"
+  "/root/repo/src/sched/gto.cpp" "src/CMakeFiles/bowsim.dir/sched/gto.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/sched/gto.cpp.o.d"
+  "/root/repo/src/sched/lrr.cpp" "src/CMakeFiles/bowsim.dir/sched/lrr.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/sched/lrr.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/bowsim.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/two_level.cpp" "src/CMakeFiles/bowsim.dir/sched/two_level.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/sched/two_level.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/CMakeFiles/bowsim.dir/sim/gpu.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/sim/gpu.cpp.o.d"
+  "/root/repo/src/sim/ldst_unit.cpp" "src/CMakeFiles/bowsim.dir/sim/ldst_unit.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/sim/ldst_unit.cpp.o.d"
+  "/root/repo/src/sim/sm_core.cpp" "src/CMakeFiles/bowsim.dir/sim/sm_core.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/sim/sm_core.cpp.o.d"
+  "/root/repo/src/stats/ddos_accuracy.cpp" "src/CMakeFiles/bowsim.dir/stats/ddos_accuracy.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/stats/ddos_accuracy.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/bowsim.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/bowsim.dir/stats/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

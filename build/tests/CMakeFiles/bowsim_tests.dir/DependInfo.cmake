@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_bows.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_bows.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_bows.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_coalescer.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_coalescer.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_coalescer.cpp.o.d"
+  "/root/repo/tests/test_ddos_history.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_ddos_history.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_ddos_history.cpp.o.d"
+  "/root/repo/tests/test_ddos_unit.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_ddos_unit.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_ddos_unit.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_gpu_api.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_gpu_api.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_gpu_api.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_ldst_timing.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_ldst_timing.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_ldst_timing.cpp.o.d"
+  "/root/repo/tests/test_lock_tracker.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_lock_tracker.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_lock_tracker.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_property_random.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_property_random.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_property_random.cpp.o.d"
+  "/root/repo/tests/test_schedulers.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_schedulers.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_schedulers.cpp.o.d"
+  "/root/repo/tests/test_scoreboard.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_scoreboard.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_scoreboard.cpp.o.d"
+  "/root/repo/tests/test_sib_table.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_sib_table.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_sib_table.cpp.o.d"
+  "/root/repo/tests/test_sim_basic.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_sim_basic.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_sim_basic.cpp.o.d"
+  "/root/repo/tests/test_sim_sync.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_sim_sync.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_sim_sync.cpp.o.d"
+  "/root/repo/tests/test_simt_stack.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_simt_stack.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_simt_stack.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_verifier.cpp" "tests/CMakeFiles/bowsim_tests.dir/test_verifier.cpp.o" "gcc" "tests/CMakeFiles/bowsim_tests.dir/test_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bowsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
