@@ -16,42 +16,54 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("BOWS ablation: exec time normalized to GTO");
     std::printf("%-6s %10s %10s %10s %10s %10s\n", "kernel", "GTO",
                 "deprio", "throttle", "both", "both+orcl");
 
     struct Mode {
+        const char *label;
         bool bows;
         bool deprioritize;
         bool throttle;  // adaptive delay on/off (off = limit 0)
         SpinDetect detect;
     };
     const std::vector<Mode> modes = {
-        {false, false, false, SpinDetect::Ddos},
-        {true, true, false, SpinDetect::Ddos},   // deprioritize only
-        {true, false, true, SpinDetect::Ddos},   // throttle only
-        {true, true, true, SpinDetect::Ddos},    // full BOWS
-        {true, true, true, SpinDetect::Oracle},  // full BOWS, oracle SIBs
+        {"GTO", false, false, false, SpinDetect::Ddos},
+        {"deprio", true, true, false, SpinDetect::Ddos},
+        {"throttle", true, false, true, SpinDetect::Ddos},
+        {"both", true, true, true, SpinDetect::Ddos},
+        {"both-oracle", true, true, true, SpinDetect::Oracle},
     };
+
+    const std::vector<std::string> kernels = syncKernelNames();
+    Sweep sweep;
+    sweep.name = "ablation_bows";
+    for (const std::string &name : kernels) {
+        for (const Mode &m : modes) {
+            GpuConfig cfg = makeGtx480Config();
+            applyCores(opts, cfg);
+            cfg.scheduler = SchedulerKind::GTO;
+            cfg.bows.enabled = m.bows;
+            cfg.bows.deprioritize = m.deprioritize;
+            cfg.bows.adaptive = m.throttle;
+            cfg.bows.delayLimit = 0;
+            cfg.spinDetect = m.detect;
+            sweep.add(name + "/" + m.label, name, cfg, opts.scale);
+        }
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
 
     std::vector<double> gmean(modes.size(), 1.0);
     unsigned count = 0;
-    for (const std::string &name : syncKernelNames()) {
-        std::printf("%-6s", name.c_str());
-        double base = 0.0;
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        std::printf("%-6s", kernels[k].c_str());
+        const double base = static_cast<double>(
+            results[k * modes.size()].stats.cycles);
         for (size_t m = 0; m < modes.size(); ++m) {
-            GpuConfig cfg = makeGtx480Config();
-            cfg.scheduler = SchedulerKind::GTO;
-            cfg.bows.enabled = modes[m].bows;
-            cfg.bows.deprioritize = modes[m].deprioritize;
-            cfg.bows.adaptive = modes[m].throttle;
-            cfg.bows.delayLimit = 0;
-            cfg.spinDetect = modes[m].detect;
             double cycles = static_cast<double>(
-                runBenchmark(cfg, name, scale).cycles);
-            if (m == 0)
-                base = cycles;
+                results[k * modes.size() + m].stats.cycles);
             gmean[m] *= cycles / base;
             std::printf(" %10.3f", cycles / base);
         }

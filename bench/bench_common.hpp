@@ -5,9 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/harness/sweep.hpp"
 #include "src/kernels/registry.hpp"
 #include "src/sim/gpu.hpp"
 
@@ -16,34 +20,140 @@
  * Shared helpers for the figure/table reproduction harnesses. Each bench
  * binary regenerates one table or figure of the paper; rows print as
  * tab-separated text so results can be diffed and plotted directly.
+ *
+ * Every binary declares its simulations as a Sweep — an ordered list of
+ * independent (kernel, GpuConfig) points — and executes it through
+ * runSweep(), which runs the points on a worker pool (--jobs=N /
+ * BOWSIM_JOBS) and optionally writes a machine-readable artifact
+ * (--json=FILE). Results come back in declaration order, so the printed
+ * tables are byte-identical regardless of the worker count.
  */
 
 namespace bowsim::bench {
 
-/** Scale factor for all workloads; override with --scale or BOWSIM_SCALE. */
-inline double
-workloadScale(int argc, char **argv, double fallback = 1.0)
+using harness::SweepPoint;
+using harness::SweepResult;
+
+/** Command-line options shared by every bench binary (see docs/BENCH.md). */
+struct BenchOptions {
+    /** Workload scale factor (--scale / BOWSIM_SCALE). */
+    double scale = 1.0;
+    /** Simulated core count override; 0 leaves each config untouched
+     *  (--cores / BOWSIM_CORES). */
+    unsigned cores = 0;
+    /** Sweep worker threads; 0 resolves via BOWSIM_JOBS, then the
+     *  hardware concurrency (--jobs / BOWSIM_JOBS). */
+    unsigned jobs = 0;
+    /** When set, runSweep() writes the sweep artifact here (--json). */
+    std::string jsonPath;
+};
+
+/**
+ * Parses --scale= / --cores= / --jobs= / --json= plus the corresponding
+ * BOWSIM_* environment variables (flags win over the environment, the
+ * environment wins over the bench's defaults). Unknown arguments are
+ * ignored so binaries with their own flags can share the parser.
+ */
+inline BenchOptions
+parseOptions(int argc, char **argv, double default_scale = 1.0,
+             unsigned default_cores = 0)
 {
+    BenchOptions o;
+    o.scale = default_scale;
+    o.cores = default_cores;
     if (const char *env = std::getenv("BOWSIM_SCALE"))
-        fallback = std::atof(env);
+        o.scale = std::atof(env);
+    if (const char *env = std::getenv("BOWSIM_CORES"))
+        o.cores = static_cast<unsigned>(std::atoi(env));
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0)
-            fallback = std::atof(argv[i] + 8);
+            o.scale = std::atof(argv[i] + 8);
+        else if (std::strncmp(argv[i], "--cores=", 8) == 0)
+            o.cores = static_cast<unsigned>(std::atoi(argv[i] + 8));
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            o.jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+        else if (std::strncmp(argv[i], "--json=", 7) == 0)
+            o.jsonPath = argv[i] + 7;
     }
-    return fallback;
+    return o;
 }
 
-/** Number of simulated cores; scaled down so sweeps finish in seconds. */
-inline unsigned
-benchCores(int argc, char **argv, unsigned fallback = 8)
+/** Applies the --cores override, when one was given. */
+inline void
+applyCores(const BenchOptions &opts, GpuConfig &cfg)
 {
-    if (const char *env = std::getenv("BOWSIM_CORES"))
-        fallback = static_cast<unsigned>(std::atoi(env));
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--cores=", 8) == 0)
-            fallback = static_cast<unsigned>(std::atoi(argv[i] + 8));
+    if (opts.cores != 0)
+        cfg.numCores = opts.cores;
+}
+
+/** Declarative sweep: the simulations one bench binary performs. */
+struct Sweep {
+    /** Bench name recorded in the JSON artifact, e.g. "fig10_delay_sweep". */
+    std::string name;
+    std::vector<SweepPoint> points;
+
+    /** Adds a registry-kernel point; returns its index. */
+    size_t
+    add(std::string id, std::string kernel, GpuConfig cfg, double scale)
+    {
+        SweepPoint p;
+        p.id = std::move(id);
+        p.kernel = std::move(kernel);
+        p.cfg = cfg;
+        p.scale = scale;
+        points.push_back(std::move(p));
+        return points.size() - 1;
     }
-    return fallback;
+
+    /** Adds a custom-body point (non-registry parameterizations). */
+    size_t
+    add(std::string id, GpuConfig cfg, std::function<KernelStats()> body)
+    {
+        SweepPoint p;
+        p.id = std::move(id);
+        p.cfg = cfg;
+        p.body = std::move(body);
+        points.push_back(std::move(p));
+        return points.size() - 1;
+    }
+};
+
+/**
+ * Runs @p sweep on a SweepRunner(opts.jobs) pool, writes the JSON
+ * artifact when opts.jsonPath is set, and returns the per-point results
+ * in declaration order. A failed point (e.g. a deadlock-watchdog
+ * SimError) is reported on stderr and aborts the bench with exit(1) —
+ * after the artifact is written, so partial results are preserved.
+ */
+inline std::vector<SweepResult>
+runSweep(const BenchOptions &opts, const Sweep &sweep)
+{
+    harness::SweepRunner runner(opts.jobs);
+    std::vector<SweepResult> results = runner.run(sweep.points);
+    if (!opts.jsonPath.empty()) {
+        std::ofstream out(opts.jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opts.jsonPath.c_str());
+            std::exit(1);
+        }
+        out << harness::sweepToJson(sweep.name, runner.jobs(),
+                                    sweep.points, results)
+                   .dump()
+            << "\n";
+    }
+    bool failed = false;
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok) {
+            std::fprintf(stderr, "error: sweep point '%s' failed: %s\n",
+                         sweep.points[i].id.c_str(),
+                         results[i].error.c_str());
+            failed = true;
+        }
+    }
+    if (failed)
+        std::exit(1);
+    return results;
 }
 
 /** Runs one named benchmark on @p cfg and returns its statistics. */

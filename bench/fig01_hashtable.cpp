@@ -31,12 +31,15 @@ htForBuckets(unsigned buckets, double scale)
     return p;
 }
 
-KernelStats
-runHt(const GpuConfig &cfg, const HashtableParams &p)
+/** Sweep body: one hashtable run with explicit parameters. */
+std::function<KernelStats()>
+htBody(const GpuConfig &cfg, const HashtableParams &p)
 {
-    Gpu gpu(cfg);
-    auto h = makeHashtable(p);
-    return h->run(gpu);
+    return [cfg, p]() {
+        Gpu gpu(cfg);
+        auto h = makeHashtable(p);
+        return h->run(gpu);
+    };
 }
 
 }  // namespace
@@ -44,15 +47,43 @@ runHt(const GpuConfig &cfg, const HashtableParams &p)
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     const std::vector<unsigned> buckets = {128, 256, 512, 1024, 2048,
                                            4096};
+
+    // Three GPU points per bucket count: Fermi (reused for both 1b and
+    // the 1c/1d/1e multi-warp columns — same config, same inputs),
+    // Pascal, and the single-warp variant for 1e. The CPU reference is
+    // a real natively-timed serial run and stays on this thread.
+    Sweep sweep;
+    sweep.name = "fig01_hashtable";
+    for (unsigned b : buckets) {
+        HashtableParams p = htForBuckets(b, opts.scale);
+        GpuConfig fermi = makeGtx480Config();
+        applyCores(opts, fermi);
+        GpuConfig pascal = makeGtx1080TiConfig();
+        applyCores(opts, pascal);
+        sweep.add("HT/fermi/" + std::to_string(b), fermi, htBody(fermi, p));
+        sweep.add("HT/pascal/" + std::to_string(b), pascal,
+                  htBody(pascal, p));
+        HashtableParams single = p;
+        single.ctas = 1;
+        single.threadsPerCta = 32;
+        single.insertions = 2048;
+        sweep.add("HT/single/" + std::to_string(b), fermi,
+                  htBody(fermi, single));
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+    auto fermiStats = [&](size_t i) -> const KernelStats & {
+        return results[i * 3].stats;
+    };
 
     printHeader("Figure 1b: HT execution time (ms), CPU vs GPU");
     std::printf("%-8s %12s %12s %12s\n", "buckets", "cpu_ms",
                 "fermi_ms", "pascal_ms");
-    for (unsigned b : buckets) {
-        HashtableParams p = htForBuckets(b, scale);
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        HashtableParams p = htForBuckets(buckets[i], opts.scale);
         // Real, natively-timed serial CPU insertion of the same keys.
         std::vector<Word> keys(p.insertions);
         std::uint64_t x = p.seed;
@@ -63,30 +94,28 @@ main(int argc, char **argv)
             k = static_cast<Word>((x * 0x2545F4914F6CDD1Dull) >> 16 &
                                   0x7fffffff);
         }
-        CpuHashtableResult cpu = cpuHashtableInsert(keys, b, 20);
+        CpuHashtableResult cpu = cpuHashtableInsert(keys, buckets[i], 20);
 
         GpuConfig fermi = makeGtx480Config();
-        KernelStats fs = runHt(fermi, p);
         GpuConfig pascal = makeGtx1080TiConfig();
-        KernelStats ps = runHt(pascal, p);
-        std::printf("%-8u %12.4f %12.4f %12.4f\n", b, cpu.milliseconds,
-                    fs.milliseconds(fermi.coreClockMhz),
-                    ps.milliseconds(pascal.coreClockMhz));
+        std::printf("%-8u %12.4f %12.4f %12.4f\n", buckets[i],
+                    cpu.milliseconds,
+                    fermiStats(i).milliseconds(fermi.coreClockMhz),
+                    results[i * 3 + 1].stats.milliseconds(
+                        pascal.coreClockMhz));
     }
 
     printHeader("Figure 1c/1d: synchronization overheads (Fermi, GTO)");
     std::printf("%-8s %14s %14s %16s\n", "buckets", "sync_inst_frac",
                 "sync_mem_frac", "thread_insts");
-    std::vector<KernelStats> sweep;
-    for (unsigned b : buckets) {
-        KernelStats s = runHt(makeGtx480Config(), htForBuckets(b, scale));
-        sweep.push_back(s);
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        const KernelStats &s = fermiStats(i);
         double mem_frac =
             s.l1Accesses == 0
                 ? 0.0
                 : static_cast<double>(s.syncMemTransactions) /
                       s.l1Accesses;
-        std::printf("%-8u %14.3f %14.3f %16llu\n", b,
+        std::printf("%-8u %14.3f %14.3f %16llu\n", buckets[i],
                     s.syncInstructionFraction(), mem_frac,
                     static_cast<unsigned long long>(s.threadInstructions));
     }
@@ -95,13 +124,9 @@ main(int argc, char **argv)
     std::printf("%-8s %14s %14s\n", "buckets", "single_warp",
                 "multi_warp");
     for (size_t i = 0; i < buckets.size(); ++i) {
-        HashtableParams p = htForBuckets(buckets[i], scale);
-        p.ctas = 1;
-        p.threadsPerCta = 32;
-        p.insertions = 2048;
-        KernelStats single = runHt(makeGtx480Config(), p);
         std::printf("%-8u %14.3f %14.3f\n", buckets[i],
-                    single.simdEfficiency(), sweep[i].simdEfficiency());
+                    results[i * 3 + 2].stats.simdEfficiency(),
+                    fermiStats(i).simdEfficiency());
     }
     return 0;
 }

@@ -12,24 +12,38 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("Figure 2: synchronization status distribution "
                 "(fractions of all attempts)");
     std::printf("%-6s %-5s %9s %9s %9s %9s %9s\n", "kernel", "sched",
                 "lock_ok", "interFail", "intraFail", "wait_ok",
                 "wait_fail");
-    for (const std::string &name : syncKernelNames()) {
-        for (SchedulerKind sched : {SchedulerKind::LRR, SchedulerKind::GTO,
-                                    SchedulerKind::CAWA}) {
+
+    const std::vector<SchedulerKind> scheds = {
+        SchedulerKind::LRR, SchedulerKind::GTO, SchedulerKind::CAWA};
+    const std::vector<std::string> kernels = syncKernelNames();
+    Sweep sweep;
+    sweep.name = "fig02_sync_distribution";
+    for (const std::string &name : kernels) {
+        for (SchedulerKind sched : scheds) {
             GpuConfig cfg = makeGtx480Config();
+            applyCores(opts, cfg);
             cfg.scheduler = sched;
             cfg.bows.enabled = false;
-            KernelStats s = runBenchmark(cfg, name, scale);
+            sweep.add(name + "/" + toString(sched), name, cfg,
+                      opts.scale);
+        }
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        for (size_t m = 0; m < scheds.size(); ++m) {
+            const KernelStats &s = results[k * scheds.size() + m].stats;
             double total = static_cast<double>(s.outcomes.total());
             if (total == 0)
                 total = 1;
             std::printf("%-6s %-5s %9.3f %9.3f %9.3f %9.3f %9.3f\n",
-                        name.c_str(), toString(sched),
+                        kernels[k].c_str(), toString(scheds[m]),
                         s.outcomes.lockSuccess / total,
                         s.outcomes.interWarpFail / total,
                         s.outcomes.intraWarpFail / total,

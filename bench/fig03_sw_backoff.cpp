@@ -14,31 +14,48 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("Figure 3: HT execution time (ms) with software back-off "
                 "delays (Pascal)");
     const std::vector<unsigned> factors = {0, 50, 100, 500, 1000};
+    const std::vector<unsigned> buckets = {128, 256, 512, 1024, 2048,
+                                           4096};
     std::printf("%-8s", "buckets");
     for (unsigned f : factors)
         std::printf("  delay=%-6u", f);
     std::printf("\n");
 
-    for (unsigned buckets : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-        std::printf("%-8u", buckets);
+    Sweep sweep;
+    sweep.name = "fig03_sw_backoff";
+    for (unsigned b : buckets) {
         for (unsigned f : factors) {
             GpuConfig cfg = makeGtx1080TiConfig();
+            applyCores(opts, cfg);
             cfg.bows.enabled = false;
-            Gpu gpu(cfg);
             HashtableParams p;
-            p.insertions = static_cast<unsigned>(16384 * scale);
-            p.buckets = buckets;
+            p.insertions = static_cast<unsigned>(16384 * opts.scale);
+            p.buckets = b;
             p.ctas = 30;
             p.threadsPerCta = 256;
             p.delayFactor = f;
-            auto h = makeHashtable(p);
-            KernelStats s = h->run(gpu);
-            std::printf("  %-12.4f", s.milliseconds(cfg.coreClockMhz));
+            sweep.add("HT/" + std::to_string(b) + "/d" +
+                          std::to_string(f),
+                      cfg, [cfg, p]() {
+                          Gpu gpu(cfg);
+                          auto h = makeHashtable(p);
+                          return h->run(gpu);
+                      });
         }
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+    const double clock_mhz = makeGtx1080TiConfig().coreClockMhz;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        std::printf("%-8u", buckets[i]);
+        for (size_t j = 0; j < factors.size(); ++j)
+            std::printf("  %-12.4f",
+                        results[i * factors.size() + j]
+                            .stats.milliseconds(clock_mhz));
         std::printf("\n");
     }
     return 0;

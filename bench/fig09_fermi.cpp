@@ -13,7 +13,7 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("Figure 9a/9b: exec time and energy normalized to LRR "
                 "(GTX480)");
     std::printf("%-6s | %7s %7s %7s %7s %7s %7s | %7s %7s %7s %7s %7s "
@@ -22,38 +22,51 @@ main(int argc, char **argv)
                 "CAWA+B", "eLRR", "eLRR+B", "eGTO", "eGTO+B", "eCAWA",
                 "eCAWA+B");
 
-    double time_gmean[6] = {1, 1, 1, 1, 1, 1};
-    double energy_gmean[6] = {1, 1, 1, 1, 1, 1};
-    unsigned count = 0;
-
-    for (const std::string &name : syncKernelNames()) {
-        double cycles[6];
-        double energy[6];
+    const char *labels[6] = {"LRR",  "LRR+B",  "GTO",
+                             "GTO+B", "CAWA", "CAWA+B"};
+    const std::vector<std::string> kernels = syncKernelNames();
+    Sweep sweep;
+    sweep.name = "fig09_fermi";
+    for (const std::string &name : kernels) {
         unsigned i = 0;
         for (SchedulerKind sched : {SchedulerKind::LRR, SchedulerKind::GTO,
                                     SchedulerKind::CAWA}) {
             for (bool bows : {false, true}) {
                 GpuConfig cfg = makeGtx480Config();
+                applyCores(opts, cfg);
                 cfg.scheduler = sched;
                 cfg.bows.enabled = bows;
-                KernelStats s = runBenchmark(cfg, name, scale);
-                cycles[i] = static_cast<double>(s.cycles);
-                energy[i] = s.energyNj;
+                sweep.add(name + "/" + labels[i], name, cfg, opts.scale);
                 ++i;
             }
         }
-        // Reorder to LRR, LRR+B, GTO, GTO+B, CAWA, CAWA+B and normalize
-        // to plain LRR.
-        std::printf("%-6s |", name.c_str());
-        for (unsigned k = 0; k < 6; ++k)
-            std::printf(" %7.3f", cycles[k] / cycles[0]);
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+
+    double time_gmean[6] = {1, 1, 1, 1, 1, 1};
+    double energy_gmean[6] = {1, 1, 1, 1, 1, 1};
+    unsigned count = 0;
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        double cycles[6];
+        double energy[6];
+        for (unsigned i = 0; i < 6; ++i) {
+            const KernelStats &s = results[k * 6 + i].stats;
+            cycles[i] = static_cast<double>(s.cycles);
+            energy[i] = s.energyNj;
+        }
+        // Columns are already LRR, LRR+B, GTO, GTO+B, CAWA, CAWA+B;
+        // normalize to plain LRR.
+        std::printf("%-6s |", kernels[k].c_str());
+        for (unsigned i = 0; i < 6; ++i)
+            std::printf(" %7.3f", cycles[i] / cycles[0]);
         std::printf(" |");
-        for (unsigned k = 0; k < 6; ++k)
-            std::printf(" %7.3f", energy[k] / energy[0]);
+        for (unsigned i = 0; i < 6; ++i)
+            std::printf(" %7.3f", energy[i] / energy[0]);
         std::printf("\n");
-        for (unsigned k = 0; k < 6; ++k) {
-            time_gmean[k] *= cycles[k] / cycles[0];
-            energy_gmean[k] *= energy[k] / energy[0];
+        for (unsigned i = 0; i < 6; ++i) {
+            time_gmean[i] *= cycles[i] / cycles[0];
+            energy_gmean[i] *= energy[i] / energy[0];
         }
         ++count;
     }

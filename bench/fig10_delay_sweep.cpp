@@ -12,8 +12,7 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 0.5);
-    unsigned cores = benchCores(argc, argv);
+    BenchOptions opts = parseOptions(argc, argv, 0.5, 8);
 
     printHeader("Figure 10: execution time vs back-off delay limit "
                 "(normalized to GTO)");
@@ -22,32 +21,44 @@ main(int argc, char **argv)
                 "B(adapt)");
 
     struct Mode {
+        const char *label;
         bool bows;
         bool adaptive;
         Cycle limit;
     };
     const std::vector<Mode> modes = {
-        {false, false, 0}, {true, false, 0},    {true, false, 500},
-        {true, false, 1000}, {true, false, 3000}, {true, false, 5000},
-        {true, true, 0},
+        {"GTO", false, false, 0},     {"B0", true, false, 0},
+        {"B500", true, false, 500},   {"B1000", true, false, 1000},
+        {"B3000", true, false, 3000}, {"B5000", true, false, 5000},
+        {"Badapt", true, true, 0},
     };
 
-    for (const std::string &name : syncKernelNames()) {
-        std::vector<double> cycles;
+    const std::vector<std::string> kernels = syncKernelNames();
+    Sweep sweep;
+    sweep.name = "fig10_delay_sweep";
+    for (const std::string &name : kernels) {
         for (const Mode &m : modes) {
             GpuConfig cfg = makeGtx480Config();
-            cfg.numCores = cores;
+            applyCores(opts, cfg);
             cfg.scheduler = SchedulerKind::GTO;
             cfg.bows.enabled = m.bows;
             cfg.bows.adaptive = m.adaptive;
             cfg.bows.delayLimit = m.limit;
             cfg.spinDetect = SpinDetect::Ddos;
-            cycles.push_back(static_cast<double>(
-                runBenchmark(cfg, name, scale).cycles));
+            sweep.add(name + "/" + m.label, name, cfg, opts.scale);
         }
-        std::printf("%-6s", name.c_str());
-        for (double c : cycles)
-            std::printf(" %8.3f", c / cycles[0]);
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        const double base = static_cast<double>(
+            results[k * modes.size()].stats.cycles);
+        std::printf("%-6s", kernels[k].c_str());
+        for (size_t m = 0; m < modes.size(); ++m)
+            std::printf(" %8.3f",
+                        static_cast<double>(
+                            results[k * modes.size() + m].stats.cycles) /
+                            base);
         std::printf("\n");
     }
     return 0;

@@ -12,33 +12,47 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("Figure 11: backed-off warp fraction vs delay limit "
                 "(GTO+BOWS, DDOS)");
     std::printf("%-6s %8s %8s %8s %8s %8s %8s %8s\n", "kernel", "GTO",
                 "B(0)", "B(500)", "B(1000)", "B(3000)", "B(5000)",
                 "B(adapt)");
     struct Mode {
+        const char *label;
         bool bows;
         bool adaptive;
         Cycle limit;
     };
     const std::vector<Mode> modes = {
-        {false, false, 0},  {true, false, 0},    {true, false, 500},
-        {true, false, 1000}, {true, false, 3000}, {true, false, 5000},
-        {true, true, 0},
+        {"GTO", false, false, 0},     {"B0", true, false, 0},
+        {"B500", true, false, 500},   {"B1000", true, false, 1000},
+        {"B3000", true, false, 3000}, {"B5000", true, false, 5000},
+        {"Badapt", true, true, 0},
     };
-    for (const std::string &name : syncKernelNames()) {
-        std::printf("%-6s", name.c_str());
+
+    const std::vector<std::string> kernels = syncKernelNames();
+    Sweep sweep;
+    sweep.name = "fig11_warp_distribution";
+    for (const std::string &name : kernels) {
         for (const Mode &m : modes) {
             GpuConfig cfg = makeGtx480Config();
+            applyCores(opts, cfg);
             cfg.scheduler = SchedulerKind::GTO;
             cfg.bows.enabled = m.bows;
             cfg.bows.adaptive = m.adaptive;
             cfg.bows.delayLimit = m.limit;
-            KernelStats s = runBenchmark(cfg, name, scale);
-            std::printf(" %8.3f", s.backedOffFraction());
+            sweep.add(name + "/" + m.label, name, cfg, opts.scale);
         }
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        std::printf("%-6s", kernels[k].c_str());
+        for (size_t m = 0; m < modes.size(); ++m)
+            std::printf(" %8.3f",
+                        results[k * modes.size() + m]
+                            .stats.backedOffFraction());
         std::printf("\n");
     }
     return 0;

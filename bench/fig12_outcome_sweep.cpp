@@ -12,7 +12,7 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("Figure 12: outcome distribution vs delay limit "
                 "(fractions; rows: kernel x mode)");
     std::printf("%-6s %-8s %9s %9s %9s %9s %9s %12s\n", "kernel", "mode",
@@ -30,14 +30,26 @@ main(int argc, char **argv)
         {"B3000", true, false, 3000}, {"B5000", true, false, 5000},
         {"Badapt", true, true, 0},
     };
-    for (const std::string &name : syncKernelNames()) {
+
+    const std::vector<std::string> kernels = syncKernelNames();
+    Sweep sweep;
+    sweep.name = "fig12_outcome_sweep";
+    for (const std::string &name : kernels) {
         for (const Mode &m : modes) {
             GpuConfig cfg = makeGtx480Config();
+            applyCores(opts, cfg);
             cfg.scheduler = SchedulerKind::GTO;
             cfg.bows.enabled = m.bows;
             cfg.bows.adaptive = m.adaptive;
             cfg.bows.delayLimit = m.limit;
-            KernelStats s = runBenchmark(cfg, name, scale);
+            sweep.add(name + "/" + m.label, name, cfg, opts.scale);
+        }
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        for (size_t m = 0; m < modes.size(); ++m) {
+            const KernelStats &s = results[k * modes.size() + m].stats;
             double total = static_cast<double>(s.outcomes.total());
             if (total == 0)
                 total = 1;
@@ -47,7 +59,7 @@ main(int argc, char **argv)
                                 ? 0.0
                                 : fails / s.outcomes.lockSuccess;
             std::printf("%-6s %-8s %9.3f %9.3f %9.3f %9.3f %9.3f %12.2f\n",
-                        name.c_str(), m.label,
+                        kernels[k].c_str(), modes[m].label,
                         s.outcomes.lockSuccess / total,
                         s.outcomes.interWarpFail / total,
                         s.outcomes.intraWarpFail / total,

@@ -12,7 +12,7 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     struct Mode {
         const char *label;
         bool bows;
@@ -26,19 +26,22 @@ main(int argc, char **argv)
         {"Badapt", true, true, 0},
     };
 
-    std::vector<std::vector<KernelStats>> all;
-    for (const std::string &name : syncKernelNames()) {
-        std::vector<KernelStats> row;
+    const std::vector<std::string> kernels = syncKernelNames();
+    Sweep sweep;
+    sweep.name = "fig13_overheads";
+    for (const std::string &name : kernels) {
         for (const Mode &m : modes) {
             GpuConfig cfg = makeGtx480Config();
+            applyCores(opts, cfg);
             cfg.scheduler = SchedulerKind::GTO;
             cfg.bows.enabled = m.bows;
             cfg.bows.adaptive = m.adaptive;
             cfg.bows.delayLimit = m.limit;
-            row.push_back(runBenchmark(cfg, name, scale));
+            sweep.add(name + "/" + m.label, name, cfg, opts.scale);
         }
-        all.push_back(std::move(row));
     }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
 
     auto table = [&](const char *title, auto metric, bool normalize) {
         printHeader(title);
@@ -47,11 +50,11 @@ main(int argc, char **argv)
             std::printf(" %8s", m.label);
         std::printf("\n");
         std::vector<double> gmean(modes.size(), 1.0);
-        for (size_t k = 0; k < all.size(); ++k) {
-            std::printf("%-6s", syncKernelNames()[k].c_str());
-            double base = metric(all[k][0]);
+        for (size_t k = 0; k < kernels.size(); ++k) {
+            std::printf("%-6s", kernels[k].c_str());
+            double base = metric(results[k * modes.size()].stats);
             for (size_t m = 0; m < modes.size(); ++m) {
-                double v = metric(all[k][m]);
+                double v = metric(results[k * modes.size() + m].stats);
                 double out = normalize && base != 0 ? v / base : v;
                 gmean[m] *= out;
                 std::printf(" %8.3f", out);
@@ -60,7 +63,8 @@ main(int argc, char **argv)
         }
         std::printf("%-6s", "Gmean");
         for (size_t m = 0; m < modes.size(); ++m)
-            std::printf(" %8.3f", std::pow(gmean[m], 1.0 / all.size()));
+            std::printf(" %8.3f",
+                        std::pow(gmean[m], 1.0 / kernels.size()));
         std::printf("\n\n");
     };
 

@@ -14,35 +14,49 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("Figure 14: sync-free kernels, exec time normalized to "
                 "GTO (BOWS(5000) under MODULO vs XOR hashing)");
     std::printf("%-6s %10s %12s %10s %10s\n", "kernel", "modulo",
                 "modulo_fsdr", "xor", "xor_fsdr");
-    double gmean_mod = 1.0;
-    double gmean_xor = 1.0;
-    unsigned count = 0;
-    for (const std::string &name : syncFreeKernelNames()) {
+
+    const std::vector<std::string> kernels = syncFreeKernelNames();
+    Sweep sweep;
+    sweep.name = "fig14_detection_errors";
+    for (const std::string &name : kernels) {
         GpuConfig base = makeGtx480Config();
+        applyCores(opts, base);
         base.scheduler = SchedulerKind::GTO;
         base.bows.enabled = false;
-        double base_cycles =
-            static_cast<double>(runBenchmark(base, name, scale).cycles);
+        sweep.add(name + "/GTO", name, base, opts.scale);
 
-        auto with_hash = [&](HashKind hash) {
+        for (HashKind hash : {HashKind::Modulo, HashKind::Xor}) {
             GpuConfig cfg = makeGtx480Config();
+            applyCores(opts, cfg);
             cfg.scheduler = SchedulerKind::GTO;
             cfg.bows.enabled = true;
             cfg.bows.adaptive = false;
             cfg.bows.delayLimit = 5000;
             cfg.ddos.hash = hash;
-            return runBenchmark(cfg, name, scale);
-        };
-        KernelStats mod = with_hash(HashKind::Modulo);
-        KernelStats xr = with_hash(HashKind::Xor);
-        std::printf("%-6s %10.3f %12.3f %10.3f %10.3f\n", name.c_str(),
-                    mod.cycles / base_cycles, mod.ddos.fsdr(),
-                    xr.cycles / base_cycles, xr.ddos.fsdr());
+            sweep.add(name + "/B5000-" + toString(hash), name, cfg,
+                      opts.scale);
+        }
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+
+    double gmean_mod = 1.0;
+    double gmean_xor = 1.0;
+    unsigned count = 0;
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        double base_cycles =
+            static_cast<double>(results[k * 3].stats.cycles);
+        const KernelStats &mod = results[k * 3 + 1].stats;
+        const KernelStats &xr = results[k * 3 + 2].stats;
+        std::printf("%-6s %10.3f %12.3f %10.3f %10.3f\n",
+                    kernels[k].c_str(), mod.cycles / base_cycles,
+                    mod.ddos.fsdr(), xr.cycles / base_cycles,
+                    xr.ddos.fsdr());
         gmean_mod *= mod.cycles / base_cycles;
         gmean_xor *= xr.cycles / base_cycles;
         ++count;

@@ -13,7 +13,7 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("Figure 15a/15b: exec time and energy normalized to LRR "
                 "(GTX1080Ti)");
     std::printf("%-6s | %7s %7s %7s %7s %7s %7s | %7s %7s %7s %7s %7s "
@@ -21,33 +21,48 @@ main(int argc, char **argv)
                 "kernel", "LRR", "LRR+B", "GTO", "GTO+B", "CAWA",
                 "CAWA+B", "eLRR", "eLRR+B", "eGTO", "eGTO+B", "eCAWA",
                 "eCAWA+B");
-    double time_gmean[6] = {1, 1, 1, 1, 1, 1};
-    unsigned count = 0;
-    for (const std::string &name : syncKernelNames()) {
-        double cycles[6];
-        double energy[6];
+
+    const char *labels[6] = {"LRR",  "LRR+B",  "GTO",
+                             "GTO+B", "CAWA", "CAWA+B"};
+    const std::vector<std::string> kernels = syncKernelNames();
+    Sweep sweep;
+    sweep.name = "fig15_pascal";
+    for (const std::string &name : kernels) {
         unsigned i = 0;
         for (SchedulerKind sched : {SchedulerKind::LRR, SchedulerKind::GTO,
                                     SchedulerKind::CAWA}) {
             for (bool bows : {false, true}) {
                 GpuConfig cfg = makeGtx1080TiConfig();
+                applyCores(opts, cfg);
                 cfg.scheduler = sched;
                 cfg.bows.enabled = bows;
-                KernelStats s = runBenchmark(cfg, name, scale);
-                cycles[i] = static_cast<double>(s.cycles);
-                energy[i] = s.energyNj;
+                sweep.add(name + "/" + labels[i], name, cfg, opts.scale);
                 ++i;
             }
         }
-        std::printf("%-6s |", name.c_str());
-        for (unsigned k = 0; k < 6; ++k)
-            std::printf(" %7.3f", cycles[k] / cycles[0]);
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+
+    double time_gmean[6] = {1, 1, 1, 1, 1, 1};
+    unsigned count = 0;
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        double cycles[6];
+        double energy[6];
+        for (unsigned i = 0; i < 6; ++i) {
+            const KernelStats &s = results[k * 6 + i].stats;
+            cycles[i] = static_cast<double>(s.cycles);
+            energy[i] = s.energyNj;
+        }
+        std::printf("%-6s |", kernels[k].c_str());
+        for (unsigned i = 0; i < 6; ++i)
+            std::printf(" %7.3f", cycles[i] / cycles[0]);
         std::printf(" |");
-        for (unsigned k = 0; k < 6; ++k)
-            std::printf(" %7.3f", energy[k] / energy[0]);
+        for (unsigned i = 0; i < 6; ++i)
+            std::printf(" %7.3f", energy[i] / energy[0]);
         std::printf("\n");
-        for (unsigned k = 0; k < 6; ++k)
-            time_gmean[k] *= cycles[k] / cycles[0];
+        for (unsigned i = 0; i < 6; ++i)
+            time_gmean[i] *= cycles[i] / cycles[0];
         ++count;
     }
     std::printf("%-6s |", "Gmean");

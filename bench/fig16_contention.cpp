@@ -16,28 +16,41 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 1.0);
+    BenchOptions opts = parseOptions(argc, argv, 1.0);
     printHeader("Figure 16: HT contention sweep (GTO vs GTO+BOWS "
                 "adaptive)");
     std::printf("%-8s %9s %12s %14s %16s\n", "buckets", "speedup",
                 "bows_insts", "ideal_insts", "bows_fail_per_ok");
-    for (unsigned buckets : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
-        KernelStats runs[2];
+
+    const std::vector<unsigned> buckets = {128, 256, 512, 1024, 2048,
+                                           4096};
+    Sweep sweep;
+    sweep.name = "fig16_contention";
+    for (unsigned b : buckets) {
         for (int bows = 0; bows < 2; ++bows) {
             GpuConfig cfg = makeGtx480Config();
+            applyCores(opts, cfg);
             cfg.scheduler = SchedulerKind::GTO;
             cfg.bows.enabled = bows != 0;
-            Gpu gpu(cfg);
             HashtableParams p;
-            p.insertions = static_cast<unsigned>(24576 * scale);
-            p.buckets = buckets;
+            p.insertions = static_cast<unsigned>(24576 * opts.scale);
+            p.buckets = b;
             p.ctas = 30;
             p.threadsPerCta = 256;
-            auto h = makeHashtable(p);
-            runs[bows] = h->run(gpu);
+            sweep.add("HT/" + std::to_string(b) +
+                          (bows ? "/BOWS" : "/GTO"),
+                      cfg, [cfg, p]() {
+                          Gpu gpu(cfg);
+                          auto h = makeHashtable(p);
+                          return h->run(gpu);
+                      });
         }
-        const KernelStats &base = runs[0];
-        const KernelStats &bows = runs[1];
+    }
+
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        const KernelStats &base = results[i * 2].stats;
+        const KernelStats &bows = results[i * 2 + 1].stats;
         // Ideal blocking: each successful acquire costs exactly one
         // sync-region iteration; all retry iterations disappear.
         double sync_per_success =
@@ -50,7 +63,7 @@ main(int argc, char **argv)
                        sync_per_success * base.outcomes.lockSuccess;
         double fails = static_cast<double>(bows.outcomes.interWarpFail +
                                            bows.outcomes.intraWarpFail);
-        std::printf("%-8u %9.3f %12.3f %14.3f %16.2f\n", buckets,
+        std::printf("%-8u %9.3f %12.3f %14.3f %16.2f\n", buckets[i],
                     static_cast<double>(base.cycles) / bows.cycles,
                     static_cast<double>(bows.threadInstructions) /
                         base.threadInstructions,

@@ -1,0 +1,66 @@
+/**
+ * Validates a BENCH_*.json sweep artifact: the file must parse, carry a
+ * "points" array of the expected size (when a count is given), and every
+ * point must have ok == true. Used by the bench_smoke ctest target.
+ *
+ * Usage: json_check FILE [EXPECTED_POINT_COUNT]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/log.hpp"
+#include "src/harness/json.hpp"
+
+using bowsim::harness::Json;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr, "usage: %s FILE [EXPECTED_POINT_COUNT]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    try {
+        const Json doc = Json::parse(buf.str());
+        const Json &points = doc.at("points");
+        if (argc == 3) {
+            const std::size_t expected =
+                static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10));
+            if (points.size() != expected) {
+                std::fprintf(stderr,
+                             "json_check: %s has %zu points, expected %zu\n",
+                             argv[1], points.size(), expected);
+                return 1;
+            }
+        }
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Json &p = points.at(i);
+            if (!p.at("ok").asBool()) {
+                std::fprintf(stderr, "json_check: point %s failed: %s\n",
+                             p.at("id").asString().c_str(),
+                             p.at("error").asString().c_str());
+                return 1;
+            }
+        }
+        std::printf("json_check: %s OK (bench=%s, %zu points)\n", argv[1],
+                    doc.at("bench").asString().c_str(), points.size());
+    } catch (const bowsim::FatalError &e) {
+        std::fprintf(stderr, "json_check: %s invalid: %s\n", argv[1],
+                     e.what());
+        return 1;
+    }
+    return 0;
+}

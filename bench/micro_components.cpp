@@ -6,13 +6,18 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "src/arch/simt_stack.hpp"
 #include "src/core/ddos/hashing.hpp"
 #include "src/core/ddos/history.hpp"
 #include "src/core/ddos/sib_table.hpp"
 #include "src/isa/assembler.hpp"
+#include "src/kernels/registry.hpp"
 #include "src/mem/cache.hpp"
 #include "src/mem/coalescer.hpp"
+#include "src/sim/gpu.hpp"
 
 namespace {
 
@@ -127,6 +132,55 @@ LOOP:
 }
 BENCHMARK(BM_AssembleSpinKernel);
 
+/**
+ * End-to-end cycle loop: one tiny single-SM kernel run per iteration.
+ * This is the macro guard on SmCore::cycle / arbitration / LD-ST
+ * regressions that the component benchmarks above cannot see.
+ */
+void
+BM_MicroCycleLoop(benchmark::State &state)
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 1;
+    const std::string name = syncKernelNames().front();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        Gpu gpu(cfg);
+        auto h = makeBenchmark(name, 0.05);
+        cycles += h->run(gpu).cycles;
+    }
+    benchmark::DoNotOptimize(cycles);
+    state.counters["sim_cycles_per_iter"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MicroCycleLoop)->Name("micro_cycle_loop")
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main instead of BENCHMARK_MAIN(): the shared bench flags
+ * (--scale/--cores/--jobs/--json) are stripped before google-benchmark
+ * sees argv, so driver scripts can pass one flag set to every binary.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> kept;
+    kept.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const bool shared = std::strncmp(argv[i], "--scale=", 8) == 0 ||
+                            std::strncmp(argv[i], "--cores=", 8) == 0 ||
+                            std::strncmp(argv[i], "--jobs=", 7) == 0 ||
+                            std::strncmp(argv[i], "--json=", 7) == 0;
+        if (!shared)
+            kept.push_back(argv[i]);
+    }
+    int kept_argc = static_cast<int>(kept.size());
+    benchmark::Initialize(&kept_argc, kept.data());
+    if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -16,6 +16,18 @@ using namespace bowsim::bench;
 
 namespace {
 
+/** One labeled DDOS parameterization, run over the whole suite. */
+struct Entry {
+    std::string label;
+    DdosConfig ddos;
+};
+
+/** A sub-table: a header comment plus its entries. */
+struct Section {
+    const char *header;
+    std::vector<Entry> entries;
+};
+
 struct Row {
     double tsdr = 0.0;
     double dprTrue = 0.0;
@@ -23,37 +35,10 @@ struct Row {
     double dprFalse = 0.0;
 };
 
-Row
-runSuite(const DdosConfig &ddos, double scale)
-{
-    Row row;
-    unsigned n = 0;
-    std::vector<std::string> names = syncKernelNames();
-    for (const std::string &s : syncFreeKernelNames())
-        names.push_back(s);
-    for (const std::string &name : names) {
-        GpuConfig cfg = makeGtx480Config();
-        cfg.scheduler = SchedulerKind::GTO;
-        cfg.bows.enabled = false;  // measure detection, not scheduling
-        cfg.ddos = ddos;
-        KernelStats s = runBenchmark(cfg, name, scale);
-        row.tsdr += s.ddos.tsdr();
-        row.dprTrue += s.ddos.dprTrue();
-        row.fsdr += s.ddos.fsdr();
-        row.dprFalse += s.ddos.dprFalse();
-        ++n;
-    }
-    row.tsdr /= n;
-    row.dprTrue /= n;
-    row.fsdr /= n;
-    row.dprFalse /= n;
-    return row;
-}
-
 void
-print(const char *label, const Row &r)
+print(const std::string &label, const Row &r)
 {
-    std::printf("%-24s %8.3f %8.3f %8.3f %8.3f\n", label, r.tsdr,
+    std::printf("%-24s %8.3f %8.3f %8.3f %8.3f\n", label.c_str(), r.tsdr,
                 r.dprTrue, r.fsdr, r.dprFalse);
 }
 
@@ -62,63 +47,112 @@ print(const char *label, const Row &r)
 int
 main(int argc, char **argv)
 {
-    double scale = workloadScale(argc, argv, 0.25);
+    BenchOptions opts = parseOptions(argc, argv, 0.25);
     printHeader("Table I: DDOS sensitivity (averages over the suite)");
     std::printf("%-24s %8s %8s %8s %8s\n", "config", "TSDR", "DPR(T)",
                 "FSDR", "DPR(F)");
 
     DdosConfig base;  // h=XOR, m=k=8, l=8, t=4, no time sharing
+    char label[64];
 
-    std::printf("# hashing function (t=4, l=8)\n");
-    for (HashKind h : {HashKind::Xor, HashKind::Modulo}) {
-        for (unsigned bits : {4u, 8u}) {
+    std::vector<Section> sections;
+    {
+        Section s{"# hashing function (t=4, l=8)", {}};
+        for (HashKind h : {HashKind::Xor, HashKind::Modulo}) {
+            for (unsigned bits : {4u, 8u}) {
+                DdosConfig d = base;
+                d.hash = h;
+                d.hashBits = bits;
+                std::snprintf(label, sizeof label, "%s, m=k=%u",
+                              toString(h), bits);
+                s.entries.push_back({label, d});
+            }
+        }
+        sections.push_back(std::move(s));
+    }
+    {
+        Section s{"# hashed width m=k (t=4, l=8, XOR)", {}};
+        for (unsigned bits : {2u, 3u, 4u, 8u}) {
             DdosConfig d = base;
-            d.hash = h;
             d.hashBits = bits;
-            char label[64];
-            std::snprintf(label, sizeof label, "%s, m=k=%u", toString(h),
-                          bits);
-            print(label, runSuite(d, scale));
+            std::snprintf(label, sizeof label, "m=k=%u", bits);
+            s.entries.push_back({label, d});
+        }
+        sections.push_back(std::move(s));
+    }
+    {
+        Section s{"# confidence threshold t (m=k=8, l=8, XOR)", {}};
+        for (unsigned t : {2u, 4u, 8u, 12u}) {
+            DdosConfig d = base;
+            d.confidenceThreshold = t;
+            std::snprintf(label, sizeof label, "t=%u", t);
+            s.entries.push_back({label, d});
+        }
+        sections.push_back(std::move(s));
+    }
+    {
+        Section s{"# history length l (t=4, m=k=8, XOR)", {}};
+        for (unsigned l : {1u, 2u, 4u, 8u}) {
+            DdosConfig d = base;
+            d.historyLength = l;
+            std::snprintf(label, sizeof label, "l=%u", l);
+            s.entries.push_back({label, d});
+        }
+        sections.push_back(std::move(s));
+    }
+    {
+        Section s{"# time sharing (l=8, t=4, XOR, epoch=1000)", {}};
+        for (bool sh : {false, true}) {
+            for (unsigned bits : {4u, 8u}) {
+                DdosConfig d = base;
+                d.timeShare = sh;
+                d.hashBits = bits;
+                std::snprintf(label, sizeof label, "sh=%d, m=k=%u",
+                              sh ? 1 : 0, bits);
+                s.entries.push_back({label, d});
+            }
+        }
+        sections.push_back(std::move(s));
+    }
+
+    std::vector<std::string> names = syncKernelNames();
+    for (const std::string &s : syncFreeKernelNames())
+        names.push_back(s);
+
+    Sweep sweep;
+    sweep.name = "tab1_ddos_sensitivity";
+    for (const Section &sec : sections) {
+        for (const Entry &e : sec.entries) {
+            for (const std::string &name : names) {
+                GpuConfig cfg = makeGtx480Config();
+                applyCores(opts, cfg);
+                cfg.scheduler = SchedulerKind::GTO;
+                cfg.bows.enabled = false;  // detection, not scheduling
+                cfg.ddos = e.ddos;
+                sweep.add(e.label + "/" + name, name, cfg, opts.scale);
+            }
         }
     }
 
-    std::printf("# hashed width m=k (t=4, l=8, XOR)\n");
-    for (unsigned bits : {2u, 3u, 4u, 8u}) {
-        DdosConfig d = base;
-        d.hashBits = bits;
-        char label[64];
-        std::snprintf(label, sizeof label, "m=k=%u", bits);
-        print(label, runSuite(d, scale));
-    }
+    const std::vector<SweepResult> results = runSweep(opts, sweep);
 
-    std::printf("# confidence threshold t (m=k=8, l=8, XOR)\n");
-    for (unsigned t : {2u, 4u, 8u, 12u}) {
-        DdosConfig d = base;
-        d.confidenceThreshold = t;
-        char label[64];
-        std::snprintf(label, sizeof label, "t=%u", t);
-        print(label, runSuite(d, scale));
-    }
-
-    std::printf("# history length l (t=4, m=k=8, XOR)\n");
-    for (unsigned l : {1u, 2u, 4u, 8u}) {
-        DdosConfig d = base;
-        d.historyLength = l;
-        char label[64];
-        std::snprintf(label, sizeof label, "l=%u", l);
-        print(label, runSuite(d, scale));
-    }
-
-    std::printf("# time sharing (l=8, t=4, XOR, epoch=1000)\n");
-    for (bool sh : {false, true}) {
-        for (unsigned bits : {4u, 8u}) {
-            DdosConfig d = base;
-            d.timeShare = sh;
-            d.hashBits = bits;
-            char label[64];
-            std::snprintf(label, sizeof label, "sh=%d, m=k=%u", sh ? 1 : 0,
-                          bits);
-            print(label, runSuite(d, scale));
+    size_t idx = 0;
+    for (const Section &sec : sections) {
+        std::printf("%s\n", sec.header);
+        for (const Entry &e : sec.entries) {
+            Row row;
+            for (size_t n = 0; n < names.size(); ++n, ++idx) {
+                const KernelStats &s = results[idx].stats;
+                row.tsdr += s.ddos.tsdr();
+                row.dprTrue += s.ddos.dprTrue();
+                row.fsdr += s.ddos.fsdr();
+                row.dprFalse += s.ddos.dprFalse();
+            }
+            row.tsdr /= names.size();
+            row.dprTrue /= names.size();
+            row.fsdr /= names.size();
+            row.dprFalse /= names.size();
+            print(e.label, row);
         }
     }
     return 0;

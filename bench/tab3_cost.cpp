@@ -12,9 +12,16 @@ using namespace bowsim::bench;
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
+    // No simulations here — the table is computed from the config — but
+    // the shared flags (and an empty --json artifact) are still honored
+    // so every bench binary speaks the same interface.
+    BenchOptions opts = parseOptions(argc, argv);
+    Sweep sweep;
+    sweep.name = "tab3_cost";
+    runSweep(opts, sweep);
+
     GpuConfig cfg = makeGtx480Config();
+    applyCores(opts, cfg);
     const DdosConfig &d = cfg.ddos;
     unsigned warps = cfg.maxWarpsPerCore();
 

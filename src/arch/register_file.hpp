@@ -61,7 +61,38 @@ class RegisterFile {
 
     unsigned numRegs() const { return numRegs_; }
 
+    /**
+     * Direct row access for per-warp execution loops: one bounds check
+     * per instruction instead of one per lane. Rows are lane-contiguous
+     * (reg-major layout).
+     */
+    const Word *
+    row(int reg) const
+    {
+        checkReg(reg);
+        return regs_.data() + static_cast<size_t>(reg) * kWarpSize;
+    }
+    Word *
+    row(int reg)
+    {
+        checkReg(reg);
+        return regs_.data() + static_cast<size_t>(reg) * kWarpSize;
+    }
+
+    /** All 32 lanes of predicate @p pred as a bitmask (hoists the
+     *  per-lane readPred indexing out of execution loops). */
+    LaneMask predBits(int pred) const { return preds_.at(pred); }
+    /** Mutable predicate row for per-instruction write loops. */
+    LaneMask &predRow(int pred) { return preds_.at(pred); }
+
   private:
+    void
+    checkReg(int reg) const
+    {
+        if (reg < 0 || static_cast<unsigned>(reg) >= numRegs_)
+            panic("register file access out of range: %r", reg);
+    }
+
     size_t
     slot(unsigned lane, int reg) const
     {

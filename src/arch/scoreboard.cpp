@@ -18,7 +18,7 @@ Scoreboard::pending(const Operand &op) const
 }
 
 bool
-Scoreboard::canIssue(const Instruction &inst) const
+Scoreboard::canIssueSlow(const Instruction &inst) const
 {
     if (inst.guard >= 0 && predPending_.at(inst.guard))
         return false;
@@ -40,12 +40,16 @@ Scoreboard::reserve(const Instruction &inst)
         if (regPending_.at(inst.dst.index))
             panic("scoreboard: WAW reserve on %r", inst.dst.index);
         regPending_[inst.dst.index] = true;
+        if (inst.dst.index < 64)
+            regMask_ |= std::uint64_t{1} << inst.dst.index;
         ++outstanding_;
         break;
       case Operand::Kind::Pred:
         if (predPending_.at(inst.dst.index))
             panic("scoreboard: WAW reserve on %p", inst.dst.index);
         predPending_[inst.dst.index] = true;
+        if (inst.dst.index < 64)
+            predMask_ |= std::uint64_t{1} << inst.dst.index;
         ++outstanding_;
         break;
       default:
@@ -61,12 +65,16 @@ Scoreboard::release(const Instruction &inst)
         if (!regPending_.at(inst.dst.index))
             panic("scoreboard: release of idle %r", inst.dst.index);
         regPending_[inst.dst.index] = false;
+        if (inst.dst.index < 64)
+            regMask_ &= ~(std::uint64_t{1} << inst.dst.index);
         --outstanding_;
         break;
       case Operand::Kind::Pred:
         if (!predPending_.at(inst.dst.index))
             panic("scoreboard: release of idle %p", inst.dst.index);
         predPending_[inst.dst.index] = false;
+        if (inst.dst.index < 64)
+            predMask_ &= ~(std::uint64_t{1} << inst.dst.index);
         --outstanding_;
         break;
       default:

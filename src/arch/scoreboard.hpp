@@ -1,6 +1,7 @@
 #ifndef BOWSIM_ARCH_SCOREBOARD_HPP
 #define BOWSIM_ARCH_SCOREBOARD_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "src/isa/instruction.hpp"
@@ -22,7 +23,21 @@ class Scoreboard {
     }
 
     /** True when @p inst has no outstanding hazard. */
-    bool canIssue(const Instruction &inst) const;
+    bool
+    canIssue(const Instruction &inst) const
+    {
+        // Nothing in flight means no hazard of any kind; this is the
+        // common case on the per-cycle arbitration path.
+        if (outstanding_ == 0)
+            return true;
+        // Assembled instructions carry their full read/guard/write set
+        // as bitmasks, reducing the hazard check to two ANDs.
+        if (inst.hazardMasksValid) {
+            return (regMask_ & inst.hazardRegMask) == 0 &&
+                   (predMask_ & inst.hazardPredMask) == 0;
+        }
+        return canIssueSlow(inst);
+    }
 
     /** Marks @p inst's destination as pending (no-op if none). */
     void reserve(const Instruction &inst);
@@ -37,9 +52,17 @@ class Scoreboard {
 
   private:
     bool pending(const Operand &op) const;
+    bool canIssueSlow(const Instruction &inst) const;
 
     std::vector<bool> regPending_;
     std::vector<bool> predPending_;
+    /**
+     * Bitmask mirror of the pending vectors for indices < 64 (every
+     * assembled kernel; wider register files simply leave the mask path
+     * unused because their instructions carry no hazard masks).
+     */
+    std::uint64_t regMask_ = 0;
+    std::uint64_t predMask_ = 0;
     unsigned outstanding_ = 0;
 };
 

@@ -12,18 +12,10 @@ SimtStack::reset(LaneMask active)
         stack_.push_back({0, kInvalidPc, active});
 }
 
-Pc
-SimtStack::pc() const
+void
+SimtStack::pcOnDone() const
 {
-    if (stack_.empty())
-        panic("SimtStack::pc on a finished warp");
-    return stack_.back().pc;
-}
-
-LaneMask
-SimtStack::activeMask() const
-{
-    return stack_.empty() ? 0 : stack_.back().mask;
+    panic("SimtStack::pc on a finished warp");
 }
 
 void

@@ -39,11 +39,18 @@ class SimtStack {
     /** True when every lane has exited. */
     bool done() const { return stack_.empty(); }
 
-    /** PC the warp will execute next. */
-    Pc pc() const;
+    /** PC the warp will execute next. Inline: this sits on the per-cycle
+     *  arbitration path (one call per eligibility probe). */
+    Pc
+    pc() const
+    {
+        if (stack_.empty())
+            pcOnDone();
+        return stack_.back().pc;
+    }
 
     /** Lanes that execute the next instruction. */
-    LaneMask activeMask() const;
+    LaneMask activeMask() const { return stack_.empty() ? 0 : stack_.back().mask; }
 
     /** Advances past a non-control-flow instruction. */
     void advance();
@@ -71,6 +78,8 @@ class SimtStack {
   private:
     /** Pops converged and emptied entries. */
     void cleanup();
+    /** Cold path: aborts via panic (out of line to keep pc() tiny). */
+    [[noreturn]] void pcOnDone() const;
 
     std::vector<SimtEntry> stack_;
 };

@@ -46,6 +46,11 @@ struct BowsState {
     bool backedOff = false;
     /** Cycles remaining before the next spin iteration may issue. */
     Cycle pendingDelay = 0;
+    /** Absolute expiry cycle of the armed delay — the deadline twin of
+     *  pendingDelay the simulator hot path uses so no per-cycle counter
+     *  ticking is needed (a delay of L armed at issue cycle c first
+     *  allows issue at cycle c+L in both representations). */
+    Cycle delayUntil = 0;
     /** FIFO ticket: when the warp entered the backed-off queue. */
     std::uint64_t backoffSeq = 0;
 };

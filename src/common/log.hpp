@@ -1,6 +1,7 @@
 #ifndef BOWSIM_COMMON_LOG_HPP
 #define BOWSIM_COMMON_LOG_HPP
 
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -11,6 +12,15 @@
  * fatal() is a user error (bad configuration, malformed assembly), panic()
  * is a simulator bug (broken invariant). Both throw so tests can assert on
  * them; the CLI tools let the exception terminate the process.
+ *
+ * simFatal() marks the subset of fatal conditions raised *while a kernel
+ * is being simulated* (watchdog timeout, out-of-bounds device access).
+ * These throw SimError, which derives from FatalError, so existing
+ * catch sites keep working while sweep harnesses can catch a diverging
+ * simulation point and keep the rest of the sweep alive.
+ *
+ * The warning sink is mutex-guarded: sweep harnesses run many
+ * simulations on worker threads concurrently.
  */
 
 namespace bowsim {
@@ -20,6 +30,16 @@ class FatalError : public std::runtime_error {
   public:
     explicit FatalError(const std::string &what)
         : std::runtime_error(what) {}
+};
+
+/**
+ * Thrown when one *simulated run* goes wrong: deadlock watchdog,
+ * out-of-bounds device access, a kernel that does not fit on an SM.
+ * Catchable per sweep point without aborting the whole process.
+ */
+class SimError : public FatalError {
+  public:
+    explicit SimError(const std::string &what) : FatalError(what) {}
 };
 
 /** Thrown on internal invariant violations (simulator bugs). */
@@ -43,6 +63,15 @@ formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
     formatInto(os, rest...);
 }
 
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
 }  // namespace detail
 
 /** Report an unrecoverable user error. Never returns. */
@@ -50,9 +79,15 @@ template <typename... Args>
 [[noreturn]] void
 fatal(const Args &...args)
 {
-    std::ostringstream os;
-    detail::formatInto(os, args...);
-    throw FatalError(os.str());
+    throw FatalError(detail::format(args...));
+}
+
+/** Report an unrecoverable error inside a simulated run. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+simFatal(const Args &...args)
+{
+    throw SimError(detail::format(args...));
 }
 
 /** Report a simulator bug. Never returns. */
@@ -60,13 +95,21 @@ template <typename... Args>
 [[noreturn]] void
 panic(const Args &...args)
 {
-    std::ostringstream os;
-    detail::formatInto(os, args...);
-    throw PanicError(os.str());
+    throw PanicError(detail::format(args...));
 }
 
-/** Emit a non-fatal warning to stderr. */
+/** Emit a non-fatal warning to the log sink (thread-safe). */
 void warn(const std::string &message);
+
+/** Emit an informational message to the log sink (thread-safe). */
+void logInfo(const std::string &message);
+
+/**
+ * Redirect warn()/logInfo() output (default: std::cerr). Pass nullptr to
+ * restore the default. Returns the previous sink. Intended for tests and
+ * harnesses; the sink itself must outlive its installation.
+ */
+std::ostream *setLogSink(std::ostream *sink);
 
 }  // namespace bowsim
 

@@ -46,6 +46,7 @@ class BackoffUnit {
         if (!b.backedOff) {
             b.backedOff = true;
             b.backoffSeq = ++seq_;
+            ++backedOffCount_;
         }
     }
 
@@ -59,6 +60,7 @@ class BackoffUnit {
         BowsState &b = w.bows();
         if (b.backedOff) {
             b.backedOff = false;
+            --backedOffCount_;
             b.pendingDelay = currentLimit_;
         }
     }
@@ -72,6 +74,37 @@ class BackoffUnit {
         const BowsState &b = w.bows();
         return !b.backedOff || b.pendingDelay == 0;
     }
+
+    /**
+     * Deadline-based twins of onIssue()/mayIssue() used by the simulator
+     * hot path: arming records an absolute expiry cycle instead of a
+     * counter, so cycle()'s per-warp decrement loop is unnecessary. A
+     * delay of L armed at issue cycle c first allows issue at cycle
+     * c + L — identical to decrementing a counter of L once per
+     * subsequent cycle.
+     */
+    void
+    onIssue(Warp &w, Cycle now)
+    {
+        BowsState &b = w.bows();
+        if (b.backedOff) {
+            b.backedOff = false;
+            --backedOffCount_;
+            b.delayUntil = now + currentLimit_;
+        }
+    }
+
+    bool
+    mayIssue(const Warp &w, Cycle now) const
+    {
+        if (!cfg_.enabled)
+            return true;
+        const BowsState &b = w.bows();
+        return !b.backedOff || now >= b.delayUntil;
+    }
+
+    /** Currently backed-off warps (Fig. 11 occupancy accounting). */
+    unsigned backedOffCount() const { return backedOffCount_; }
 
     /** Ticks every resident warp's pending-delay counter. */
     void
@@ -110,6 +143,7 @@ class BackoffUnit {
     AdaptiveDelayEstimator estimator_;
     Cycle currentLimit_;
     std::uint64_t seq_ = 0;
+    unsigned backedOffCount_ = 0;
 };
 
 }  // namespace bowsim

@@ -1,0 +1,191 @@
+#include "src/harness/sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "src/common/log.hpp"
+#include "src/kernels/registry.hpp"
+#include "src/sim/gpu.hpp"
+
+namespace bowsim::harness {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("BOWSIM_JOBS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+SweepResult
+runPoint(const SweepPoint &point)
+{
+    SweepResult r;
+    try {
+        if (point.body) {
+            r.stats = point.body();
+        } else {
+            Gpu gpu(point.cfg);
+            r.stats = makeBenchmark(point.kernel, point.scale)->run(gpu);
+        }
+        r.ok = true;
+    } catch (const std::exception &e) {
+        r.error = e.what();
+    } catch (...) {
+        r.error = "unknown error";
+    }
+    return r;
+}
+
+}  // namespace
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepPoint> &points) const
+{
+    std::vector<SweepResult> results(points.size());
+    unsigned workers = jobs_;
+    if (workers > points.size())
+        workers = static_cast<unsigned>(points.size());
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            results[i] = runPoint(points[i]);
+        return results;
+    }
+
+    // Fixed pool; workers claim points in submission order so early
+    // (usually slower, lower-indexed) points start first. results[i] is
+    // owned exclusively by the claiming worker, so no locking is needed
+    // beyond the claim counter.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            results[i] = runPoint(points[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+Json
+statsToJson(const KernelStats &s)
+{
+    Json j = Json::object();
+    j.set("kernel", s.kernel);
+    j.set("cycles", s.cycles);
+    j.set("warp_instructions", s.warpInstructions);
+    j.set("thread_instructions", s.threadInstructions);
+    j.set("sync_thread_instructions", s.syncThreadInstructions);
+    j.set("sib_instructions", s.sibInstructions);
+    j.set("active_lane_sum", s.activeLaneSum);
+    j.set("simd_efficiency", s.simdEfficiency());
+    j.set("ipc", s.ipc());
+
+    Json mem = Json::object();
+    mem.set("l1_accesses", s.l1Accesses);
+    mem.set("l1_hits", s.l1Hits);
+    mem.set("l1_misses", s.l1Misses);
+    mem.set("shared_accesses", s.sharedAccesses);
+    mem.set("sync_mem_transactions", s.syncMemTransactions);
+    mem.set("l2_accesses", s.mem.l2Accesses);
+    mem.set("l2_hits", s.mem.l2Hits);
+    mem.set("l2_misses", s.mem.l2Misses);
+    mem.set("dram_accesses", s.mem.dramAccesses);
+    mem.set("atomics", s.mem.atomics);
+    mem.set("icnt_packets", s.mem.icntPackets);
+    j.set("mem", std::move(mem));
+
+    Json out = Json::object();
+    out.set("lock_success", s.outcomes.lockSuccess);
+    out.set("inter_warp_fail", s.outcomes.interWarpFail);
+    out.set("intra_warp_fail", s.outcomes.intraWarpFail);
+    out.set("wait_exit_success", s.outcomes.waitExitSuccess);
+    out.set("wait_exit_fail", s.outcomes.waitExitFail);
+    j.set("outcomes", std::move(out));
+
+    Json sched = Json::object();
+    sched.set("resident_warp_cycles", s.residentWarpCycles);
+    sched.set("backed_off_warp_cycles", s.backedOffWarpCycles);
+    sched.set("delay_limit_cycle_sum", s.delayLimitCycleSum);
+    sched.set("sm_cycles", s.smCycles);
+    sched.set("avg_delay_limit", s.avgDelayLimit());
+    j.set("sched", std::move(sched));
+
+    Json ddos = Json::object();
+    ddos.set("tsdr", s.ddos.tsdr());
+    ddos.set("fsdr", s.ddos.fsdr());
+    ddos.set("dpr_true", s.ddos.dprTrue());
+    ddos.set("dpr_false", s.ddos.dprFalse());
+    j.set("ddos", std::move(ddos));
+
+    j.set("energy_nj", s.energyNj);
+    return j;
+}
+
+Json
+configToJson(const GpuConfig &cfg)
+{
+    Json j = Json::object();
+    j.set("name", cfg.name);
+    j.set("cores", cfg.numCores);
+    j.set("scheduler", toString(cfg.scheduler));
+    j.set("spin_detect", toString(cfg.spinDetect));
+    j.set("bows_enabled", cfg.bows.enabled);
+    j.set("bows_deprioritize", cfg.bows.deprioritize);
+    j.set("bows_adaptive", cfg.bows.adaptive);
+    j.set("bows_delay_limit", cfg.bows.delayLimit);
+    j.set("ddos_hash", toString(cfg.ddos.hash));
+    j.set("ddos_hash_bits", cfg.ddos.hashBits);
+    j.set("ddos_history_length", cfg.ddos.historyLength);
+    j.set("ddos_confidence_threshold", cfg.ddos.confidenceThreshold);
+    j.set("ddos_time_share", cfg.ddos.timeShare);
+    return j;
+}
+
+Json
+sweepToJson(const std::string &bench_name, unsigned jobs,
+            const std::vector<SweepPoint> &points,
+            const std::vector<SweepResult> &results)
+{
+    if (points.size() != results.size())
+        panic("sweepToJson: points/results size mismatch");
+    Json doc = Json::object();
+    doc.set("bench", bench_name);
+    doc.set("jobs", jobs);
+    Json arr = Json::array();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        Json p = Json::object();
+        p.set("id", points[i].id);
+        if (!points[i].kernel.empty())
+            p.set("kernel", points[i].kernel);
+        p.set("scale", points[i].scale);
+        p.set("ok", results[i].ok);
+        p.set("config", configToJson(points[i].cfg));
+        if (results[i].ok)
+            p.set("stats", statsToJson(results[i].stats));
+        else
+            p.set("error", results[i].error);
+        arr.push(std::move(p));
+    }
+    doc.set("points", std::move(arr));
+    return doc;
+}
+
+}  // namespace bowsim::harness

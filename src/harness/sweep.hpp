@@ -1,0 +1,89 @@
+#ifndef BOWSIM_HARNESS_SWEEP_HPP
+#define BOWSIM_HARNESS_SWEEP_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/harness/json.hpp"
+#include "src/stats/stats.hpp"
+
+/**
+ * @file
+ * Parallel simulation sweep harness. A sweep is a list of independent
+ * (kernel, GpuConfig) points; SweepRunner executes them on a fixed pool
+ * of worker threads. Each point constructs its own Gpu/MemorySystem, so
+ * runs are fully isolated and results are bit-identical regardless of
+ * the worker count. Results come back in submission order, and a point
+ * that throws (e.g. a SimError from the deadlock watchdog) is captured
+ * as a per-point error instead of killing the sweep.
+ */
+
+namespace bowsim::harness {
+
+/** One independent simulation in a sweep. */
+struct SweepPoint {
+    /** Unique label for output/JSON rows, e.g. "HT/B500". */
+    std::string id;
+    /** Registry benchmark name; used when no custom body is set. */
+    std::string kernel;
+    GpuConfig cfg;
+    /** Workload scale passed to makeBenchmark for the default body. */
+    double scale = 1.0;
+    /**
+     * Optional custom run body (e.g. non-registry parameterizations).
+     * When empty the point runs makeBenchmark(kernel, scale) on a fresh
+     * Gpu(cfg).
+     */
+    std::function<KernelStats()> body;
+};
+
+/** Outcome of one sweep point. */
+struct SweepResult {
+    bool ok = false;
+    KernelStats stats;
+    /** Exception message when !ok. */
+    std::string error;
+};
+
+/**
+ * Worker count: explicit @p requested if nonzero, else the BOWSIM_JOBS
+ * environment variable, else the hardware concurrency (at least 1).
+ */
+unsigned resolveJobs(unsigned requested = 0);
+
+class SweepRunner {
+  public:
+    /** @p jobs == 0 resolves via resolveJobs(). */
+    explicit SweepRunner(unsigned jobs = 0) : jobs_(resolveJobs(jobs)) {}
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Runs every point and returns results in submission order. With
+     * jobs() == 1 everything runs on the calling thread.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepPoint> &points) const;
+
+  private:
+    unsigned jobs_;
+};
+
+/** Serializes the interesting fields of @p s (deterministic order). */
+Json statsToJson(const KernelStats &s);
+
+/** Serializes the sweep-relevant fields of @p cfg. */
+Json configToJson(const GpuConfig &cfg);
+
+/**
+ * Builds the BENCH_*.json artifact document for one finished sweep:
+ * { "bench", "jobs", "points": [ {id, kernel, ok, config, stats|error} ] }.
+ */
+Json sweepToJson(const std::string &bench_name, unsigned jobs,
+                 const std::vector<SweepPoint> &points,
+                 const std::vector<SweepResult> &results);
+
+}  // namespace bowsim::harness
+
+#endif  // BOWSIM_HARNESS_SWEEP_HPP

@@ -549,6 +549,8 @@ class Parser {
                   prog_.numPreds);
 
         assignReconvergencePcs(prog_);
+        for (Instruction &inst : prog_.code)
+            computeHazardMasks(inst);
     }
 
     const std::string &source_;

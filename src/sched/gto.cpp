@@ -7,12 +7,17 @@ namespace bowsim {
 void
 GtoScheduler::order(std::vector<Warp *> &warps, Cycle now)
 {
-    std::sort(warps.begin(), warps.end(),
-              [](const Warp *a, const Warp *b) {
-                  if (a->age() != b->age())
-                      return a->age() < b->age();
-                  return a->id() < b->id();
-              });
+    // Ages are fixed at warp launch and (age, id) pairs are unique, so
+    // the sorted order is unique. The core hands us warps in residency
+    // (= age) order, making the input already sorted almost always;
+    // checking first turns the per-cycle sort into a linear scan.
+    const auto by_age = [](const Warp *a, const Warp *b) {
+        if (a->age() != b->age())
+            return a->age() < b->age();
+        return a->id() < b->id();
+    };
+    if (!std::is_sorted(warps.begin(), warps.end(), by_age))
+        std::sort(warps.begin(), warps.end(), by_age);
     // Periodic age rotation (livelock avoidance): shift which resident
     // warp currently counts as oldest.
     if (rotatePeriod_ > 0 && !warps.empty()) {
@@ -28,6 +33,49 @@ GtoScheduler::order(std::vector<Warp *> &warps, Cycle now)
             warps.insert(warps.begin(), w);
         }
     }
+}
+
+Warp *
+GtoScheduler::pick(const std::vector<Warp *> &warps, Cycle now,
+                   bool deprioritize, const IssueGate &gate)
+{
+    const std::size_t n = warps.size();
+    if (n == 0)
+        return nullptr;
+    // The ordered list order() would build is: lastIssued_ first, then
+    // the remaining warps in age order rotated by the livelock-avoidance
+    // offset; with deprioritization the backed-off warps drop behind all
+    // of that, FIFO by their (unique, per-core) backoffSeq ticket. The
+    // first eligible warp of that list can be found by scanning the
+    // age-ordered residents directly, without copying or sorting.
+    std::size_t rot = 0;
+    if (rotatePeriod_ > 0)
+        rot = static_cast<std::size_t>(now / rotatePeriod_) % n;
+
+    Warp *li = lastIssued_;
+    if (li && !(deprioritize && li->bows().backedOff) && gate.eligible(*li))
+        return li;
+    for (std::size_t k = 0; k < n; ++k) {
+        Warp *w = warps[rot + k < n ? rot + k : rot + k - n];
+        if (w == li || (deprioritize && w->bows().backedOff))
+            continue;
+        if (gate.eligible(*w))
+            return w;
+    }
+    if (!deprioritize)
+        return nullptr;
+    // Backed-off queue: first eligible in FIFO order = the eligible warp
+    // with the smallest backoffSeq.
+    Warp *best = nullptr;
+    for (Warp *w : warps) {
+        if (!w->bows().backedOff)
+            continue;
+        if (best && w->bows().backoffSeq >= best->bows().backoffSeq)
+            continue;
+        if (gate.eligible(*w))
+            best = w;
+    }
+    return best;
 }
 
 }  // namespace bowsim

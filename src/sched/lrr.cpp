@@ -8,14 +8,77 @@ void
 LrrScheduler::order(std::vector<Warp *> &warps, Cycle now)
 {
     (void)now;
-    std::sort(warps.begin(), warps.end(),
-              [](const Warp *a, const Warp *b) { return a->id() < b->id(); });
+    // Warp ids are unique and static; skip the sort when the core's
+    // residency order is already id-ordered (the common case).
+    const auto by_id = [](const Warp *a, const Warp *b) {
+        return a->id() < b->id();
+    };
+    if (!std::is_sorted(warps.begin(), warps.end(), by_id))
+        std::sort(warps.begin(), warps.end(), by_id);
     if (!lastIssued_)
         return;
     // Rotate so the warp following the last-issued one leads.
     auto it = std::find(warps.begin(), warps.end(), lastIssued_);
     if (it != warps.end())
         std::rotate(warps.begin(), it + 1, warps.end());
+}
+
+Warp *
+LrrScheduler::pick(const std::vector<Warp *> &warps, Cycle now,
+                   bool deprioritize, const IssueGate &gate)
+{
+    (void)now;
+    // order() yields ascending warp ids rotated to start just after the
+    // last-issued warp's id. The first eligible warp of that circular
+    // order is the eligible warp with the smallest id above the pivot,
+    // else the smallest eligible id overall (ids are unique per unit).
+    // With deprioritization the backed-off warps drop behind, FIFO by
+    // backoffSeq, exactly as in the generic path.
+    //
+    // The pivot only applies when lastIssued_ is still in @p warps:
+    // a warp whose final issue was its Exit stays recorded as
+    // lastIssued_ until its CTA retires, and order()'s find() treats
+    // that as "no rotation" (plain ascending ids). Match that exactly.
+    const bool have_pivot = lastIssued_ != nullptr;
+    const unsigned pivot = have_pivot ? lastIssued_->id() : 0;
+    bool pivot_present = false;
+    Warp *best_above = nullptr;
+    Warp *best_any = nullptr;
+    for (Warp *w : warps) {
+        if (w == lastIssued_)
+            pivot_present = true;
+        if (deprioritize && w->bows().backedOff)
+            continue;
+        const unsigned id = w->id();
+        const bool improves_above =
+            have_pivot && id > pivot &&
+            (!best_above || id < best_above->id());
+        const bool improves_any = !best_any || id < best_any->id();
+        if (!improves_above && !improves_any)
+            continue;
+        if (!gate.eligible(*w))
+            continue;
+        if (improves_above)
+            best_above = w;
+        if (improves_any)
+            best_any = w;
+    }
+    if (pivot_present && best_above)
+        return best_above;
+    if (best_any)
+        return best_any;
+    if (!deprioritize)
+        return nullptr;
+    Warp *best = nullptr;
+    for (Warp *w : warps) {
+        if (!w->bows().backedOff)
+            continue;
+        if (best && w->bows().backoffSeq >= best->bows().backoffSeq)
+            continue;
+        if (gate.eligible(*w))
+            best = w;
+    }
+    return best;
 }
 
 }  // namespace bowsim

@@ -14,6 +14,9 @@ namespace bowsim {
 class LrrScheduler : public Scheduler {
   public:
     void order(std::vector<Warp *> &warps, Cycle now) override;
+    bool supportsPick() const override { return true; }
+    Warp *pick(const std::vector<Warp *> &warps, Cycle now,
+               bool deprioritize, const IssueGate &gate) override;
     const char *name() const override { return "LRR"; }
 };
 

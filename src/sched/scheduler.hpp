@@ -18,12 +18,48 @@
 
 namespace bowsim {
 
+/**
+ * Eligibility oracle the core hands to pick(): wraps the per-warp checks
+ * that stay core-side (scoreboard, barrier, back-off delay, memory-port
+ * availability). eligible() must be side-effect free — fast-path
+ * arbitration may probe warps in a different order than a linear scan.
+ */
+class IssueGate {
+  public:
+    virtual bool eligible(Warp &w) const = 0;
+
+  protected:
+    ~IssueGate() = default;
+};
+
 class Scheduler {
   public:
     virtual ~Scheduler() = default;
 
     /** Sorts @p warps into descending scheduling priority. */
     virtual void order(std::vector<Warp *> &warps, Cycle now) = 0;
+
+    /**
+     * Optional O(n) arbitration fast path. Returns exactly the warp that
+     * order() + the core's back-off deprioritization (non-backed-off
+     * warps first, backed-off ones FIFO by backoffSeq when
+     * @p deprioritize) + a first-eligible scan would select, or nullptr
+     * when no warp is eligible — without materializing the ordered list.
+     * @p warps must be the unit's residents in launch-age order (the
+     * order the core maintains). Policies whose priority cannot be
+     * evaluated positionally keep the generic path.
+     */
+    virtual bool supportsPick() const { return false; }
+    virtual Warp *
+    pick(const std::vector<Warp *> &warps, Cycle now, bool deprioritize,
+         const IssueGate &gate)
+    {
+        (void)warps;
+        (void)now;
+        (void)deprioritize;
+        (void)gate;
+        return nullptr;
+    }
 
     /** Called when @p warp wins arbitration this cycle. */
     virtual void

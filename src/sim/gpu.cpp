@@ -52,19 +52,40 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
     for (unsigned c = 0; c < cfg_.numCores; ++c)
         cores.push_back(std::make_unique<SmCore>(c, cfg_, launch));
 
+    // Only busy SMs are cycled. An SM with no resident CTAs once the CTA
+    // dispatcher has drained can never become busy again, so it leaves
+    // the active list permanently. Its only remaining architectural
+    // effect would have been the per-cycle delay-limit accounting (its
+    // adaptive estimator sees no instructions, so its limit is constant
+    // from then on) — applied analytically below so statistics stay
+    // bit-identical with the cycle-everything loop.
+    std::vector<SmCore *> active;
+    active.reserve(cores.size());
+    for (auto &core : cores)
+        active.push_back(core.get());
+
     Cycle now = 0;
-    bool any_busy = true;
-    while (any_busy) {
+    std::uint64_t idle_cores = 0;
+    std::uint64_t idle_delay_sum = 0;
+    do {
         ++now;
         if (now > cfg_.watchdogCycles)
-            fatal("kernel '", prog.name, "' exceeded the ",
-                  cfg_.watchdogCycles, "-cycle watchdog (deadlock?)");
-        any_busy = false;
-        for (auto &core : cores) {
+            simFatal("kernel '", prog.name, "' exceeded the ",
+                     cfg_.watchdogCycles, "-cycle watchdog (deadlock?)");
+        launch.stats.delayLimitCycleSum += idle_delay_sum;
+        launch.stats.smCycles += idle_cores;
+        for (SmCore *core : active)
             core->cycle(now);
-            any_busy = any_busy || core->busy();
+        for (std::size_t i = 0; i < active.size();) {
+            if (active[i]->busy()) {
+                ++i;
+                continue;
+            }
+            idle_delay_sum += active[i]->backoff().delayLimit();
+            ++idle_cores;
+            active.erase(active.begin() + i);
         }
-    }
+    } while (!active.empty());
 
     KernelStats &stats = launch.stats;
     stats.cycles = now;

@@ -30,10 +30,25 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch)
 {
     for (unsigned s = 0; s < cfg.numSchedulersPerCore; ++s)
         schedulers_.push_back(makeScheduler(cfg));
+    unitResident_.resize(schedulers_.size());
     ddos_ = std::make_unique<DdosUnit>(cfg.ddos, maxWarps_);
 
+    // ALU latencies are bounded, so writebacks at most max-latency
+    // cycles ahead fit in a ring of per-cycle buckets.
+    wbRingSize_ =
+        std::max({cfg.aluLatency, cfg.mulDivLatency, 1u}) + 1;
+    wbRing_.resize(wbRingSize_);
+
+    blockThreads_ = launch_.block.count();
+    gridCtas_ = launch_.grid.count();
+    code_ = launch_.prog->code.data();
+    codeSize_ = static_cast<Pc>(launch_.prog->code.size());
+    if (launch_.pcFlags.size() != launch_.prog->code.size())
+        launch_.buildPcFlags();  // idempotent; cores are built serially
+    cawaAccounting_ = cfg.scheduler == SchedulerKind::CAWA;
+
     const Program &prog = *launch_.prog;
-    unsigned threads_per_cta = launch_.block.count();
+    unsigned threads_per_cta = blockThreads_;
     if (threads_per_cta == 0)
         fatal("kernel launch with an empty block");
     warpsPerCta_ = (threads_per_cta + kWarpSize - 1) / kWarpSize;
@@ -51,28 +66,26 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch)
     maxResidentCtas_ = std::min({cfg.maxCtasPerCore, by_threads, by_regs,
                                  by_shared, by_warps});
     if (maxResidentCtas_ == 0)
-        fatal("kernel '", prog.name, "' does not fit on an SM (",
-              threads_per_cta, " threads/CTA)");
+        simFatal("kernel '", prog.name, "' does not fit on an SM (",
+                 threads_per_cta, " threads/CTA)");
     ctas_.resize(maxResidentCtas_);
 }
 
 bool
 SmCore::busy() const
 {
-    for (const Cta &cta : ctas_) {
-        if (cta.valid)
-            return true;
-    }
     // CTAs are handed out by the shared dispatcher; this SM stays busy
     // while work remains so it can pick CTAs up as slots free.
-    return launch_.nextCta < launch_.grid.count();
+    return validCtas_ != 0 || launch_.nextCta < gridCtas_;
 }
 
 void
 SmCore::tryLaunchCtas()
 {
+    if (launch_.nextCta >= gridCtas_ || validCtas_ == maxResidentCtas_)
+        return;
     const Program &prog = *launch_.prog;
-    unsigned total_ctas = launch_.grid.count();
+    unsigned total_ctas = gridCtas_;
     for (Cta &slot : ctas_) {
         if (slot.valid)
             continue;
@@ -80,14 +93,16 @@ SmCore::tryLaunchCtas()
             return;
         unsigned cta_id = launch_.nextCta++;
         slot.valid = true;
+        ++validCtas_;
         slot.id = cta_id;
         slot.shared.assign(prog.sharedBytes, 0);
         slot.warps.clear();
         slot.arrivedAtBarrier = 0;
 
-        unsigned threads = launch_.block.count();
+        unsigned threads = blockThreads_;
         unsigned cta_index =
             static_cast<unsigned>(&slot - ctas_.data());
+        const unsigned units = static_cast<unsigned>(schedulers_.size());
         for (unsigned wi = 0; wi < warpsPerCta_; ++wi) {
             unsigned lanes = std::min(kWarpSize, threads - wi * kWarpSize);
             LaneMask mask = lanes == kWarpSize
@@ -99,6 +114,7 @@ SmCore::tryLaunchCtas()
                 prog.numRegs, prog.numPreds, mask);
             ddos_->resetWarp(warp_slot);
             resident_.push_back(warp.get());
+            unitResident_[warp_slot % units].push_back(warp.get());
             slot.warps.push_back(std::move(warp));
         }
         slot.liveWarps = warpsPerCta_;
@@ -108,6 +124,8 @@ SmCore::tryLaunchCtas()
 void
 SmCore::retireFinishedCtas()
 {
+    if (drainedCtas_ == 0)
+        return;
     for (Cta &cta : ctas_) {
         if (!cta.valid || cta.liveWarps != 0)
             continue;
@@ -126,6 +144,8 @@ SmCore::retireFinishedCtas()
         }
         cta.warps.clear();
         cta.valid = false;
+        --validCtas_;
+        --drainedCtas_;
     }
 }
 
@@ -148,7 +168,7 @@ SmCore::isSib(Pc pc) const
       case SpinDetect::None:
         return false;
       case SpinDetect::Oracle:
-        return launch_.prog->sync.isSpinBranch(pc);
+        return (launch_.pcFlags[pc] & LaunchState::kPcSpinBranch) != 0;
       case SpinDetect::Ddos:
         return ddos_->isSib(pc);
     }
@@ -160,9 +180,9 @@ SmCore::eligible(Warp &w) const
 {
     if (w.done() || w.atBarrier())
         return false;
-    if (!backoff_.mayIssue(w))
+    if (!backoff_.mayIssue(w, now_))
         return false;
-    const Instruction &inst = launch_.prog->at(w.stack().pc());
+    const Instruction &inst = fetch(w.stack().pc());
     if (!w.scoreboard().canIssue(inst))
         return false;
     if (inst.isMemory() && inst.space != MemSpace::Param &&
@@ -189,9 +209,9 @@ SmCore::readOperand(Warp &w, const Operand &op, unsigned lane) const
           case SpecialReg::CtaIdX:
             return static_cast<Word>(w.cta());
           case SpecialReg::NTidX:
-            return static_cast<Word>(launch_.block.count());
+            return static_cast<Word>(blockThreads_);
           case SpecialReg::NCtaIdX:
-            return static_cast<Word>(launch_.grid.count());
+            return static_cast<Word>(gridCtas_);
           case SpecialReg::LaneId:
             return static_cast<Word>(lane);
           case SpecialReg::WarpId:
@@ -282,6 +302,12 @@ SmCore::executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
 {
     KernelStats &st = launch_.stats;
     const bool is_setp = inst.op == Opcode::Setp;
+    // Per-instruction facts hoisted out of the per-lane loop: the PC (and
+    // thus the wait-check set membership) and operand validity cannot
+    // change between lanes.
+    const bool is_wait_check =
+        is_setp && (launch_.pcFlags[w.stack().pc()] &
+                    LaunchState::kPcWaitCheck) != 0;
 
     // DDOS profiles the first active thread of the warp at every setp.
     if (is_setp) {
@@ -294,53 +320,107 @@ SmCore::executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
         }
     }
 
-    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-        if (!((exec >> lane) & 1))
-            continue;
+    // Operand access is resolved once per instruction instead of once
+    // per lane: register sources become contiguous row pointers and
+    // immediates become constants; only predicate/special sources keep
+    // the generic readOperand path. A missing operand reads as 0, as
+    // the old per-lane defaulting did.
+    struct SrcRef {
+        const Word *row = nullptr;
+        const Operand *op = nullptr;
+        Word imm = 0;
+    };
+    auto resolve = [&](const Operand &o) {
+        SrcRef s;
+        switch (o.kind) {
+          case Operand::Kind::Reg:
+            s.row = w.regs().row(o.index);
+            break;
+          case Operand::Kind::Imm:
+            s.imm = o.imm;
+            break;
+          case Operand::Kind::None:
+            break;
+          default:
+            s.op = &o;
+            break;
+        }
+        return s;
+    };
+    auto get = [&](const SrcRef &s, unsigned lane) -> Word {
+        if (s.row)
+            return s.row[lane];
+        if (s.op)
+            return readOperand(w, *s.op, lane);
+        return s.imm;
+    };
+
+    if (exec != 0) {
         switch (inst.op) {
           case Opcode::Setp: {
-            Word a = readOperand(w, inst.src[0], lane);
-            Word b = readOperand(w, inst.src[1], lane);
-            bool r = compare(inst.cmp, a, b);
-            w.regs().writePred(lane, inst.dst.index, r);
-            if (launch_.prog->sync.waitChecks.count(w.stack().pc())) {
-                if (r)
-                    ++st.outcomes.waitExitSuccess;
-                else
-                    ++st.outcomes.waitExitFail;
+            const SrcRef a = resolve(inst.src[0]);
+            const SrcRef b = resolve(inst.src[1]);
+            LaneMask &pred = w.regs().predRow(inst.dst.index);
+            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                const bool r =
+                    compare(inst.cmp, get(a, lane), get(b, lane));
+                const LaneMask bit = LaneMask{1} << lane;
+                pred = r ? (pred | bit) : (pred & ~bit);
+                if (is_wait_check) {
+                    if (r)
+                        ++st.outcomes.waitExitSuccess;
+                    else
+                        ++st.outcomes.waitExitFail;
+                }
             }
             break;
           }
           case Opcode::Selp: {
-            Word a = readOperand(w, inst.src[0], lane);
-            Word b = readOperand(w, inst.src[1], lane);
-            bool p = w.regs().readPred(lane, inst.src[2].index);
-            w.regs().write(lane, inst.dst.index, p ? a : b);
+            const SrcRef a = resolve(inst.src[0]);
+            const SrcRef b = resolve(inst.src[1]);
+            const LaneMask pbits = w.regs().predBits(inst.src[2].index);
+            Word *dst = w.regs().row(inst.dst.index);
+            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                dst[lane] =
+                    ((pbits >> lane) & 1) ? get(a, lane) : get(b, lane);
+            }
             break;
           }
-          case Opcode::Clock:
-            w.regs().write(lane, inst.dst.index, static_cast<Word>(now));
+          case Opcode::Clock: {
+            Word *dst = w.regs().row(inst.dst.index);
+            for (LaneMask rest = exec; rest != 0; rest &= rest - 1)
+                dst[firstLane(rest)] = static_cast<Word>(now);
             break;
+          }
           case Opcode::Ld: {
             // ld.param: constant access, ALU-class latency.
-            Word base = readOperand(w, inst.src[0], lane);
-            Addr offset = static_cast<Addr>(base + inst.memOffset);
-            unsigned index = static_cast<unsigned>(offset / 8);
-            if (index >= launch_.params.size())
-                fatal("ld.param index ", index, " out of range in '",
-                      launch_.prog->name, "'");
-            w.regs().write(lane, inst.dst.index, launch_.params[index]);
+            const SrcRef base = resolve(inst.src[0]);
+            Word *dst = w.regs().row(inst.dst.index);
+            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                Addr offset =
+                    static_cast<Addr>(get(base, lane) + inst.memOffset);
+                unsigned index = static_cast<unsigned>(offset / 8);
+                if (index >= launch_.params.size())
+                    simFatal("ld.param index ", index,
+                             " out of range in '", launch_.prog->name,
+                             "'");
+                dst[lane] = launch_.params[index];
+            }
             break;
           }
           default: {
-            Word a = inst.src[0].valid() ? readOperand(w, inst.src[0], lane)
-                                         : 0;
-            Word b = inst.src[1].valid() ? readOperand(w, inst.src[1], lane)
-                                         : 0;
-            Word c = inst.src[2].valid() ? readOperand(w, inst.src[2], lane)
-                                         : 0;
-            w.regs().write(lane, inst.dst.index,
-                           aluCompute(inst, a, b, c));
+            const SrcRef a = resolve(inst.src[0]);
+            const SrcRef b = resolve(inst.src[1]);
+            const SrcRef c = resolve(inst.src[2]);
+            Word *dst = w.regs().row(inst.dst.index);
+            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                dst[lane] = aluCompute(inst, get(a, lane), get(b, lane),
+                                       get(c, lane));
+            }
             break;
           }
         }
@@ -350,7 +430,10 @@ SmCore::executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
         w.scoreboard().reserve(inst);
         unsigned latency =
             inst.longLatency() ? cfg_.mulDivLatency : cfg_.aluLatency;
-        writebacks_.push(WbEvent{now + latency, ++wbSeq_, &w, &inst});
+        if (latency == 0)
+            latency = 1;  // a zero-latency writeback still lands next cycle
+        wbRing_[(now + latency) % wbRingSize_].push_back(WbEvent{&w, &inst});
+        ++wbPending_;
     }
 }
 
@@ -414,22 +497,29 @@ SmCore::executeMemory(Warp &w, const Instruction &inst, LaneMask exec,
 
     MemorySpace &mem = *launch_.mem;
     std::array<Addr, kWarpSize> addrs{};
-    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-        if (!((exec >> lane) & 1))
-            continue;
-        Word base = readOperand(w, inst.src[0], lane);
-        addrs[lane] = static_cast<Addr>(base + inst.memOffset);
+    if (inst.src[0].isReg()) {
+        // Common case: the address base lives in a register row.
+        const Word *base = w.regs().row(inst.src[0].index);
+        for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+            const unsigned lane = firstLane(rest);
+            addrs[lane] = static_cast<Addr>(base[lane] + inst.memOffset);
+        }
+    } else {
+        for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+            const unsigned lane = firstLane(rest);
+            Word base = readOperand(w, inst.src[0], lane);
+            addrs[lane] = static_cast<Addr>(base + inst.memOffset);
+        }
     }
 
     if (inst.space == MemSpace::Shared) {
         Cta &cta = ctas_.at(w.id() / warpsPerCta_);
-        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-            if (!((exec >> lane) & 1))
-                continue;
+        for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+            const unsigned lane = firstLane(rest);
             Addr a = addrs[lane];
             if (a + inst.size > cta.shared.size())
-                fatal("shared-memory access out of bounds in '",
-                      launch_.prog->name, "' (addr ", a, ")");
+                simFatal("shared-memory access out of bounds in '",
+                         launch_.prog->name, "' (addr ", a, ")");
             if (inst.op == Opcode::Ld) {
                 Word v = 0;
                 std::memcpy(&v, cta.shared.data() + a, inst.size);
@@ -444,28 +534,26 @@ SmCore::executeMemory(Warp &w, const Instruction &inst, LaneMask exec,
     } else {
         switch (inst.op) {
           case Opcode::Ld:
-            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-                if (((exec >> lane) & 1)) {
-                    w.regs().write(lane, inst.dst.index,
-                                   mem.read(addrs[lane], inst.size));
-                }
+            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                w.regs().write(lane, inst.dst.index,
+                               mem.read(addrs[lane], inst.size));
             }
             break;
           case Opcode::St:
-            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-                if (((exec >> lane) & 1)) {
-                    Word v = readOperand(w, inst.src[1], lane);
-                    mem.write(addrs[lane], v, inst.size);
-                    launch_.lockTracker.onWrite(addrs[lane], v);
-                }
+            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                Word v = readOperand(w, inst.src[1], lane);
+                mem.write(addrs[lane], v, inst.size);
+                launch_.lockTracker.onWrite(addrs[lane], v);
             }
             break;
           case Opcode::Atom: {
-            bool acquire =
-                launch_.prog->sync.lockAcquires.count(w.stack().pc()) != 0;
-            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-                if (((exec >> lane) & 1))
-                    executeAtomicLane(w, inst, lane, addrs[lane], acquire);
+            bool acquire = (launch_.pcFlags[w.stack().pc()] &
+                            LaunchState::kPcLockAcquire) != 0;
+            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                executeAtomicLane(w, inst, lane, addrs[lane], acquire);
             }
             break;
           }
@@ -482,9 +570,8 @@ SmCore::executeMemory(Warp &w, const Instruction &inst, LaneMask exec,
 void
 SmCore::issue(Warp &w, Cycle now)
 {
-    const Program &prog = *launch_.prog;
     const Pc pc = w.stack().pc();
-    const Instruction &inst = prog.at(pc);
+    const Instruction &inst = fetch(pc);
     const LaneMask active = w.stack().activeMask();
 
     LaneMask exec = active;
@@ -499,7 +586,8 @@ SmCore::issue(Warp &w, Cycle now)
     unsigned lanes = popcount(active);
     st.threadInstructions += lanes;
     st.activeLaneSum += lanes;
-    const bool sync_pc = prog.sync.isSyncPc(pc);
+    const bool sync_pc =
+        (launch_.pcFlags[pc] & LaunchState::kPcSyncRegion) != 0;
     if (sync_pc)
         st.syncThreadInstructions += lanes;
 
@@ -513,7 +601,7 @@ SmCore::issue(Warp &w, Cycle now)
         st.energy.rfWriteLanes += lanes;
 
     // --- BOWS / CAWA state transitions at issue ---------------------------
-    backoff_.onIssue(w);
+    backoff_.onIssue(w, now);
     CawaState &cawa = w.cawa();
     ++cawa.issued;
     if (cawa.estRemaining > 0)
@@ -591,16 +679,21 @@ SmCore::onWarpFinished(Warp &w)
         sched->notifyFinished(&w);
     resident_.erase(std::remove(resident_.begin(), resident_.end(), &w),
                     resident_.end());
+    auto &unit = unitResident_[w.id() % schedulers_.size()];
+    unit.erase(std::remove(unit.begin(), unit.end(), &w), unit.end());
     Cta &cta = ctas_.at(w.id() / warpsPerCta_);
     if (cta.liveWarps == 0)
         panic("warp finished in an already-empty CTA");
     --cta.liveWarps;
+    if (cta.liveWarps == 0)
+        ++drainedCtas_;  // retirement scan now has a candidate
     checkBarrier(cta);
 }
 
 void
 SmCore::cycle(Cycle now)
 {
+    now_ = now;
     tryLaunchCtas();
 
     // 1. Memory and ALU writebacks due this cycle.
@@ -610,14 +703,18 @@ SmCore::cycle(Cycle now)
         if (c.inst->dst.valid())
             c.warp->scoreboard().release(*c.inst);
     }
-    while (!writebacks_.empty() && writebacks_.top().when <= now) {
-        WbEvent ev = writebacks_.top();
-        writebacks_.pop();
-        ev.warp->scoreboard().release(*ev.inst);
+    if (wbPending_ != 0) {
+        std::vector<WbEvent> &due = wbRing_[now % wbRingSize_];
+        if (!due.empty()) {
+            for (const WbEvent &ev : due)
+                ev.warp->scoreboard().release(*ev.inst);
+            wbPending_ -= due.size();
+            due.clear();
+        }
     }
 
-    // 2. BOWS pending-delay counters and the adaptive window.
-    backoff_.cycle(resident_);
+    // 2. The BOWS adaptive window. (Pending delays are absolute
+    //    deadlines on this path, so there are no counters to tick.)
     backoff_.tickWindow(now);
     launch_.stats.delayLimitCycleSum += backoff_.delayLimit();
     ++launch_.stats.smCycles;
@@ -626,43 +723,55 @@ SmCore::cycle(Cycle now)
     //    arbitration: base-policy order over non-backed-off warps, then
     //    the backed-off queue in FIFO order).
     const unsigned units = static_cast<unsigned>(schedulers_.size());
+    const bool deprio = backoff_.deprioritizes();
     for (unsigned u = 0; u < units; ++u) {
-        unitWarps_.clear();
-        for (Warp *w : resident_) {
-            if (w->id() % units == u)
-                unitWarps_.push_back(w);
-        }
-        if (unitWarps_.empty())
+        if (unitResident_[u].empty())
             continue;
-        schedulers_[u]->order(unitWarps_, now);
-        if (backoff_.deprioritizes()) {
-            auto mid = std::stable_partition(
-                unitWarps_.begin(), unitWarps_.end(),
-                [](const Warp *w) { return !w->bows().backedOff; });
-            std::sort(mid, unitWarps_.end(),
-                      [](const Warp *a, const Warp *b) {
-                          return a->bows().backoffSeq < b->bows().backoffSeq;
-                      });
+        Scheduler &sched = *schedulers_[u];
+        Warp *winner = nullptr;
+        if (sched.supportsPick()) {
+            // Positional policies (GTO, LRR) can answer "who issues"
+            // directly from the age-ordered resident list.
+            winner = sched.pick(unitResident_[u], now, deprio, *this);
+        } else {
+            unitWarps_ = unitResident_[u];
+            sched.order(unitWarps_, now);
+            if (deprio) {
+                auto mid = std::stable_partition(
+                    unitWarps_.begin(), unitWarps_.end(),
+                    [](const Warp *w) { return !w->bows().backedOff; });
+                std::sort(mid, unitWarps_.end(),
+                          [](const Warp *a, const Warp *b) {
+                              return a->bows().backoffSeq <
+                                     b->bows().backoffSeq;
+                          });
+            }
+            for (Warp *w : unitWarps_) {
+                if (eligible(*w)) {
+                    winner = w;
+                    break;
+                }
+            }
         }
-        for (Warp *w : unitWarps_) {
-            if (!eligible(*w))
-                continue;
-            issue(*w, now);
-            schedulers_[u]->notifyIssued(w, now);
-            break;
+        if (winner) {
+            issue(*winner, now);
+            sched.notifyIssued(winner, now);
         }
     }
 
     // 4. Per-cycle warp accounting (CAWA stalls, Fig. 11 occupancy).
+    //    The occupancy sums are running counters, so only CAWA — the one
+    //    consumer of per-warp active/stall cycles — needs the warp loop.
     KernelStats &st = launch_.stats;
-    for (Warp *w : resident_) {
-        ++w->cawa().activeCycles;
-        if (w->lastIssueCycle() != now)
-            ++w->cawa().stallCycles;
-        ++st.residentWarpCycles;
-        if (w->bows().backedOff)
-            ++st.backedOffWarpCycles;
+    if (cawaAccounting_) {
+        for (Warp *w : resident_) {
+            ++w->cawa().activeCycles;
+            if (w->lastIssueCycle() != now)
+                ++w->cawa().stallCycles;
+        }
     }
+    st.residentWarpCycles += resident_.size();
+    st.backedOffWarpCycles += backoff_.backedOffCount();
 
     retireFinishedCtas();
 }

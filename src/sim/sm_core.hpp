@@ -2,7 +2,6 @@
 #define BOWSIM_SIM_SM_CORE_HPP
 
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/arch/warp.hpp"
@@ -41,9 +40,34 @@ struct LaunchState {
     unsigned nextCta = 0;
     /** Monotonic warp age counter (GTO's age ordering). */
     std::uint64_t warpAgeCounter = 0;
+
+    /** Per-PC sync-annotation flags, bit-packed from Program::sync once
+     *  at launch so the issue path avoids std::set lookups. */
+    static constexpr std::uint8_t kPcSyncRegion = 1;
+    static constexpr std::uint8_t kPcWaitCheck = 2;
+    static constexpr std::uint8_t kPcLockAcquire = 4;
+    static constexpr std::uint8_t kPcSpinBranch = 8;
+    std::vector<std::uint8_t> pcFlags;
+
+    /** Builds pcFlags from prog's annotations (call after prog is set). */
+    void
+    buildPcFlags()
+    {
+        pcFlags.assign(prog->code.size(), 0);
+        auto mark = [&](const std::set<Pc> &pcs, std::uint8_t bit) {
+            for (Pc pc : pcs) {
+                if (pc < pcFlags.size())
+                    pcFlags[pc] |= bit;
+            }
+        };
+        mark(prog->sync.syncRegion, kPcSyncRegion);
+        mark(prog->sync.waitChecks, kPcWaitCheck);
+        mark(prog->sync.lockAcquires, kPcLockAcquire);
+        mark(prog->sync.spinBranches, kPcSpinBranch);
+    }
 };
 
-class SmCore {
+class SmCore : private IssueGate {
   public:
     SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch);
 
@@ -67,26 +91,28 @@ class SmCore {
         bool valid = false;
     };
 
-    /** ALU-pipeline writeback event. */
+    /** ALU-pipeline writeback event (bucketed by completion cycle). */
     struct WbEvent {
-        Cycle when;
-        std::uint64_t seq;
         Warp *warp;
         const Instruction *inst;
-
-        bool
-        operator>(const WbEvent &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
     };
 
     void tryLaunchCtas();
     void retireFinishedCtas();
     void checkBarrier(Cta &cta);
-    bool eligible(Warp &w) const;
+    /** IssueGate: all core-side per-warp issue checks (side-effect free). */
+    bool eligible(Warp &w) const override;
     void issue(Warp &w, Cycle now);
     bool isSib(Pc pc) const;
+
+    /** Hot-path instruction fetch. Launch-validated programs always have
+     *  in-range PCs; anything else falls back to the checked accessor so
+     *  malformed hand-built programs fail exactly as before. */
+    const Instruction &
+    fetch(Pc pc) const
+    {
+        return pc < codeSize_ ? code_[pc] : launch_.prog->at(pc);
+    }
 
     // Functional execution helpers.
     Word readOperand(Warp &w, const Operand &op, unsigned lane) const;
@@ -109,12 +135,21 @@ class SmCore {
     std::vector<Cta> ctas_;
     /** Resident unfinished warps (refreshed as CTAs come and go). */
     std::vector<Warp *> resident_;
+    /** resident_ filtered by scheduler unit, maintained incrementally. */
+    std::vector<std::vector<Warp *>> unitResident_;
     /** Per-warp SM slot for the DDOS history registers. */
     std::vector<int> warpSlotOf_;
 
-    std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<WbEvent>>
-        writebacks_;
-    std::uint64_t wbSeq_ = 0;
+    /**
+     * Calendar queue for ALU writebacks: ring of per-cycle buckets
+     * indexed by (cycle % size). ALU latencies are small and bounded,
+     * so the ring replaces a per-cycle priority_queue with O(1) push
+     * and a bulk pop; within one bucket the vector preserves issue
+     * order, matching the old (when, seq) heap order exactly.
+     */
+    std::vector<std::vector<WbEvent>> wbRing_;
+    unsigned wbRingSize_ = 0;
+    std::uint64_t wbPending_ = 0;
     std::vector<MemCompletion> memCompletions_;
     /** Scratch buffer for per-unit arbitration (reused every cycle). */
     std::vector<Warp *> unitWarps_;
@@ -122,6 +157,20 @@ class SmCore {
     unsigned maxWarps_;
     unsigned warpsPerCta_ = 0;
     unsigned maxResidentCtas_ = 0;
+    /** Launch geometry cached out of the per-lane/ per-cycle paths. */
+    unsigned blockThreads_ = 0;
+    unsigned gridCtas_ = 0;
+    /** Instruction stream cached for the unchecked fetch() fast path. */
+    const Instruction *code_ = nullptr;
+    Pc codeSize_ = 0;
+    /** Occupied CTA slots (busy() and dispatch gating). */
+    unsigned validCtas_ = 0;
+    /** Valid CTAs with no live warps, awaiting drain + retirement. */
+    unsigned drainedCtas_ = 0;
+    /** Current cycle, for eligibility checks reached via IssueGate. */
+    Cycle now_ = 0;
+    /** Per-warp active/stall counters only feed CAWA's criticality. */
+    bool cawaAccounting_ = false;
 };
 
 }  // namespace bowsim

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/log.hpp"
+#include "src/harness/json.hpp"
+
+/**
+ * @file
+ * The minimal JSON layer used for BENCH_*.json artifacts: deterministic
+ * (insertion-ordered) dumps, parse/dump round trips, string escaping,
+ * and loud failures on malformed input.
+ */
+
+namespace bowsim {
+namespace {
+
+using harness::Json;
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Json o = Json::object();
+    o.set("zebra", Json(1));
+    o.set("alpha", Json(2));
+    o.set("mid", Json(3));
+    EXPECT_EQ(o.dump(), R"({"zebra":1,"alpha":2,"mid":3})");
+}
+
+TEST(Json, ScalarsDump)
+{
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json(std::uint64_t{1234567890123456789ull}).dump(),
+              "1234567890123456789");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+    EXPECT_EQ(Json().dump(), "null");
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    const std::string tricky = "quote\" slash\\ tab\t newline\n ctrl\x01";
+    const std::string text = Json(tricky).dump();
+    EXPECT_EQ(Json::parse(text).asString(), tricky);
+}
+
+TEST(Json, ParseDumpRoundTrip)
+{
+    const std::string text =
+        R"({"a":[1,2.5,true,null],"b":{"nested":"x"},"c":-3})";
+    EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(Json, ParseAccessors)
+{
+    const Json doc = Json::parse(R"({"n":42,"f":1.5,"s":"v","arr":[7]})");
+    EXPECT_EQ(doc.at("n").asInt(), 42);
+    EXPECT_DOUBLE_EQ(doc.at("f").asDouble(), 1.5);
+    EXPECT_EQ(doc.at("s").asString(), "v");
+    ASSERT_EQ(doc.at("arr").size(), 1u);
+    EXPECT_EQ(doc.at("arr").at(0).asInt(), 7);
+    EXPECT_TRUE(doc.has("n"));
+    EXPECT_FALSE(doc.has("missing"));
+}
+
+TEST(Json, MalformedInputThrows)
+{
+    EXPECT_THROW(Json::parse("{"), FatalError);
+    EXPECT_THROW(Json::parse("[1,]"), FatalError);
+    EXPECT_THROW(Json::parse("\"unterminated"), FatalError);
+    EXPECT_THROW(Json::parse("{\"a\":1} trailing"), FatalError);
+}
+
+TEST(Json, MissingKeyThrows)
+{
+    const Json doc = Json::parse(R"({"a":1})");
+    EXPECT_THROW(doc.at("b"), FatalError);
+}
+
+}  // namespace
+}  // namespace bowsim

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/log.hpp"
+#include "src/harness/sweep.hpp"
+#include "src/kernels/registry.hpp"
+#include "src/sim/gpu.hpp"
+
+/**
+ * @file
+ * The parallel sweep harness: results must be bit-identical and in
+ * submission order regardless of the worker count, and a point that
+ * dies (deadlock-watchdog SimError) must be captured per-point without
+ * killing the sweep.
+ */
+
+namespace bowsim {
+namespace {
+
+using harness::Json;
+using harness::SweepPoint;
+using harness::SweepResult;
+using harness::SweepRunner;
+
+/** A small but non-trivial sweep: two kernels x two BOWS modes. */
+std::vector<SweepPoint>
+smallSweep()
+{
+    std::vector<SweepPoint> points;
+    for (const char *kernel : {"TB", "ATM"}) {
+        for (bool bows : {false, true}) {
+            SweepPoint p;
+            p.id = std::string(kernel) + (bows ? "/BOWS" : "/GTO");
+            p.kernel = kernel;
+            p.cfg = makeGtx480Config();
+            p.cfg.numCores = 2;
+            p.cfg.scheduler = SchedulerKind::GTO;
+            p.cfg.bows.enabled = bows;
+            p.scale = 0.05;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+TEST(SweepRunner, ResultsAreDeterministicAcrossWorkerCounts)
+{
+    const std::vector<SweepPoint> points = smallSweep();
+    const std::vector<SweepResult> serial = SweepRunner(1).run(points);
+    const std::vector<SweepResult> parallel = SweepRunner(8).run(points);
+
+    ASSERT_EQ(serial.size(), points.size());
+    ASSERT_EQ(parallel.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << points[i].id;
+        ASSERT_TRUE(parallel[i].ok) << points[i].id;
+        // statsToJson covers every reported field; equal dumps mean
+        // bit-identical statistics.
+        EXPECT_EQ(harness::statsToJson(serial[i].stats).dump(),
+                  harness::statsToJson(parallel[i].stats).dump())
+            << "point " << points[i].id
+            << " differs between jobs=1 and jobs=8";
+    }
+}
+
+TEST(SweepRunner, ResultsComeBackInSubmissionOrder)
+{
+    const std::vector<SweepPoint> points = smallSweep();
+    const std::vector<SweepResult> results = SweepRunner(4).run(points);
+    ASSERT_EQ(results.size(), points.size());
+    // Each kernel records its own name in its stats; matching names
+    // prove results landed at their submission index.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(results[i].ok);
+        EXPECT_EQ(results[i].stats.kernel, points[i].kernel);
+    }
+}
+
+TEST(SweepRunner, WatchdogErrorIsIsolatedToItsPoint)
+{
+    std::vector<SweepPoint> points = smallSweep();
+    // Make the second point deadlock by watchdog standards: a spinning
+    // kernel cannot finish in 10 cycles.
+    points[1].cfg.watchdogCycles = 10;
+
+    const std::vector<SweepResult> results = SweepRunner(4).run(points);
+    ASSERT_EQ(results.size(), points.size());
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("watchdog"), std::string::npos)
+        << "error was: " << results[1].error;
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_TRUE(results[3].ok);
+}
+
+TEST(SweepRunner, WatchdogRaisesCatchableSimError)
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 1;
+    cfg.watchdogCycles = 10;
+    Gpu gpu(cfg);
+    auto bench = makeBenchmark("TB", 0.05);
+    EXPECT_THROW(bench->run(gpu), SimError);
+}
+
+TEST(SweepRunner, CustomBodyPointsRun)
+{
+    SweepPoint p;
+    p.id = "custom";
+    p.cfg = makeGtx480Config();
+    p.body = [] {
+        KernelStats s;
+        s.kernel = "custom";
+        s.cycles = 42;
+        return s;
+    };
+    const std::vector<SweepResult> results = SweepRunner(2).run({p});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].stats.cycles, 42u);
+}
+
+TEST(SweepRunner, ResolveJobsPrefersExplicitRequest)
+{
+    EXPECT_EQ(harness::resolveJobs(3), 3u);
+    EXPECT_GE(harness::resolveJobs(0), 1u);
+}
+
+TEST(SweepToJson, RecordsEveryPointWithStatsOrError)
+{
+    std::vector<SweepPoint> points = smallSweep();
+    points[1].cfg.watchdogCycles = 10;
+    const std::vector<SweepResult> results = SweepRunner(2).run(points);
+
+    const Json doc =
+        harness::sweepToJson("unit_test", 2, points, results);
+    EXPECT_EQ(doc.at("bench").asString(), "unit_test");
+    EXPECT_EQ(doc.at("jobs").asInt(), 2);
+    const Json &arr = doc.at("points");
+    ASSERT_EQ(arr.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Json &p = arr.at(i);
+        EXPECT_EQ(p.at("id").asString(), points[i].id);
+        EXPECT_EQ(p.at("ok").asBool(), results[i].ok);
+        EXPECT_EQ(p.has("stats"), results[i].ok);
+        EXPECT_EQ(p.has("error"), !results[i].ok);
+    }
+
+    // The artifact must survive a parse round-trip unchanged.
+    const std::string text = doc.dump();
+    EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+}  // namespace
+}  // namespace bowsim
