@@ -46,7 +46,44 @@ struct BenchOptions {
     unsigned jobs = 0;
     /** When set, runSweep() writes the sweep artifact here (--json). */
     std::string jsonPath;
+    /**
+     * When set, every registry-kernel point records a Chrome trace to a
+     * per-point file derived from this base path (--trace /
+     * BOWSIM_TRACE): "out.json" becomes "out.HT_B500.json" for point
+     * "HT/B500". Per-point files keep tracing safe under --jobs > 1.
+     */
+    std::string tracePath;
 };
+
+/** Sanitizes a point id into a filename fragment (slashes etc. -> '_'). */
+inline std::string
+sanitizeId(const std::string &id)
+{
+    std::string out = id;
+    for (char &c : out) {
+        bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+        if (!keep)
+            c = '_';
+    }
+    return out;
+}
+
+/** Derives the per-point trace file: BASE.POINT.json next to BASE. */
+inline std::string
+tracePathFor(const std::string &base, const std::string &id)
+{
+    std::string stem = base;
+    std::string ext = ".json";
+    std::size_t slash = stem.find_last_of('/');
+    std::size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+        ext = stem.substr(dot);
+        stem.resize(dot);
+    }
+    return stem + "." + sanitizeId(id) + ext;
+}
 
 /**
  * Parses --scale= / --cores= / --jobs= / --json= plus the corresponding
@@ -65,6 +102,8 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         o.scale = std::atof(env);
     if (const char *env = std::getenv("BOWSIM_CORES"))
         o.cores = static_cast<unsigned>(std::atoi(env));
+    if (const char *env = std::getenv("BOWSIM_TRACE"))
+        o.tracePath = env;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0)
             o.scale = std::atof(argv[i] + 8);
@@ -74,6 +113,8 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
             o.jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
         else if (std::strncmp(argv[i], "--json=", 7) == 0)
             o.jsonPath = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            o.tracePath = argv[i] + 8;
     }
     return o;
 }
@@ -129,7 +170,23 @@ inline std::vector<SweepResult>
 runSweep(const BenchOptions &opts, const Sweep &sweep)
 {
     harness::SweepRunner runner(opts.jobs);
-    std::vector<SweepResult> results = runner.run(sweep.points);
+    std::vector<SweepResult> results;
+    if (opts.tracePath.empty()) {
+        results = runner.run(sweep.points);
+    } else {
+        std::vector<SweepPoint> points = sweep.points;
+        for (SweepPoint &p : points) {
+            if (p.body) {
+                std::fprintf(stderr,
+                             "warning: point '%s' has a custom body; "
+                             "--trace is not supported for it\n",
+                             p.id.c_str());
+                continue;
+            }
+            p.tracePath = tracePathFor(opts.tracePath, p.id);
+        }
+        results = runner.run(points);
+    }
     if (!opts.jsonPath.empty()) {
         std::ofstream out(opts.jsonPath);
         if (!out) {

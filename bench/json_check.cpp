@@ -1,64 +1,61 @@
 /**
- * Validates a BENCH_*.json sweep artifact: the file must parse, carry a
- * "points" array of the expected size (when a count is given), and every
- * point must have ok == true. Used by the bench_smoke ctest target.
+ * Validates bench artifacts (used by the bench_smoke ctest targets):
  *
- * Usage: json_check FILE [EXPECTED_POINT_COUNT]
+ *   json_check FILE [EXPECTED_POINT_COUNT]   BENCH_*.json sweep artifact
+ *   json_check --trace FILE                  Chrome trace_event document
+ *
+ * Sweep artifacts must parse, carry a "points" array of the expected
+ * size (when a count is given), and every point must report ok == true.
+ * Trace documents get the structural/property checks of
+ * harness::checkChromeTrace (monotone per-track timestamps, balanced
+ * B/E intervals). The validation logic lives in src/harness/json_check
+ * so the unit tests exercise exactly what this tool runs.
  */
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
+#include <cstring>
 #include <string>
 
 #include "src/common/log.hpp"
-#include "src/harness/json.hpp"
+#include "src/harness/json_check.hpp"
 
+using bowsim::harness::CheckResult;
 using bowsim::harness::Json;
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2 || argc > 3) {
-        std::fprintf(stderr, "usage: %s FILE [EXPECTED_POINT_COUNT]\n",
-                     argv[0]);
+    bool trace_mode = argc >= 2 && std::strcmp(argv[1], "--trace") == 0;
+    int first_file = trace_mode ? 2 : 1;
+    if (argc <= first_file || argc > first_file + 2 ||
+        (trace_mode && argc != 3)) {
+        std::fprintf(stderr,
+                     "usage: %s FILE [EXPECTED_POINT_COUNT]\n"
+                     "       %s --trace FILE\n",
+                     argv[0], argv[0]);
         return 2;
     }
-
-    std::ifstream in(argv[1]);
-    if (!in) {
-        std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
-        return 1;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
+    const char *path = argv[first_file];
 
     try {
-        const Json doc = Json::parse(buf.str());
-        const Json &points = doc.at("points");
-        if (argc == 3) {
-            const std::size_t expected =
-                static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10));
-            if (points.size() != expected) {
-                std::fprintf(stderr,
-                             "json_check: %s has %zu points, expected %zu\n",
-                             argv[1], points.size(), expected);
-                return 1;
-            }
+        const Json doc = bowsim::harness::loadJsonFile(path);
+        CheckResult res;
+        if (trace_mode) {
+            res = bowsim::harness::checkChromeTrace(doc);
+        } else {
+            std::int64_t expected = -1;
+            if (argc == first_file + 2)
+                expected = std::strtol(argv[first_file + 1], nullptr, 10);
+            res = bowsim::harness::checkSweepArtifact(doc, expected);
         }
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            const Json &p = points.at(i);
-            if (!p.at("ok").asBool()) {
-                std::fprintf(stderr, "json_check: point %s failed: %s\n",
-                             p.at("id").asString().c_str(),
-                             p.at("error").asString().c_str());
-                return 1;
-            }
+        if (!res.ok) {
+            std::fprintf(stderr, "json_check: %s: %s\n", path,
+                         res.message.c_str());
+            return 1;
         }
-        std::printf("json_check: %s OK (bench=%s, %zu points)\n", argv[1],
-                    doc.at("bench").asString().c_str(), points.size());
+        std::printf("json_check: %s %s\n", path, res.message.c_str());
     } catch (const bowsim::FatalError &e) {
-        std::fprintf(stderr, "json_check: %s invalid: %s\n", argv[1],
+        std::fprintf(stderr, "json_check: %s invalid: %s\n", path,
                      e.what());
         return 1;
     }

@@ -155,6 +155,15 @@ struct GpuConfig {
     /** Max cycles before the simulator declares a hang. */
     Cycle watchdogCycles = 400'000'000;
 
+    /**
+     * Collect the per-warp issue-stall breakdown (KernelStats::
+     * stallCounts) even without a trace sink attached. Off by default:
+     * the attribution loop runs once per resident warp per cycle, so it
+     * is gated off the hot path. Attaching a trace sink via
+     * Gpu::setTraceSink() turns collection on regardless of this flag.
+     */
+    bool collectStallBreakdown = false;
+
     /** Warps per core implied by the thread budget. */
     unsigned maxWarpsPerCore() const { return maxThreadsPerCore / kWarpSize; }
 };

@@ -7,6 +7,7 @@
 #include "src/arch/warp.hpp"
 #include "src/common/config.hpp"
 #include "src/core/bows/adaptive_delay.hpp"
+#include "src/trace/trace.hpp"
 
 /**
  * @file
@@ -33,12 +34,20 @@ class BackoffUnit {
 
     bool enabled() const { return cfg_.enabled; }
 
+    /** Attaches the launch's event sink (BackoffEnter/Exit/Count). */
+    void
+    setTrace(trace::Tracer t, unsigned sm)
+    {
+        tracer_ = t;
+        sm_ = sm;
+    }
+
     /** Backed-off warps drop behind non-backed-off ones (ablation). */
     bool deprioritizes() const { return cfg_.enabled && cfg_.deprioritize; }
 
     /** Warp @p w took a SIB: push it to the back of the priority queue. */
     void
-    onSpinBranch(Warp &w)
+    onSpinBranch(Warp &w, Cycle now = 0)
     {
         if (!cfg_.enabled)
             return;
@@ -47,6 +56,13 @@ class BackoffUnit {
             b.backedOff = true;
             b.backoffSeq = ++seq_;
             ++backedOffCount_;
+            if (tracer_.enabled()) {
+                const std::int32_t wid = static_cast<std::int32_t>(w.id());
+                tracer_.emit(now, sm_, wid, trace::EventKind::BackoffEnter,
+                             b.backoffSeq);
+                tracer_.emit(now, sm_, -1, trace::EventKind::BackoffCount,
+                             backedOffCount_);
+            }
         }
     }
 
@@ -91,6 +107,12 @@ class BackoffUnit {
             b.backedOff = false;
             --backedOffCount_;
             b.delayUntil = now + currentLimit_;
+            if (tracer_.enabled()) {
+                tracer_.emit(now, sm_, static_cast<std::int32_t>(w.id()),
+                             trace::EventKind::BackoffExit, currentLimit_);
+                tracer_.emit(now, sm_, -1, trace::EventKind::BackoffCount,
+                             backedOffCount_);
+            }
         }
     }
 
@@ -144,6 +166,8 @@ class BackoffUnit {
     Cycle currentLimit_;
     std::uint64_t seq_ = 0;
     unsigned backedOffCount_ = 0;
+    trace::Tracer tracer_;
+    unsigned sm_ = 0;
 };
 
 }  // namespace bowsim

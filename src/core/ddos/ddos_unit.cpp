@@ -72,12 +72,25 @@ DdosUnit::onBackwardBranch(unsigned warp, Pc pc, Cycle now)
     bool was_confirmed = table_.isConfirmed(pc);
     const HistoryRegisters *hist = historyFor(warp);
     if (hist && hist->spinning()) {
-        table_.onSpinningBranch(pc);
+        if (!tracer_.enabled()) {
+            table_.onSpinningBranch(pc);
+        } else {
+            Pc evicted_pc = 0;
+            bool did_evict = false;
+            table_.onSpinningBranch(pc, &evicted_pc, &did_evict);
+            if (did_evict) {
+                tracer_.emit(now, sm_, static_cast<std::int32_t>(warp),
+                             trace::EventKind::SibEvict, evicted_pc);
+            }
+        }
     } else if (hist) {
         table_.onNonSpinningBranch(pc);
     }
-    if (!was_confirmed && table_.isConfirmed(pc))
+    if (!was_confirmed && table_.isConfirmed(pc)) {
         accuracy_.onConfirmed(pc, now);
+        tracer_.emit(now, sm_, static_cast<std::int32_t>(warp),
+                     trace::EventKind::SibConfirm, pc);
+    }
 }
 
 bool

@@ -9,6 +9,7 @@
 #include "src/core/ddos/history.hpp"
 #include "src/core/ddos/sib_table.hpp"
 #include "src/stats/ddos_accuracy.hpp"
+#include "src/trace/trace.hpp"
 
 /**
  * @file
@@ -49,6 +50,14 @@ class DdosUnit {
     /** Clears per-warp history when a warp slot is recycled. */
     void resetWarp(unsigned warp);
 
+    /** Attaches the launch's event sink (SibConfirm/SibEvict). */
+    void
+    setTrace(trace::Tracer t, unsigned sm)
+    {
+        tracer_ = t;
+        sm_ = sm;
+    }
+
     const SibTable &table() const { return table_; }
     const DdosAccuracy &accuracy() const { return accuracy_; }
 
@@ -64,6 +73,8 @@ class DdosUnit {
     SibTable table_;
     DdosAccuracy accuracy_;
     unsigned maxWarps_;
+    trace::Tracer tracer_;
+    unsigned sm_ = 0;
     /** Warp currently owning the shared set (time-sharing mode). */
     unsigned sharedOwner_ = 0;
     Cycle nextRotate_ = 0;

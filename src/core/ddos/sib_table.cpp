@@ -5,7 +5,7 @@
 namespace bowsim {
 
 void
-SibTable::onSpinningBranch(Pc pc)
+SibTable::onSpinningBranch(Pc pc, Pc *evicted, bool *did_evict)
 {
     auto it = table_.find(pc);
     if (it == table_.end()) {
@@ -23,6 +23,10 @@ SibTable::onSpinningBranch(Pc pc)
             }
             if (victim == table_.end())
                 return;
+            if (evicted)
+                *evicted = victim->first;
+            if (did_evict)
+                *did_evict = true;
             table_.erase(victim);
         }
         it = table_.emplace(pc, Entry{}).first;

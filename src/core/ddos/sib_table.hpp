@@ -33,8 +33,13 @@ class SibTable {
     {
     }
 
-    /** A spinning warp took the backward branch at @p pc. */
-    void onSpinningBranch(Pc pc);
+    /**
+     * A spinning warp took the backward branch at @p pc. When insertion
+     * evicts a candidate entry, the victim's PC is reported through
+     * @p evicted (left untouched otherwise — for the SibEvict event).
+     */
+    void onSpinningBranch(Pc pc, Pc *evicted = nullptr,
+                          bool *did_evict = nullptr);
 
     /** A non-spinning warp took the backward branch at @p pc. */
     void onNonSpinningBranch(Pc pc);

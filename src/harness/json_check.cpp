@@ -1,0 +1,142 @@
+#include "src/harness/json_check.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/common/log.hpp"
+
+namespace bowsim::harness {
+
+namespace {
+
+CheckResult
+fail(std::string message)
+{
+    CheckResult r;
+    r.ok = false;
+    r.message = std::move(message);
+    return r;
+}
+
+}  // namespace
+
+Json
+loadJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return Json::parse(buf.str());
+}
+
+CheckResult
+checkSweepArtifact(const Json &doc, std::int64_t expected_points)
+{
+    if (!doc.has("points"))
+        return fail("artifact has no \"points\" array");
+    const Json &points = doc.at("points");
+    if (points.type() != Json::Type::Array)
+        return fail("\"points\" is not an array");
+    if (expected_points >= 0 &&
+        points.size() != static_cast<std::size_t>(expected_points)) {
+        std::ostringstream os;
+        os << "artifact has " << points.size() << " points, expected "
+           << expected_points;
+        return fail(os.str());
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Json &p = points.at(i);
+        if (!p.has("ok") || !p.at("ok").asBool()) {
+            std::ostringstream os;
+            os << "point " << (p.has("id") ? p.at("id").asString()
+                                           : std::to_string(i))
+               << " failed";
+            if (p.has("error"))
+                os << ": " << p.at("error").asString();
+            return fail(os.str());
+        }
+    }
+    std::ostringstream os;
+    os << "OK (bench="
+       << (doc.has("bench") ? doc.at("bench").asString() : "?") << ", "
+       << points.size() << " points)";
+    CheckResult r;
+    r.message = os.str();
+    return r;
+}
+
+CheckResult
+checkChromeTrace(const Json &doc)
+{
+    if (!doc.has("traceEvents"))
+        return fail("trace has no \"traceEvents\" array");
+    const Json &events = doc.at("traceEvents");
+    if (events.type() != Json::Type::Array)
+        return fail("\"traceEvents\" is not an array");
+
+    // Per-(pid, tid) track state: last timestamp and open B/E depth.
+    std::map<std::pair<std::int64_t, std::int64_t>,
+             std::pair<std::int64_t, std::int64_t>>
+        tracks;
+    std::size_t timed = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Json &ev = events.at(i);
+        if (ev.type() != Json::Type::Object)
+            return fail("event " + std::to_string(i) + " is not an object");
+        if (!ev.has("ph"))
+            return fail("event " + std::to_string(i) + " has no phase");
+        const std::string &ph = ev.at("ph").asString();
+        if (ph == "M")
+            continue;  // metadata events carry no timestamp
+        if (!ev.has("ts") || !ev.at("ts").isNumber())
+            return fail("event " + std::to_string(i) +
+                        " has no numeric \"ts\"");
+        if (!ev.has("pid") || !ev.has("tid"))
+            return fail("event " + std::to_string(i) + " has no pid/tid");
+        ++timed;
+        const std::int64_t ts = ev.at("ts").asInt();
+        auto key = std::make_pair(ev.at("pid").asInt(),
+                                  ev.at("tid").asInt());
+        auto [it, fresh] = tracks.emplace(key, std::make_pair(ts, 0));
+        auto &[last_ts, depth] = it->second;
+        if (!fresh && ts < last_ts) {
+            std::ostringstream os;
+            os << "event " << i << ": ts " << ts
+               << " goes backwards on track pid=" << key.first
+               << " tid=" << key.second << " (last " << last_ts << ")";
+            return fail(os.str());
+        }
+        last_ts = ts;
+        if (ph == "B") {
+            ++depth;
+        } else if (ph == "E") {
+            if (depth == 0) {
+                std::ostringstream os;
+                os << "event " << i << ": unmatched \"E\" on track pid="
+                   << key.first << " tid=" << key.second;
+                return fail(os.str());
+            }
+            --depth;
+        }
+    }
+    for (const auto &[key, state] : tracks) {
+        if (state.second != 0) {
+            std::ostringstream os;
+            os << state.second << " unclosed \"B\" interval(s) on track pid="
+               << key.first << " tid=" << key.second;
+            return fail(os.str());
+        }
+    }
+    std::ostringstream os;
+    os << "OK (" << timed << " timed events on " << tracks.size()
+       << " tracks)";
+    CheckResult r;
+    r.message = os.str();
+    return r;
+}
+
+}  // namespace bowsim::harness

@@ -1,0 +1,48 @@
+#ifndef BOWSIM_HARNESS_JSON_CHECK_HPP
+#define BOWSIM_HARNESS_JSON_CHECK_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "src/harness/json.hpp"
+
+/**
+ * @file
+ * Artifact validation shared by the json_check CLI (bench_smoke) and the
+ * unit tests: loading a JSON document from disk, structural checks for
+ * BENCH_*.json sweep artifacts, and property checks for Chrome
+ * trace_event documents produced by the trace exporter.
+ */
+
+namespace bowsim::harness {
+
+/** One validation outcome: ok plus a human-readable explanation. */
+struct CheckResult {
+    bool ok = true;
+    std::string message;
+};
+
+/** Reads and parses @p path; throws FatalError on IO or parse errors. */
+Json loadJsonFile(const std::string &path);
+
+/**
+ * Validates a BENCH_*.json sweep artifact: a "points" array of
+ * @p expected_points entries (any size when negative) in which every
+ * point reports ok == true.
+ */
+CheckResult checkSweepArtifact(const Json &doc,
+                               std::int64_t expected_points = -1);
+
+/**
+ * Validates a Chrome trace_event document (docs/TRACING.md):
+ *  - "traceEvents" is an array of objects, each with a "ph" phase;
+ *  - every non-metadata event carries numeric ts/pid/tid;
+ *  - timestamps are non-decreasing per (pid, tid) track;
+ *  - "B"/"E" duration events balance per track (no unmatched end, no
+ *    open interval left at the end of the document).
+ */
+CheckResult checkChromeTrace(const Json &doc);
+
+}  // namespace bowsim::harness
+
+#endif  // BOWSIM_HARNESS_JSON_CHECK_HPP

@@ -7,6 +7,8 @@
 #include "src/common/log.hpp"
 #include "src/kernels/registry.hpp"
 #include "src/sim/gpu.hpp"
+#include "src/trace/chrome_exporter.hpp"
+#include "src/trace/ring_recorder.hpp"
 
 namespace bowsim::harness {
 
@@ -30,11 +32,16 @@ SweepResult
 runPoint(const SweepPoint &point)
 {
     SweepResult r;
+    std::unique_ptr<trace::RingRecorder> recorder;
+    if (!point.tracePath.empty() && !point.body)
+        recorder = std::make_unique<trace::RingRecorder>();
     try {
         if (point.body) {
             r.stats = point.body();
         } else {
             Gpu gpu(point.cfg);
+            if (recorder)
+                gpu.setTraceSink(recorder.get());
             r.stats = makeBenchmark(point.kernel, point.scale)->run(gpu);
         }
         r.ok = true;
@@ -42,6 +49,22 @@ runPoint(const SweepPoint &point)
         r.error = e.what();
     } catch (...) {
         r.error = "unknown error";
+    }
+    if (recorder) {
+        // Written even on failure: the retained window ending at a
+        // watchdog abort is the most useful trace of all.
+        try {
+            trace::ChromeTraceMeta meta;
+            meta.label = point.id;
+            meta.dropped = recorder->dropped();
+            trace::writeChromeTraceFile(recorder->events(),
+                                        point.tracePath, meta);
+        } catch (const std::exception &e) {
+            if (r.ok) {
+                r.ok = false;
+                r.error = e.what();
+            }
+        }
     }
     return r;
 }
@@ -134,6 +157,18 @@ statsToJson(const KernelStats &s)
     ddos.set("dpr_true", s.ddos.dprTrue());
     ddos.set("dpr_false", s.ddos.dprFalse());
     j.set("ddos", std::move(ddos));
+
+    // Only present when collected (trace sink attached or
+    // collectStallBreakdown set) so default artifacts stay byte-stable.
+    if (s.hasStallBreakdown()) {
+        Json stall = Json::object();
+        auto totals = s.stallTotals();
+        for (unsigned c = 0; c < trace::kNumStallCauses; ++c) {
+            stall.set(trace::toString(static_cast<trace::StallCause>(c)),
+                      totals[c]);
+        }
+        j.set("stall", std::move(stall));
+    }
 
     j.set("energy_nj", s.energyNj);
     return j;

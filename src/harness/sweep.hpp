@@ -37,6 +37,16 @@ struct SweepPoint {
      * Gpu(cfg).
      */
     std::function<KernelStats()> body;
+    /**
+     * When set, the point runs with a ring-buffered trace recorder
+     * attached and writes a Chrome trace_event JSON document here (see
+     * docs/TRACING.md). The file is written even when the point fails,
+     * so the trace window leading up to a watchdog abort is preserved.
+     * Ignored (with a warning from runSweep) for custom-body points,
+     * which construct their own Gpu out of the runner's sight. Each
+     * point owns its recorder, so tracing is safe under any --jobs.
+     */
+    std::string tracePath;
 };
 
 /** Outcome of one sweep point. */

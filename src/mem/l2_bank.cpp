@@ -3,7 +3,7 @@
 namespace bowsim {
 
 Cycle
-L2Bank::access(const MemPacket &pkt, Cycle arrival)
+L2Bank::access(const MemPacket &pkt, Cycle arrival, AccessInfo *info)
 {
     ++accesses_;
     bool is_atomic = pkt.type == MemPacket::Type::Atomic;
@@ -13,6 +13,8 @@ L2Bank::access(const MemPacket &pkt, Cycle arrival)
 
     Cycle start = std::max(arrival, free_);
     free_ = start + (is_atomic ? atomicPeriod_ : 1);
+    if (info)
+        info->waited = start - arrival;
 
     // Atomics arrive with byte addresses (they serialize per address);
     // the tag array works on line granularity.
@@ -21,6 +23,8 @@ L2Bank::access(const MemPacket &pkt, Cycle arrival)
     Cycle tag_done = start + hitLatency_;
     if (hit)
         return tag_done;
+    if (info)
+        info->miss = true;
 
     // Miss: fetch the line from DRAM and install it (write-allocate).
     bool evicted_dirty = false;
@@ -46,7 +50,22 @@ MemorySystem::request(const MemPacket &pkt, Cycle now)
     Cycle arrival = toMem_.inject(pkt.smId, now);
     unsigned bank = static_cast<unsigned>(
         (lineBase(pkt.line) / kLineBytes) % banks_.size());
-    Cycle bank_done = banks_[bank].access(pkt, arrival);
+    Cycle bank_done;
+    if (!tracer_.enabled()) {
+        bank_done = banks_[bank].access(pkt, arrival);
+    } else {
+        L2Bank::AccessInfo info;
+        bank_done = banks_[bank].access(pkt, arrival, &info);
+        if (pkt.type == MemPacket::Type::Atomic) {
+            tracer_.emit(now, pkt.smId, -1,
+                         trace::EventKind::AtomicSerialize, pkt.line,
+                         info.waited);
+        }
+        if (info.miss) {
+            tracer_.emit(now, pkt.smId, -1, trace::EventKind::L2Miss,
+                         lineBase(pkt.line));
+        }
+    }
     if (pkt.type == MemPacket::Type::Write)
         return 0;
     return toSm_.inject(bank, bank_done);

@@ -9,6 +9,7 @@
 #include "src/mem/cache.hpp"
 #include "src/mem/dram.hpp"
 #include "src/mem/interconnect.hpp"
+#include "src/trace/trace.hpp"
 
 /**
  * @file
@@ -42,11 +43,19 @@ class L2Bank {
     {
     }
 
+    /** What one bank access did (for trace emission by the caller). */
+    struct AccessInfo {
+        bool miss = false;
+        /** Cycles the request queued behind the bank's service slot. */
+        Cycle waited = 0;
+    };
+
     /**
      * Services @p pkt arriving at @p arrival; returns the cycle the bank
      * finishes (data ready to travel back for reads/atomics).
      */
-    Cycle access(const MemPacket &pkt, Cycle arrival);
+    Cycle access(const MemPacket &pkt, Cycle arrival,
+                 AccessInfo *info = nullptr);
 
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t atomics() const { return atomics_; }
@@ -92,11 +101,19 @@ class MemorySystem {
 
     MemSystemStats stats() const;
 
+    /**
+     * Attaches the launch's event sink. L2Miss/AtomicSerialize events are
+     * stamped with the request cycle (not the bank-arrival cycle) so the
+     * emitted stream stays globally timestamp-ordered.
+     */
+    void setTrace(trace::Tracer t) { tracer_ = t; }
+
   private:
     GpuConfig cfg_;
     std::vector<L2Bank> banks_;
     Interconnect toMem_;
     Interconnect toSm_;
+    trace::Tracer tracer_;
 };
 
 }  // namespace bowsim

@@ -1,5 +1,7 @@
 #include "src/mem/memory_space.hpp"
 
+#include <algorithm>
+
 #include "src/common/log.hpp"
 
 namespace bowsim {
@@ -95,6 +97,37 @@ MemorySpace::writeBytes(Addr addr, const void *in, std::uint64_t bytes)
         std::memcpy(touchPage(page).data() + off, src + done, chunk);
         done += chunk;
     }
+}
+
+std::uint64_t
+MemorySpace::digest() const
+{
+    std::vector<Addr> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    auto mix = [&h](const void *data, std::size_t n) {
+        const auto *b = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    };
+    for (Addr key : keys) {
+        const auto &page = pages_.at(key);
+        // An all-zero page is indistinguishable from an untouched one,
+        // so it must not perturb the digest.
+        bool all_zero = std::all_of(page.begin(), page.end(),
+                                    [](std::uint8_t b) { return b == 0; });
+        if (all_zero)
+            continue;
+        mix(&key, sizeof(key));
+        mix(page.data(), page.size());
+    }
+    return h;
 }
 
 }  // namespace bowsim

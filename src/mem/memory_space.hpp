@@ -37,6 +37,14 @@ class MemorySpace {
 
     std::uint64_t bytesAllocated() const { return next_ - kHeapBase; }
 
+    /**
+     * Content digest (FNV-1a over pages in address order), independent of
+     * page-map iteration order. Two spaces with the same digest hold the
+     * same bytes for all practical purposes — the differential tests use
+     * this to compare final memory states across schedulers and sinks.
+     */
+    std::uint64_t digest() const;
+
   private:
     const std::vector<std::uint8_t> *findPage(Addr page) const;
     std::vector<std::uint8_t> &touchPage(Addr page);

@@ -38,6 +38,8 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
 
     MemorySystem memsys(cfg_);
     LaunchState launch;
+    launch.trace = trace::Tracer(traceSink_);
+    memsys.setTrace(launch.trace);
     launch.prog = &prog;
     launch.grid = grid;
     launch.block = block;

@@ -49,12 +49,21 @@ class Gpu {
     KernelStats launch(const Program &prog, Dim3 grid, Dim3 block,
                        const std::vector<Word> &params);
 
+    /**
+     * Attaches @p sink to every subsequent launch (nullptr detaches).
+     * Tracing is purely observational: traced and untraced runs of the
+     * same configuration produce bit-identical results. Attaching a sink
+     * also turns on the per-warp stall breakdown in KernelStats.
+     */
+    void setTraceSink(trace::TraceSink *sink) { traceSink_ = sink; }
+
     const GpuConfig &config() const { return cfg_; }
 
   private:
     GpuConfig cfg_;
     MemorySpace mem_;
     EnergyModel energy_;
+    trace::TraceSink *traceSink_ = nullptr;
 };
 
 }  // namespace bowsim

@@ -156,6 +156,12 @@ LdstUnit::cycle(Cycle now, std::vector<MemCompletion> &completed)
         if (it != mshr_.end()) {
             // Merge into the outstanding fill.
             it->second.push_back(txn.op);
+            if (tracer_.enabled()) {
+                tracer_.emit(now, smId_,
+                             static_cast<std::int32_t>(
+                                 ops_[txn.op].warp->id()),
+                             trace::EventKind::MshrMerge, line);
+            }
             l1Queue_.pop_front();
             break;
         }
@@ -167,6 +173,11 @@ LdstUnit::cycle(Cycle now, std::vector<MemCompletion> &completed)
             if (txn.sync)
                 --stats_.syncMemTransactions;
             break;
+        }
+        if (tracer_.enabled()) {
+            tracer_.emit(now, smId_,
+                         static_cast<std::int32_t>(ops_[txn.op].warp->id()),
+                         trace::EventKind::L1Miss, line);
         }
         Cycle reply = memsys_.request(
             MemPacket{line, MemPacket::Type::Read, smId_, txn.op}, now);

@@ -65,6 +65,9 @@ class LdstUnit {
 
     const Cache &l1() const { return l1_; }
 
+    /** Attaches the launch's event sink (L1Miss/MshrMerge). */
+    void setTrace(trace::Tracer t) { tracer_ = t; }
+
   private:
     static constexpr unsigned kMaxInflightOps = 64;
 
@@ -110,6 +113,7 @@ class LdstUnit {
     MemorySystem &memsys_;
     KernelStats &stats_;
     Cache l1_;
+    trace::Tracer tracer_;
 
     std::vector<Op> ops_;
     std::vector<std::uint32_t> freeOps_;

@@ -47,6 +47,23 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch)
         launch_.buildPcFlags();  // idempotent; cores are built serially
     cawaAccounting_ = cfg.scheduler == SchedulerKind::CAWA;
 
+    // Tracing and stall attribution ride the same launch-wide handle.
+    // Sizing the stall table here (cores are built serially) keeps
+    // Gpu::launch() agnostic and covers direct SmCore construction.
+    tracer_ = launch_.trace;
+    stallAccounting_ = tracer_.enabled() || cfg.collectStallBreakdown;
+    if (stallAccounting_) {
+        KernelStats &st = launch_.stats;
+        st.stallWarpsPerSm = maxWarps_;
+        std::size_t need = static_cast<std::size_t>(cfg.numCores) *
+                           maxWarps_ * trace::kNumStallCauses;
+        if (st.stallCounts.size() < need)
+            st.stallCounts.resize(need, 0);
+    }
+    ldst_.setTrace(tracer_);
+    ddos_->setTrace(tracer_, id_);
+    backoff_.setTrace(tracer_, id_);
+
     const Program &prog = *launch_.prog;
     unsigned threads_per_cta = blockThreads_;
     if (threads_per_cta == 0)
@@ -155,8 +172,11 @@ SmCore::checkBarrier(Cta &cta)
     if (cta.liveWarps == 0 || cta.arrivedAtBarrier < cta.liveWarps)
         return;
     for (auto &w : cta.warps) {
-        if (!w->done())
+        if (!w->done()) {
             w->setAtBarrier(false);
+            tracer_.emit(now_, id_, static_cast<std::int32_t>(w->id()),
+                         trace::EventKind::BarrierExit);
+        }
     }
     cta.arrivedAtBarrier = 0;
 }
@@ -580,6 +600,14 @@ SmCore::issue(Warp &w, Cycle now)
         exec = inst.guardNegate ? (active & ~pm) : pm;
     }
 
+    if (tracer_.enabled()) {
+        const std::int32_t wid = static_cast<std::int32_t>(w.id());
+        tracer_.emit(now, id_, wid, trace::EventKind::Fetch, pc);
+        tracer_.emit(now, id_, wid, trace::EventKind::Issue, pc,
+                     static_cast<std::uint64_t>(inst.op) |
+                         (static_cast<std::uint64_t>(popcount(exec)) << 8));
+    }
+
     // --- accounting ----------------------------------------------------
     KernelStats &st = launch_.stats;
     ++st.warpInstructions;
@@ -619,12 +647,29 @@ SmCore::issue(Warp &w, Cycle now)
             // The warp will re-run the loop body: grow CAWA's remaining-
             // work estimate (this is the spin-prioritization pathology).
             cawa.estRemaining += static_cast<double>(pc - inst.target + 1);
-            ddos_->onBackwardBranch(w.id(), pc, now);
+            if (!tracer_.enabled()) {
+                ddos_->onBackwardBranch(w.id(), pc, now);
+            } else {
+                // Label newly confirmed SIBs against the kernel's
+                // ground-truth annotations for the detection stream.
+                const bool was_sib = ddos_->isSib(pc);
+                ddos_->onBackwardBranch(w.id(), pc, now);
+                if (!was_sib && ddos_->isSib(pc)) {
+                    const bool truth =
+                        (launch_.pcFlags[pc] &
+                         LaunchState::kPcSpinBranch) != 0;
+                    tracer_.emit(now, id_,
+                                 static_cast<std::int32_t>(w.id()),
+                                 truth ? trace::EventKind::DetectTrue
+                                       : trace::EventKind::DetectFalse,
+                                 pc);
+                }
+            }
         }
         if (backward && taken != 0 && isSib(pc)) {
             sib_executed = true;
             ++st.sibInstructions;
-            backoff_.onSpinBranch(w);
+            backoff_.onSpinBranch(w, now);
         }
         w.stack().branch(inst, taken);
         break;
@@ -637,6 +682,8 @@ SmCore::issue(Warp &w, Cycle now)
         Cta &cta = ctas_.at(w.id() / warpsPerCta_);
         w.setAtBarrier(true);
         ++cta.arrivedAtBarrier;
+        tracer_.emit(now, id_, static_cast<std::int32_t>(w.id()),
+                     trace::EventKind::BarrierEnter, pc);
         checkBarrier(cta);
         break;
       }
@@ -697,17 +744,33 @@ SmCore::cycle(Cycle now)
     tryLaunchCtas();
 
     // 1. Memory and ALU writebacks due this cycle.
+    const bool tracing = tracer_.enabled();
     memCompletions_.clear();
     ldst_.cycle(now, memCompletions_);
     for (const MemCompletion &c : memCompletions_) {
-        if (c.inst->dst.valid())
+        if (c.inst->dst.valid()) {
             c.warp->scoreboard().release(*c.inst);
+            if (tracing) {
+                tracer_.emit(now, id_,
+                             static_cast<std::int32_t>(c.warp->id()),
+                             trace::EventKind::Writeback,
+                             static_cast<std::uint64_t>(c.inst - code_));
+            }
+        }
     }
     if (wbPending_ != 0) {
         std::vector<WbEvent> &due = wbRing_[now % wbRingSize_];
         if (!due.empty()) {
-            for (const WbEvent &ev : due)
+            for (const WbEvent &ev : due) {
                 ev.warp->scoreboard().release(*ev.inst);
+                if (tracing) {
+                    tracer_.emit(now, id_,
+                                 static_cast<std::int32_t>(ev.warp->id()),
+                                 trace::EventKind::Writeback,
+                                 static_cast<std::uint64_t>(ev.inst -
+                                                            code_));
+                }
+            }
             wbPending_ -= due.size();
             due.clear();
         }
@@ -770,10 +833,78 @@ SmCore::cycle(Cycle now)
                 ++w->cawa().stallCycles;
         }
     }
+    if (stallAccounting_)
+        recordStallCycle(now);
     st.residentWarpCycles += resident_.size();
     st.backedOffWarpCycles += backoff_.backedOffCount();
 
     retireFinishedCtas();
+}
+
+trace::StallCause
+SmCore::classifyStall(Warp &w) const
+{
+    if (w.atBarrier())
+        return trace::StallCause::Barrier;
+    if (!backoff_.mayIssue(w, now_))
+        return trace::StallCause::Backoff;
+    const Instruction &inst = fetch(w.stack().pc());
+    if (!w.scoreboard().canIssue(inst))
+        return trace::StallCause::Scoreboard;
+    if (inst.isMemory() && inst.space != MemSpace::Param &&
+        !ldst_.canAccept()) {
+        return trace::StallCause::PipelineBusy;
+    }
+    return trace::StallCause::Arbitration;
+}
+
+void
+SmCore::recordStallCycle(Cycle now)
+{
+    // Every warp still resident after this cycle's issue gets exactly one
+    // count (Issued or its first blocking cause), so the table's grand
+    // total matches residentWarpCycles. Classification happens after all
+    // units issued; issuing only consumes resources, so a warp that looks
+    // eligible here genuinely lost arbitration.
+    const bool tracing = tracer_.enabled();
+    KernelStats &st = launch_.stats;
+    const std::size_t sm_base =
+        static_cast<std::size_t>(id_) * st.stallWarpsPerSm;
+    const unsigned units = static_cast<unsigned>(schedulers_.size());
+    for (unsigned u = 0; u < units; ++u) {
+        if (unitResident_[u].empty()) {
+            if (tracing && validCtas_ != 0) {
+                tracer_.emit(now, id_, -1, trace::EventKind::IssueStall,
+                             static_cast<std::uint64_t>(
+                                 trace::StallCause::IbufferEmpty));
+            }
+            continue;
+        }
+        bool unit_issued = false;
+        bool have_cause = false;
+        trace::StallCause unit_cause = trace::StallCause::Arbitration;
+        for (Warp *w : unitResident_[u]) {
+            trace::StallCause cause;
+            if (w->lastIssueCycle() == now) {
+                cause = trace::StallCause::Issued;
+                unit_issued = true;
+            } else {
+                cause = classifyStall(*w);
+                if (!have_cause) {
+                    unit_cause = cause;
+                    have_cause = true;
+                }
+            }
+            std::size_t idx = (sm_base + w->id()) * trace::kNumStallCauses +
+                              static_cast<std::size_t>(cause);
+            if (idx < st.stallCounts.size())
+                ++st.stallCounts[idx];
+        }
+        if (tracing && !unit_issued) {
+            tracer_.emit(now, id_, -1, trace::EventKind::IssueStall,
+                         static_cast<std::uint64_t>(unit_cause));
+        }
+    }
 }
 
 }  // namespace bowsim

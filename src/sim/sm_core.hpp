@@ -14,6 +14,7 @@
 #include "src/sched/scheduler.hpp"
 #include "src/sim/ldst_unit.hpp"
 #include "src/stats/stats.hpp"
+#include "src/trace/trace.hpp"
 
 /**
  * @file
@@ -36,6 +37,8 @@ struct LaunchState {
     SpinDetect spinDetect = SpinDetect::Ddos;
     LockTracker lockTracker;
     KernelStats stats;
+    /** Event sink for this launch; the default Tracer is the null sink. */
+    trace::Tracer trace;
     /** Next CTA index awaiting an SM. */
     unsigned nextCta = 0;
     /** Monotonic warp age counter (GTO's age ordering). */
@@ -105,6 +108,15 @@ class SmCore : private IssueGate {
     void issue(Warp &w, Cycle now);
     bool isSib(Pc pc) const;
 
+    /**
+     * Why @p w cannot issue at now_ (mirrors eligible()'s check order).
+     * Only called for resident, not-done warps that did not issue, so
+     * it returns Arbitration when every gate passes.
+     */
+    trace::StallCause classifyStall(Warp &w) const;
+    /** Per-cycle stall attribution + unit-level stall events (gated). */
+    void recordStallCycle(Cycle now);
+
     /** Hot-path instruction fetch. Launch-validated programs always have
      *  in-range PCs; anything else falls back to the checked accessor so
      *  malformed hand-built programs fail exactly as before. */
@@ -171,6 +183,10 @@ class SmCore : private IssueGate {
     Cycle now_ = 0;
     /** Per-warp active/stall counters only feed CAWA's criticality. */
     bool cawaAccounting_ = false;
+    /** Launch-wide event sink handle (null sink unless a trace is on). */
+    trace::Tracer tracer_;
+    /** Per-cycle stall attribution into stats.stallCounts (gated). */
+    bool stallAccounting_ = false;
 };
 
 }  // namespace bowsim

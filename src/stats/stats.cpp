@@ -1,5 +1,7 @@
 #include "src/stats/stats.hpp"
 
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 namespace bowsim {
@@ -31,7 +33,64 @@ KernelStats::operator+=(const KernelStats &o)
     smCycles += o.smCycles;
     energy += o.energy;
     energyNj += o.energyNj;
+    // Stall tables from successive launches of one harness share the
+    // core geometry, so rows line up; a size mismatch (e.g. different
+    // configs summed) still merges positionally over the common prefix.
+    if (!o.stallCounts.empty()) {
+        if (stallCounts.size() < o.stallCounts.size())
+            stallCounts.resize(o.stallCounts.size(), 0);
+        for (std::size_t i = 0; i < o.stallCounts.size(); ++i)
+            stallCounts[i] += o.stallCounts[i];
+        stallWarpsPerSm = std::max(stallWarpsPerSm, o.stallWarpsPerSm);
+    }
     return *this;
+}
+
+std::array<std::uint64_t, trace::kNumStallCauses>
+KernelStats::stallTotals() const
+{
+    std::array<std::uint64_t, trace::kNumStallCauses> totals{};
+    for (std::size_t i = 0; i < stallCounts.size(); ++i)
+        totals[i % trace::kNumStallCauses] += stallCounts[i];
+    return totals;
+}
+
+std::string
+stallTable(const KernelStats &s)
+{
+    if (!s.hasStallBreakdown() || s.stallWarpsPerSm == 0)
+        return "";
+    constexpr unsigned causes = trace::kNumStallCauses;
+    std::ostringstream os;
+    os << std::left << std::setw(10) << "warp";
+    for (unsigned c = 0; c < causes; ++c) {
+        os << std::right << std::setw(14)
+           << trace::toString(static_cast<trace::StallCause>(c));
+    }
+    os << "\n";
+    const std::size_t rows = s.stallCounts.size() / causes;
+    for (std::size_t row = 0; row < rows; ++row) {
+        std::uint64_t row_total = 0;
+        for (unsigned c = 0; c < causes; ++c)
+            row_total += s.stallCounts[row * causes + c];
+        if (row_total == 0)
+            continue;
+        std::ostringstream label;
+        label << "sm" << row / s.stallWarpsPerSm << ".w"
+              << row % s.stallWarpsPerSm;
+        os << std::left << std::setw(10) << label.str();
+        for (unsigned c = 0; c < causes; ++c) {
+            os << std::right << std::setw(14)
+               << s.stallCounts[row * causes + c];
+        }
+        os << "\n";
+    }
+    auto totals = s.stallTotals();
+    os << std::left << std::setw(10) << "total";
+    for (unsigned c = 0; c < causes; ++c)
+        os << std::right << std::setw(14) << totals[c];
+    os << "\n";
+    return os.str();
 }
 
 std::string

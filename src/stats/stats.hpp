@@ -1,13 +1,16 @@
 #ifndef BOWSIM_STATS_STATS_HPP
 #define BOWSIM_STATS_STATS_HPP
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/types.hpp"
 #include "src/energy/energy_model.hpp"
 #include "src/mem/l2_bank.hpp"
 #include "src/stats/ddos_accuracy.hpp"
+#include "src/trace/trace.hpp"
 
 /**
  * @file
@@ -90,6 +93,34 @@ struct KernelStats {
                    : static_cast<double>(delayLimitCycleSum) / smCycles;
     }
 
+    // --- issue-stall attribution (docs/TRACING.md taxonomy) -------------
+    /**
+     * Per-warp stall breakdown, collected when a trace sink is attached
+     * or GpuConfig::collectStallBreakdown is set (empty otherwise —
+     * the per-cycle attribution loop is off the default hot path).
+     * Flattened as [(sm * stallWarpsPerSm + warp) * kNumStallCauses +
+     * cause]; every resident warp contributes exactly one count per
+     * SM-cycle, so the table's grand total equals residentWarpCycles.
+     */
+    std::vector<std::uint64_t> stallCounts;
+    /** Warp slots per SM backing the row indexing above. */
+    unsigned stallWarpsPerSm = 0;
+
+    bool hasStallBreakdown() const { return !stallCounts.empty(); }
+
+    std::uint64_t
+    stallCount(unsigned sm, unsigned warp, trace::StallCause cause) const
+    {
+        std::size_t idx =
+            (static_cast<std::size_t>(sm) * stallWarpsPerSm + warp) *
+                trace::kNumStallCauses +
+            static_cast<std::size_t>(cause);
+        return idx < stallCounts.size() ? stallCounts[idx] : 0;
+    }
+
+    /** Per-cause totals over all warps (zeroes when not collected). */
+    std::array<std::uint64_t, trace::kNumStallCauses> stallTotals() const;
+
     // --- energy -----------------------------------------------------------
     EnergyEvents energy;
     double energyNj = 0.0;
@@ -147,6 +178,12 @@ struct KernelStats {
 
 /** One-line human-readable summary, for examples and debugging. */
 std::string summary(const KernelStats &s);
+
+/**
+ * Formatted per-warp stall-breakdown table (one row per warp with any
+ * stall cycles, plus a totals row); empty string when not collected.
+ */
+std::string stallTable(const KernelStats &s);
 
 }  // namespace bowsim
 

@@ -1,0 +1,192 @@
+#include "src/trace/chrome_exporter.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "src/common/log.hpp"
+
+namespace bowsim::trace {
+
+namespace {
+
+/** Chrome phase for @p kind: duration begin/end, counter, or instant. */
+const char *
+phaseOf(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::BackoffEnter:
+      case EventKind::BarrierEnter:
+        return "B";
+      case EventKind::BackoffExit:
+      case EventKind::BarrierExit:
+        return "E";
+      case EventKind::BackoffCount:
+        return "C";
+      default:
+        return "i";
+    }
+}
+
+const char *
+categoryOf(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Fetch:
+      case EventKind::Issue:
+      case EventKind::Writeback:
+      case EventKind::IssueStall:
+        return "core";
+      case EventKind::L1Miss:
+      case EventKind::MshrMerge:
+      case EventKind::L2Miss:
+      case EventKind::AtomicSerialize:
+        return "mem";
+      case EventKind::SibConfirm:
+      case EventKind::SibEvict:
+      case EventKind::DetectTrue:
+      case EventKind::DetectFalse:
+        return "ddos";
+      case EventKind::BackoffEnter:
+      case EventKind::BackoffExit:
+      case EventKind::BackoffCount:
+        return "bows";
+      case EventKind::BarrierEnter:
+      case EventKind::BarrierExit:
+        return "barrier";
+      case EventKind::kCount:
+        break;
+    }
+    return "misc";
+}
+
+/** Kind-specific argument object (what Perfetto shows on click). */
+harness::Json
+argsOf(const TraceEvent &ev)
+{
+    harness::Json args = harness::Json::object();
+    switch (ev.kind) {
+      case EventKind::Fetch:
+      case EventKind::Writeback:
+      case EventKind::SibConfirm:
+      case EventKind::SibEvict:
+      case EventKind::DetectTrue:
+      case EventKind::DetectFalse:
+      case EventKind::BarrierEnter:
+        args.set("pc", ev.a0);
+        break;
+      case EventKind::Issue:
+        args.set("pc", ev.a0);
+        args.set("opcode", ev.a1 & 0xff);
+        args.set("lanes", ev.a1 >> 8);
+        break;
+      case EventKind::IssueStall:
+        args.set("cause",
+                 toString(static_cast<StallCause>(ev.a0)));
+        break;
+      case EventKind::L1Miss:
+      case EventKind::MshrMerge:
+      case EventKind::L2Miss:
+        args.set("line", ev.a0);
+        break;
+      case EventKind::AtomicSerialize:
+        args.set("addr", ev.a0);
+        args.set("wait_cycles", ev.a1);
+        break;
+      case EventKind::BackoffEnter:
+        args.set("seq", ev.a0);
+        break;
+      case EventKind::BackoffExit:
+        args.set("armed_delay", ev.a0);
+        break;
+      case EventKind::BackoffCount:
+        args.set("backed_off", ev.a0);
+        break;
+      case EventKind::BarrierExit:
+      case EventKind::kCount:
+        break;
+    }
+    return args;
+}
+
+}  // namespace
+
+harness::Json
+chromeEventJson(const TraceEvent &ev)
+{
+    harness::Json j = harness::Json::object();
+    j.set("name", toString(ev.kind));
+    j.set("cat", categoryOf(ev.kind));
+    const char *ph = phaseOf(ev.kind);
+    j.set("ph", ph);
+    j.set("ts", ev.cycle);
+    j.set("pid", ev.sm);
+    // Counter events are per-process tracks; warp-less instants land on
+    // a dedicated scheduler track (tid -1 would be rejected by Perfetto).
+    std::int64_t tid = ev.warp >= 0 ? ev.warp : 0xffff;
+    j.set("tid", ev.kind == EventKind::BackoffCount ? 0 : tid);
+    if (ph[0] == 'i')
+        j.set("s", "t");  // instant scope: thread
+    if (ph[0] != 'E') {
+        harness::Json args = argsOf(ev);
+        if (args.size() != 0)
+            j.set("args", std::move(args));
+    }
+    return j;
+}
+
+void
+exportChromeTrace(const std::vector<TraceEvent> &events, std::ostream &out,
+                  const ChromeTraceMeta &meta)
+{
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    auto put = [&](const harness::Json &j) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n" << j.dump();
+    };
+
+    // Name each SM's process track once, up front.
+    std::set<std::uint32_t> sms;
+    for (const TraceEvent &ev : events)
+        sms.insert(ev.sm);
+    for (std::uint32_t sm : sms) {
+        harness::Json m = harness::Json::object();
+        m.set("name", "process_name");
+        m.set("ph", "M");
+        m.set("pid", sm);
+        harness::Json args = harness::Json::object();
+        args.set("name", "SM" + std::to_string(sm));
+        m.set("args", std::move(args));
+        put(m);
+    }
+
+    for (const TraceEvent &ev : events)
+        put(chromeEventJson(ev));
+    out << "\n],\"displayTimeUnit\":\"ms\"";
+    if (!meta.label.empty()) {
+        harness::Json label(meta.label);
+        out << ",\"metadata\":{\"label\":" << label.dump()
+            << ",\"dropped_events\":" << meta.dropped << "}";
+    } else if (meta.dropped != 0) {
+        out << ",\"metadata\":{\"dropped_events\":" << meta.dropped << "}";
+    }
+    out << "}\n";
+}
+
+void
+writeChromeTraceFile(const std::vector<TraceEvent> &events,
+                     const std::string &path, const ChromeTraceMeta &meta)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace file '", path, "'");
+    exportChromeTrace(events, out, meta);
+    out.flush();
+    if (!out)
+        fatal("error writing trace file '", path, "'");
+}
+
+}  // namespace bowsim::trace

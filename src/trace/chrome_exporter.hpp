@@ -1,0 +1,50 @@
+#ifndef BOWSIM_TRACE_CHROME_EXPORTER_HPP
+#define BOWSIM_TRACE_CHROME_EXPORTER_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/harness/json.hpp"
+#include "src/trace/trace.hpp"
+
+/**
+ * @file
+ * Chrome trace_event exporter: turns a trace recording into a JSON
+ * document loadable by chrome://tracing and Perfetto. SMs map to
+ * processes (pid), warp slots to threads (tid); interval kinds
+ * (backoff, barrier) become B/E duration pairs on the warp's track,
+ * everything else becomes an instant event, and BackoffCount becomes a
+ * per-SM counter track. Timestamps are simulated cycles reported in the
+ * format's microsecond field, so "1 us" on screen is one core cycle.
+ */
+
+namespace bowsim::trace {
+
+/** Optional document metadata recorded alongside the events. */
+struct ChromeTraceMeta {
+    /** Kernel / bench identifier, recorded as trace-level metadata. */
+    std::string label;
+    /** Events overwritten by the ring before export (recorded if != 0). */
+    std::uint64_t dropped = 0;
+};
+
+/** Serializes one event to its Chrome trace_event JSON object. */
+harness::Json chromeEventJson(const TraceEvent &ev);
+
+/**
+ * Streams the full document ({"traceEvents": [...], ...}) to @p out.
+ * Events must be in emission order (RingRecorder::events() order).
+ */
+void exportChromeTrace(const std::vector<TraceEvent> &events,
+                       std::ostream &out,
+                       const ChromeTraceMeta &meta = {});
+
+/** exportChromeTrace into a file; throws FatalError when unwritable. */
+void writeChromeTraceFile(const std::vector<TraceEvent> &events,
+                          const std::string &path,
+                          const ChromeTraceMeta &meta = {});
+
+}  // namespace bowsim::trace
+
+#endif  // BOWSIM_TRACE_CHROME_EXPORTER_HPP

@@ -1,0 +1,60 @@
+#ifndef BOWSIM_TRACE_RING_RECORDER_HPP
+#define BOWSIM_TRACE_RING_RECORDER_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "src/trace/trace.hpp"
+
+/**
+ * @file
+ * Bounded-memory trace recorder: a ring of fixed-size TraceEvent
+ * records. When the ring fills, the oldest events are overwritten, so a
+ * long run always retains the most recent window — the part that shows
+ * why it ended the way it did. events() linearizes the ring back into
+ * emission order; saveBinary()/loadBinary() round-trip a recording
+ * through a flat binary file (a small header plus raw records).
+ */
+
+namespace bowsim::trace {
+
+class RingRecorder : public TraceSink {
+  public:
+    /** Default capacity: 1M events (32 MiB), ample for scaled-down runs. */
+    static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+    explicit RingRecorder(std::size_t capacity = kDefaultCapacity);
+
+    void emit(const TraceEvent &ev) override;
+
+    /** Retained events in emission order (oldest first). */
+    std::vector<TraceEvent> events() const;
+
+    std::size_t capacity() const { return capacity_; }
+    /** Events currently retained (<= capacity()). */
+    std::size_t size() const { return count_; }
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+    /** Total events ever emitted into this recorder. */
+    std::uint64_t total() const { return dropped_ + count_; }
+
+    void clear();
+
+    /** Writes the retained events as a flat binary stream. */
+    void saveBinary(std::ostream &out) const;
+
+    /** Parses a saveBinary() stream back into event order. */
+    static std::vector<TraceEvent> loadBinary(std::istream &in);
+
+  private:
+    std::size_t capacity_;
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;   ///< slot the next event lands in
+    std::size_t count_ = 0;  ///< valid slots
+    std::uint64_t dropped_ = 0;
+};
+
+}  // namespace bowsim::trace
+
+#endif  // BOWSIM_TRACE_RING_RECORDER_HPP

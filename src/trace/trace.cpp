@@ -1,0 +1,47 @@
+#include "src/trace/trace.hpp"
+
+namespace bowsim::trace {
+
+const char *
+toString(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::Issued: return "issued";
+      case StallCause::IbufferEmpty: return "ibuffer_empty";
+      case StallCause::Barrier: return "barrier";
+      case StallCause::Backoff: return "backoff";
+      case StallCause::Scoreboard: return "scoreboard";
+      case StallCause::PipelineBusy: return "pipeline_busy";
+      case StallCause::Arbitration: return "arbitration";
+      case StallCause::kCount: break;
+    }
+    return "unknown";
+}
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Fetch: return "fetch";
+      case EventKind::Issue: return "issue";
+      case EventKind::Writeback: return "writeback";
+      case EventKind::IssueStall: return "issue_stall";
+      case EventKind::L1Miss: return "l1_miss";
+      case EventKind::MshrMerge: return "mshr_merge";
+      case EventKind::L2Miss: return "l2_miss";
+      case EventKind::AtomicSerialize: return "atomic_serialize";
+      case EventKind::SibConfirm: return "sib_confirm";
+      case EventKind::SibEvict: return "sib_evict";
+      case EventKind::DetectTrue: return "detect_true";
+      case EventKind::DetectFalse: return "detect_false";
+      case EventKind::BackoffEnter: return "backoff";
+      case EventKind::BackoffExit: return "backoff";
+      case EventKind::BackoffCount: return "backed_off_warps";
+      case EventKind::BarrierEnter: return "barrier";
+      case EventKind::BarrierExit: return "barrier";
+      case EventKind::kCount: break;
+    }
+    return "unknown";
+}
+
+}  // namespace bowsim::trace

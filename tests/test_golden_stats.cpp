@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "src/kernels/registry.hpp"
+#include "src/sim/gpu.hpp"
+
+/**
+ * Golden-stats regression tests (labeled `slow`): cycle counts and
+ * synchronization outcomes for HT and ATM pinned at an exact
+ * configuration. The simulator is deterministic, so any drift here is a
+ * real behavior change — timing model, scheduler, DDOS, or BOWS. When a
+ * change is intentional, re-measure and update the constants in the same
+ * commit, and say why in the commit message.
+ *
+ * Config: GTX480 model, 4 SMs, GTO, registry kernels at scale 0.25.
+ */
+
+namespace bowsim {
+namespace {
+
+struct Golden {
+    const char *kernel;
+    bool bows;
+    Cycle cycles;
+    std::uint64_t warpInstructions;
+    std::uint64_t lockSuccess;
+    std::uint64_t interWarpFail;
+    std::uint64_t intraWarpFail;
+};
+
+const Golden kGolden[] = {
+    {"HT", false, 42912, 27588, 3072, 38725, 352},
+    {"HT", true, 52209, 20764, 3072, 33703, 352},
+    {"ATM", false, 314299, 169255, 21460, 284005, 1846},
+    {"ATM", true, 171181, 84529, 15012, 145520, 916},
+};
+
+class GoldenStats : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenStats, PinnedCyclesAndOutcomes)
+{
+    const Golden &g = GetParam();
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 4;
+    cfg.scheduler = SchedulerKind::GTO;
+    cfg.bows.enabled = g.bows;
+    Gpu gpu(cfg);
+    KernelStats s = makeBenchmark(g.kernel, 0.25)->run(gpu);
+
+    EXPECT_EQ(s.cycles, g.cycles);
+    EXPECT_EQ(s.warpInstructions, g.warpInstructions);
+    EXPECT_EQ(s.outcomes.lockSuccess, g.lockSuccess);
+    EXPECT_EQ(s.outcomes.interWarpFail, g.interWarpFail);
+    EXPECT_EQ(s.outcomes.intraWarpFail, g.intraWarpFail);
+    // Neither kernel uses wait-style loops at this scale.
+    EXPECT_EQ(s.outcomes.waitExitSuccess, 0u);
+    EXPECT_EQ(s.outcomes.waitExitFail, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(HtAtm, GoldenStats, ::testing::ValuesIn(kGolden),
+                         [](const auto &info) {
+                             return std::string(info.param.kernel) +
+                                    (info.param.bows ? "_bows" : "_base");
+                         });
+
+TEST(GoldenStats, BowsReducesAtmSpinOverhead)
+{
+    // The paper's headline effect, pinned qualitatively: BOWS cuts
+    // failed lock acquires on the contended account array.
+    const Golden &base = kGolden[2];
+    const Golden &bows = kGolden[3];
+    EXPECT_LT(bows.interWarpFail, base.interWarpFail);
+    EXPECT_LT(bows.cycles, base.cycles);
+}
+
+}  // namespace
+}  // namespace bowsim

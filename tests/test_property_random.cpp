@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 #include <sstream>
+#include <vector>
 
 #include "src/isa/assembler.hpp"
 #include "src/isa/verifier.hpp"
@@ -331,6 +333,35 @@ class ScalarRef {
     std::vector<Word> params_;
 };
 
+/**
+ * Seeds under test. BOWSIM_TEST_SEED (a single seed or a comma-separated
+ * list) overrides the default 1..32 range, so a seed printed by a failing
+ * run can be replayed in isolation:
+ *
+ *     BOWSIM_TEST_SEED=17 ./tests/bowsim_tests \
+ *         --gtest_filter='Seeds/RandomPrograms.*'
+ */
+std::vector<std::uint32_t>
+testSeeds()
+{
+    std::vector<std::uint32_t> seeds;
+    if (const char *env = std::getenv("BOWSIM_TEST_SEED")) {
+        std::stringstream ss(env);
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (!tok.empty()) {
+                seeds.push_back(static_cast<std::uint32_t>(
+                    std::strtoul(tok.c_str(), nullptr, 10)));
+            }
+        }
+    }
+    if (seeds.empty()) {
+        for (std::uint32_t s = 1; s < 33; ++s)
+            seeds.push_back(s);
+    }
+    return seeds;
+}
+
 class RandomPrograms : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(RandomPrograms, SimMatchesScalarReference)
@@ -367,13 +398,15 @@ TEST_P(RandomPrograms, SimMatchesScalarReference)
     ref.setMemory(in, params);
     for (unsigned tid = 0; tid < threads; ++tid) {
         ASSERT_EQ(got[tid], ref.run(tid))
-            << "seed " << seed << " thread " << tid << "\nprogram:\n"
+            << "seed " << seed << " thread " << tid
+            << " (replay with BOWSIM_TEST_SEED=" << seed
+            << ")\nprogram:\n"
             << source;
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
-                         ::testing::Range<std::uint32_t>(1, 33));
+                         ::testing::ValuesIn(testSeeds()));
 
 TEST(RandomPrograms, GeneratedProgramsPassTheVerifier)
 {
