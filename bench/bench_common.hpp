@@ -53,6 +53,15 @@ struct BenchOptions {
      * "HT/B500". Per-point files keep tracing safe under --jobs > 1.
      */
     std::string tracePath;
+    /**
+     * Escape hatch for the idle-cycle fast-forward (--no-skip /
+     * BOWSIM_NO_SKIP): forces GpuConfig::idleSkip off on every point.
+     * Results are bit-identical either way (that is tested); the flag
+     * exists for wall-clock comparisons and for ruling the skip logic
+     * out when debugging. Recorded per point in the JSON artifact as
+     * config.idle_skip.
+     */
+    bool noSkip = false;
 };
 
 /** Sanitizes a point id into a filename fragment (slashes etc. -> '_'). */
@@ -86,7 +95,8 @@ tracePathFor(const std::string &base, const std::string &id)
 }
 
 /**
- * Parses --scale= / --cores= / --jobs= / --json= plus the corresponding
+ * Parses --scale= / --cores= / --jobs= / --json= / --trace= / --no-skip
+ * plus the corresponding
  * BOWSIM_* environment variables (flags win over the environment, the
  * environment wins over the bench's defaults). Unknown arguments are
  * ignored so binaries with their own flags can share the parser.
@@ -104,6 +114,8 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         o.cores = static_cast<unsigned>(std::atoi(env));
     if (const char *env = std::getenv("BOWSIM_TRACE"))
         o.tracePath = env;
+    if (const char *env = std::getenv("BOWSIM_NO_SKIP"))
+        o.noSkip = env[0] != '\0' && env[0] != '0';
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0)
             o.scale = std::atof(argv[i] + 8);
@@ -115,6 +127,8 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
             o.jsonPath = argv[i] + 7;
         else if (std::strncmp(argv[i], "--trace=", 8) == 0)
             o.tracePath = argv[i] + 8;
+        else if (std::strcmp(argv[i], "--no-skip") == 0)
+            o.noSkip = true;
     }
     return o;
 }
@@ -170,23 +184,29 @@ inline std::vector<SweepResult>
 runSweep(const BenchOptions &opts, const Sweep &sweep)
 {
     harness::SweepRunner runner(opts.jobs);
-    std::vector<SweepResult> results;
-    if (opts.tracePath.empty()) {
-        results = runner.run(sweep.points);
-    } else {
-        std::vector<SweepPoint> points = sweep.points;
+    // Per-point overrides (--trace file fan-out, --no-skip) operate on
+    // a copy; the artifact then records the configs that actually ran.
+    std::vector<SweepPoint> points = sweep.points;
+    if (!opts.tracePath.empty() || opts.noSkip) {
         for (SweepPoint &p : points) {
             if (p.body) {
+                // Custom bodies construct their own Gpu from a config
+                // captured at declaration time, out of the runner's
+                // reach.
                 std::fprintf(stderr,
                              "warning: point '%s' has a custom body; "
-                             "--trace is not supported for it\n",
-                             p.id.c_str());
+                             "%s is not supported for it\n",
+                             p.id.c_str(),
+                             opts.noSkip ? "--no-skip" : "--trace");
                 continue;
             }
-            p.tracePath = tracePathFor(opts.tracePath, p.id);
+            if (opts.noSkip)
+                p.cfg.idleSkip = false;
+            if (!opts.tracePath.empty())
+                p.tracePath = tracePathFor(opts.tracePath, p.id);
         }
-        results = runner.run(points);
     }
+    std::vector<SweepResult> results = runner.run(points);
     if (!opts.jsonPath.empty()) {
         std::ofstream out(opts.jsonPath);
         if (!out) {
@@ -194,8 +214,8 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                          opts.jsonPath.c_str());
             std::exit(1);
         }
-        out << harness::sweepToJson(sweep.name, runner.jobs(),
-                                    sweep.points, results)
+        out << harness::sweepToJson(sweep.name, runner.jobs(), points,
+                                    results)
                    .dump()
             << "\n";
     }

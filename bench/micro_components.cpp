@@ -6,6 +6,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "src/core/ddos/history.hpp"
 #include "src/core/ddos/sib_table.hpp"
 #include "src/isa/assembler.hpp"
+#include "src/kernels/atm.hpp"
 #include "src/kernels/registry.hpp"
 #include "src/mem/cache.hpp"
 #include "src/mem/coalescer.hpp"
@@ -154,6 +156,45 @@ BM_MicroCycleLoop(benchmark::State &state)
         static_cast<double>(cycles), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_MicroCycleLoop)->Name("micro_cycle_loop")
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Idle-dominated counterpart to micro_cycle_loop: two accounts mean a
+ * single serialized critical section, and an adaptive BOWS limit floored
+ * at 4000 cycles parks every loser warp for thousands of cycles while
+ * the one lock holder drains its critical section. Most cycles have no
+ * issue on the (single) SM, which is exactly the shape the idle-cycle
+ * fast-forward targets (docs/PERF.md). Set BOWSIM_NO_SKIP=1 to measure
+ * the cycle-by-cycle baseline; results are bit-identical either way.
+ */
+void
+BM_MicroBackoffIdle(benchmark::State &state)
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 1;
+    cfg.spinDetect = SpinDetect::Ddos;
+    cfg.bows.enabled = true;
+    cfg.bows.adaptive = true;
+    cfg.bows.minLimit = 4000;
+    cfg.bows.maxLimit = 16000;
+    if (const char *env = std::getenv("BOWSIM_NO_SKIP"))
+        cfg.idleSkip = !(env[0] != '\0' && env[0] != '0');
+    AtmParams p;
+    p.transactions = 1024;
+    p.accounts = 2;
+    p.ctas = 2;
+    p.threadsPerCta = 256;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        Gpu gpu(cfg);
+        auto h = makeAtm(p);
+        cycles += h->run(gpu).cycles;
+    }
+    benchmark::DoNotOptimize(cycles);
+    state.counters["sim_cycles_per_iter"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MicroBackoffIdle)->Name("micro_backoff_idle")
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -164,6 +164,20 @@ struct GpuConfig {
      */
     bool collectStallBreakdown = false;
 
+    /**
+     * Event-driven idle-cycle fast-forward: when a cycle ends with no
+     * warp issued on any SM, jump the clock to the earliest cycle at
+     * which any component can do work (writeback, memory completion,
+     * back-off deadline, CTA dispatch) instead of ticking through the
+     * gap. Deterministic and statistics-exact by construction (see
+     * docs/PERF.md for the horizon contract); the flag exists as an
+     * escape hatch (--no-skip / BOWSIM_NO_SKIP on the bench binaries)
+     * and for differential testing. Ignored — skip is forced off —
+     * while a trace sink is attached, because per-cycle IssueStall
+     * events cannot be synthesized for skipped cycles.
+     */
+    bool idleSkip = true;
+
     /** Warps per core implied by the thread budget. */
     unsigned maxWarpsPerCore() const { return maxThreadsPerCore / kWarpSize; }
 };

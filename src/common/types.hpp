@@ -13,6 +13,13 @@ namespace bowsim {
 /** Simulation time, measured in core clock cycles. */
 using Cycle = std::uint64_t;
 
+/**
+ * "No scheduled event" sentinel for next-event horizons (idle-cycle
+ * fast-forward). Components with nothing pending report this; the skip
+ * logic treats it as +infinity.
+ */
+constexpr Cycle kNeverCycle = ~Cycle{0};
+
 /** Byte address in the simulated (flat) global address space. */
 using Addr = std::uint64_t;
 

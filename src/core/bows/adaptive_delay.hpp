@@ -48,6 +48,43 @@ class AdaptiveDelayEstimator {
 
     Cycle limit() const { return limit_; }
 
+    /** Cycle at which the next window boundary applies. */
+    Cycle windowEnd() const { return windowEnd_; }
+
+    /**
+     * Replays tick(c) for every cycle c in [from, to] — with no
+     * onInstruction() calls in between — in O(1), and returns the sum
+     * over those cycles of limit()-after-tick (the contribution an idle
+     * gap makes to KernelStats::delayLimitCycleSum).
+     *
+     * Equivalence with the per-cycle loop: boundaries inside the gap
+     * land at windowEnd_, windowEnd_+T, ... The first one applies the
+     * counters accumulated before the gap and may change the limit;
+     * every later one sees zero counters, which leaves the limit
+     * untouched (no increase trigger, no ratio defined, clamps are
+     * idempotent) but still overwrites the prev-window counters — so
+     * up to two applyWindow() calls replay any number of boundaries.
+     *
+     * Requires from <= to and windowEnd_ >= from (guaranteed when
+     * tick() ran every cycle before the gap).
+     */
+    std::uint64_t
+    fastForward(Cycle from, Cycle to)
+    {
+        if (windowEnd_ > to)
+            return limit_ * (to - from + 1);
+        const Cycle boundary = windowEnd_;
+        std::uint64_t sum =
+            limit_ * (boundary > from ? boundary - from : 0);
+        applyWindow();
+        const Cycle extra = (to - boundary) / cfg_.window;
+        if (extra >= 1)
+            applyWindow();
+        windowEnd_ = boundary + (extra + 1) * cfg_.window;
+        sum += limit_ * (to - boundary + 1);
+        return sum;
+    }
+
     /** Exposed for unit tests: force a window boundary. */
     void
     applyWindow()

@@ -160,6 +160,24 @@ class BackoffUnit {
 
     Cycle delayLimit() const { return currentLimit_; }
 
+    /**
+     * Replays tickWindow(c) for every cycle c in [from, to] of an idle
+     * gap (no instructions issued, so the estimator's counters are
+     * untouched) and returns the gap's per-cycle delayLimit() sum —
+     * exactly what the cycle loop would have added to
+     * KernelStats::delayLimitCycleSum one cycle at a time.
+     */
+    std::uint64_t
+    fastForwardWindows(Cycle from, Cycle to)
+    {
+        if (!cfg_.enabled || !cfg_.adaptive)
+            return static_cast<std::uint64_t>(currentLimit_) *
+                   (to - from + 1);
+        std::uint64_t sum = estimator_.fastForward(from, to);
+        currentLimit_ = estimator_.limit();
+        return sum;
+    }
+
   private:
     BowsConfig cfg_;
     AdaptiveDelayEstimator estimator_;

@@ -56,6 +56,14 @@ struct EnergyCosts {
     double dramPj = 320.0;     ///< one DRAM burst
     double icntPj = 26.0;      ///< one NoC packet
     double atomicPj = 110.0;   ///< one atomic RMW at an L2 bank
+    /**
+     * Static/leakage energy per SM-cycle. Unlike the event energies
+     * this scales with runtime, so idle (spin-wait) cycles cost energy
+     * even when no instruction issues — the effect BOWS targets. Kept
+     * out of dynamicEnergyNj() so the paper's normalized-dynamic-energy
+     * figures are unchanged; KernelStats reports it separately.
+     */
+    double staticPerSmCyclePj = 65.0;
 };
 
 class EnergyModel {
@@ -78,6 +86,19 @@ class EnergyModel {
         pj += costs_.icntPj * ev.icntPackets;
         pj += costs_.atomicPj * ev.atomicOps;
         return pj / 1000.0;
+    }
+
+    /**
+     * Static energy for @p sm_cycles total SM-cycles (the sum over SMs
+     * of cycles spent resident in the launch), in nanojoules. Computed
+     * from the aggregate counter, so it is exact under idle-cycle
+     * fast-forward, which advances smCycles in bulk.
+     */
+    double
+    staticEnergyNj(std::uint64_t sm_cycles) const
+    {
+        return costs_.staticPerSmCyclePj * static_cast<double>(sm_cycles) /
+               1000.0;
     }
 
     const EnergyCosts &costs() const { return costs_; }

@@ -50,6 +50,18 @@ checkSweepArtifact(const Json &doc, std::int64_t expected_points)
     }
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Json &p = points.at(i);
+        // Every point must record its configuration, including the
+        // idle-skip setting, so artifacts from skip-on and skip-off
+        // runs are distinguishable (they must agree everywhere else).
+        if (!p.has("config") ||
+            p.at("config").type() != Json::Type::Object) {
+            return fail("point " + std::to_string(i) +
+                        " has no \"config\" object");
+        }
+        if (!p.at("config").has("idle_skip")) {
+            return fail("point " + std::to_string(i) +
+                        " config lacks \"idle_skip\"");
+        }
         if (!p.has("ok") || !p.at("ok").asBool()) {
             std::ostringstream os;
             os << "point " << (p.has("id") ? p.at("id").asString()

@@ -28,7 +28,8 @@ Json loadJsonFile(const std::string &path);
 /**
  * Validates a BENCH_*.json sweep artifact: a "points" array of
  * @p expected_points entries (any size when negative) in which every
- * point reports ok == true.
+ * point reports ok == true and carries a "config" object recording at
+ * least the idle_skip setting.
  */
 CheckResult checkSweepArtifact(const Json &doc,
                                std::int64_t expected_points = -1);

@@ -171,6 +171,7 @@ statsToJson(const KernelStats &s)
     }
 
     j.set("energy_nj", s.energyNj);
+    j.set("static_energy_nj", s.staticEnergyNj);
     return j;
 }
 
@@ -180,6 +181,7 @@ configToJson(const GpuConfig &cfg)
     Json j = Json::object();
     j.set("name", cfg.name);
     j.set("cores", cfg.numCores);
+    j.set("idle_skip", cfg.idleSkip);
     j.set("scheduler", toString(cfg.scheduler));
     j.set("spin_detect", toString(cfg.spinDetect));
     j.set("bows_enabled", cfg.bows.enabled);

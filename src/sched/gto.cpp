@@ -1,6 +1,7 @@
 #include "src/sched/gto.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace bowsim {
 
@@ -36,8 +37,8 @@ GtoScheduler::order(std::vector<Warp *> &warps, Cycle now)
 }
 
 Warp *
-GtoScheduler::pick(const std::vector<Warp *> &warps, Cycle now,
-                   bool deprioritize, const IssueGate &gate)
+GtoScheduler::pick(const std::vector<Warp *> &warps, const UnitMask &mask,
+                   Cycle now, bool deprioritize, const IssueGate &gate)
 {
     const std::size_t n = warps.size();
     if (n == 0)
@@ -55,18 +56,49 @@ GtoScheduler::pick(const std::vector<Warp *> &warps, Cycle now,
     Warp *li = lastIssued_;
     if (li && !(deprioritize && li->bows().backedOff) && gate.eligible(*li))
         return li;
-    for (std::size_t k = 0; k < n; ++k) {
-        Warp *w = warps[rot + k < n ? rot + k : rot + k - n];
-        if (w == li || (deprioritize && w->bows().backedOff))
-            continue;
-        if (gate.eligible(*w))
-            return w;
+    if (mask.valid) {
+        // Same circular scan over the set bits only: positions >= rot
+        // in ascending order, then the wrapped positions below rot.
+        std::uint64_t cand = mask.issuable;
+        if (deprioritize)
+            cand &= ~mask.backedOff;
+        const std::uint64_t low =
+            rot > 0 ? cand & ((std::uint64_t{1} << rot) - 1) : 0;
+        for (std::uint64_t bits : {cand ^ low, low}) {
+            for (; bits != 0; bits &= bits - 1) {
+                Warp *w =
+                    warps[static_cast<unsigned>(std::countr_zero(bits))];
+                if (w == li)
+                    continue;
+                if (gate.eligible(*w))
+                    return w;
+            }
+        }
+    } else {
+        for (std::size_t k = 0; k < n; ++k) {
+            Warp *w = warps[rot + k < n ? rot + k : rot + k - n];
+            if (w == li || (deprioritize && w->bows().backedOff))
+                continue;
+            if (gate.eligible(*w))
+                return w;
+        }
     }
     if (!deprioritize)
         return nullptr;
     // Backed-off queue: first eligible in FIFO order = the eligible warp
     // with the smallest backoffSeq.
     Warp *best = nullptr;
+    if (mask.valid) {
+        for (std::uint64_t boff = mask.backedOff & mask.issuable;
+             boff != 0; boff &= boff - 1) {
+            Warp *w = warps[static_cast<unsigned>(std::countr_zero(boff))];
+            if (best && w->bows().backoffSeq >= best->bows().backoffSeq)
+                continue;
+            if (gate.eligible(*w))
+                best = w;
+        }
+        return best;
+    }
     for (Warp *w : warps) {
         if (!w->bows().backedOff)
             continue;

@@ -1,6 +1,7 @@
 #include "src/sched/lrr.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace bowsim {
 
@@ -24,8 +25,8 @@ LrrScheduler::order(std::vector<Warp *> &warps, Cycle now)
 }
 
 Warp *
-LrrScheduler::pick(const std::vector<Warp *> &warps, Cycle now,
-                   bool deprioritize, const IssueGate &gate)
+LrrScheduler::pick(const std::vector<Warp *> &warps, const UnitMask &mask,
+                   Cycle now, bool deprioritize, const IssueGate &gate)
 {
     (void)now;
     // order() yields ascending warp ids rotated to start just after the
@@ -39,29 +40,63 @@ LrrScheduler::pick(const std::vector<Warp *> &warps, Cycle now,
     // a warp whose final issue was its Exit stays recorded as
     // lastIssued_ until its CTA retires, and order()'s find() treats
     // that as "no rotation" (plain ascending ids). Match that exactly.
+    //
+    // The id-minimum bookkeeping is order-independent and eligible() is
+    // side-effect free, so scanning the set bits of the mask (barrier-
+    // parked warps pre-filtered) selects the same warp as the full
+    // vector scan below.
     const bool have_pivot = lastIssued_ != nullptr;
     const unsigned pivot = have_pivot ? lastIssued_->id() : 0;
     bool pivot_present = false;
     Warp *best_above = nullptr;
     Warp *best_any = nullptr;
-    for (Warp *w : warps) {
-        if (w == lastIssued_)
+    if (mask.valid) {
+        std::uint64_t cand = mask.issuable;
+        if (deprioritize)
+            cand &= ~mask.backedOff;
+        for (; cand != 0; cand &= cand - 1) {
+            Warp *w = warps[static_cast<unsigned>(std::countr_zero(cand))];
+            const unsigned id = w->id();
+            const bool improves_above =
+                have_pivot && id > pivot &&
+                (!best_above || id < best_above->id());
+            const bool improves_any = !best_any || id < best_any->id();
+            if (!improves_above && !improves_any)
+                continue;
+            if (!gate.eligible(*w))
+                continue;
+            if (improves_above)
+                best_above = w;
+            if (improves_any)
+                best_any = w;
+        }
+        // Membership only decides above-pivot vs wraparound, so the
+        // pointer scan is deferred until that distinction matters.
+        if (best_above &&
+            std::find(warps.begin(), warps.end(), lastIssued_) !=
+                warps.end()) {
             pivot_present = true;
-        if (deprioritize && w->bows().backedOff)
-            continue;
-        const unsigned id = w->id();
-        const bool improves_above =
-            have_pivot && id > pivot &&
-            (!best_above || id < best_above->id());
-        const bool improves_any = !best_any || id < best_any->id();
-        if (!improves_above && !improves_any)
-            continue;
-        if (!gate.eligible(*w))
-            continue;
-        if (improves_above)
-            best_above = w;
-        if (improves_any)
-            best_any = w;
+        }
+    } else {
+        for (Warp *w : warps) {
+            if (w == lastIssued_)
+                pivot_present = true;
+            if (deprioritize && w->bows().backedOff)
+                continue;
+            const unsigned id = w->id();
+            const bool improves_above =
+                have_pivot && id > pivot &&
+                (!best_above || id < best_above->id());
+            const bool improves_any = !best_any || id < best_any->id();
+            if (!improves_above && !improves_any)
+                continue;
+            if (!gate.eligible(*w))
+                continue;
+            if (improves_above)
+                best_above = w;
+            if (improves_any)
+                best_any = w;
+        }
     }
     if (pivot_present && best_above)
         return best_above;
@@ -69,6 +104,20 @@ LrrScheduler::pick(const std::vector<Warp *> &warps, Cycle now,
         return best_any;
     if (!deprioritize)
         return nullptr;
+    if (mask.valid) {
+        Warp *best = nullptr;
+        // Barrier-parked warps are never backed off (issuing the bar
+        // cleared the state), so masking with issuable loses nothing.
+        for (std::uint64_t boff = mask.backedOff & mask.issuable;
+             boff != 0; boff &= boff - 1) {
+            Warp *w = warps[static_cast<unsigned>(std::countr_zero(boff))];
+            if (best && w->bows().backoffSeq >= best->bows().backoffSeq)
+                continue;
+            if (gate.eligible(*w))
+                best = w;
+        }
+        return best;
+    }
     Warp *best = nullptr;
     for (Warp *w : warps) {
         if (!w->bows().backedOff)

@@ -15,8 +15,9 @@ class LrrScheduler : public Scheduler {
   public:
     void order(std::vector<Warp *> &warps, Cycle now) override;
     bool supportsPick() const override { return true; }
-    Warp *pick(const std::vector<Warp *> &warps, Cycle now,
-               bool deprioritize, const IssueGate &gate) override;
+    Warp *pick(const std::vector<Warp *> &warps, const UnitMask &mask,
+               Cycle now, bool deprioritize,
+               const IssueGate &gate) override;
     const char *name() const override { return "LRR"; }
 };
 

@@ -32,6 +32,23 @@ class IssueGate {
     ~IssueGate() = default;
 };
 
+/**
+ * Per-unit active-warp bitmasks maintained incrementally by the core:
+ * bit k describes warps[k] of the unit's resident vector. Policies use
+ * them to iterate set bits instead of scanning (and dereferencing)
+ * every warp slot. When valid is false (unit wider than 64 warp slots,
+ * or mask maintenance disabled) the masks carry no information and
+ * policies must fall back to scanning the vector.
+ */
+struct UnitMask {
+    /** Warp is not parked at a barrier (finished warps leave the
+     *  vector immediately, so every resident warp is live). */
+    std::uint64_t issuable = 0;
+    /** Warp is in the BOWS backed-off state. */
+    std::uint64_t backedOff = 0;
+    bool valid = false;
+};
+
 class Scheduler {
   public:
     virtual ~Scheduler() = default;
@@ -51,15 +68,25 @@ class Scheduler {
      */
     virtual bool supportsPick() const { return false; }
     virtual Warp *
-    pick(const std::vector<Warp *> &warps, Cycle now, bool deprioritize,
-         const IssueGate &gate)
+    pick(const std::vector<Warp *> &warps, const UnitMask &mask, Cycle now,
+         bool deprioritize, const IssueGate &gate)
     {
         (void)warps;
+        (void)mask;
         (void)now;
         (void)deprioritize;
         (void)gate;
         return nullptr;
     }
+
+    /**
+     * True when order() evaluates warps element-wise (its result for a
+     * subset is the subset of its result), so the core may pre-filter
+     * the input by the UnitMask before ordering. Policies whose
+     * priority depends on the whole resident set (e.g. TwoLevel's
+     * group count) must leave this false.
+     */
+    virtual bool supportsFilteredOrder() const { return false; }
 
     /** Called when @p warp wins arbitration this cycle. */
     virtual void

@@ -66,6 +66,20 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
     for (auto &core : cores)
         active.push_back(core.get());
 
+    // Idle-cycle fast-forward (docs/PERF.md): after a cycle in which no
+    // SM issued, every remaining state change is a scheduled event, so
+    // the clock can jump to the earliest next-event horizon with the
+    // skipped cycles' accounting applied in bulk. Disabled while a
+    // trace sink is attached: per-cycle IssueStall events cannot be
+    // synthesized for cycles that never run.
+    const bool skip = cfg_.idleSkip && traceSink_ == nullptr;
+    // Clamp jump targets so a deadlocked kernel (horizon at infinity,
+    // or beyond the watchdog) still trips the same fatal at the same
+    // cycle as the cycle-by-cycle loop.
+    const Cycle wd_stop = cfg_.watchdogCycles >= kNeverCycle - 1
+                              ? kNeverCycle - 1
+                              : cfg_.watchdogCycles + 1;
+
     Cycle now = 0;
     std::uint64_t idle_cores = 0;
     std::uint64_t idle_delay_sum = 0;
@@ -76,8 +90,9 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
                      cfg_.watchdogCycles, "-cycle watchdog (deadlock?)");
         launch.stats.delayLimitCycleSum += idle_delay_sum;
         launch.stats.smCycles += idle_cores;
+        bool issued = false;
         for (SmCore *core : active)
-            core->cycle(now);
+            issued |= core->cycle(now);
         for (std::size_t i = 0; i < active.size();) {
             if (active[i]->busy()) {
                 ++i;
@@ -86,6 +101,28 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
             idle_delay_sum += active[i]->backoff().delayLimit();
             ++idle_cores;
             active.erase(active.begin() + i);
+        }
+        if (skip && !issued && !active.empty()) {
+            // nextWorkCycle() never returns <= now, so now+1 is the
+            // horizon's floor: once any SM reports it, the gap is empty
+            // and the remaining scans can't change that.
+            Cycle horizon = kNeverCycle;
+            for (SmCore *core : active) {
+                horizon = std::min(horizon, core->nextWorkCycle(now));
+                if (horizon <= now + 1)
+                    break;
+            }
+            const Cycle target = std::min(horizon, wd_stop);
+            if (target > now + 1) {
+                // Skip cycles now+1 .. target-1; cycle target runs live.
+                const Cycle to = target - 1;
+                const std::uint64_t delta = to - now;
+                for (SmCore *core : active)
+                    core->fastForward(now + 1, to);
+                launch.stats.delayLimitCycleSum += idle_delay_sum * delta;
+                launch.stats.smCycles += idle_cores * delta;
+                now = to;
+            }
         }
     } while (!active.empty());
 
@@ -97,6 +134,7 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
     stats.energy.icntPackets = stats.mem.icntPackets;
     stats.energy.atomicOps = stats.mem.atomics;
     stats.energyNj = energy_.dynamicEnergyNj(stats.energy);
+    stats.staticEnergyNj = energy_.staticEnergyNj(stats.smCycles);
 
     // DDOS accuracy: merge the per-SM collectors and score against the
     // kernel's ground-truth annotations.

@@ -63,6 +63,26 @@ class LdstUnit {
 
     bool idle() const { return inflightOps_ == 0; }
 
+    /**
+     * Next-event horizon: the earliest cycle after @p now at which this
+     * unit can make progress — kNeverCycle when nothing is pending.
+     * A queued L1 transaction makes every next cycle busy (one txn per
+     * cycle through the port); otherwise the earliest scheduled event
+     * decides. Every in-flight op is backed by a queue entry or an
+     * event, so inflightOps_ > 0 implies a finite horizon.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (!l1Queue_.empty())
+            return now + 1;
+        if (!events_.empty()) {
+            const Cycle when = events_.top().when;
+            return when > now ? when : now + 1;
+        }
+        return kNeverCycle;
+    }
+
     const Cache &l1() const { return l1_; }
 
     /** Attaches the launch's event sink (L1Miss/MshrMerge). */

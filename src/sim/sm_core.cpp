@@ -33,6 +33,18 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch)
     unitResident_.resize(schedulers_.size());
     ddos_ = std::make_unique<DdosUnit>(cfg.ddos, maxWarps_);
 
+    // Warp slots are distributed round-robin over the units, so unit u
+    // holds at most ceil(maxWarps_/units) warps; the bitmask fast path
+    // applies whenever that fits one 64-bit word (always, for the
+    // Table II configurations).
+    const unsigned units = static_cast<unsigned>(schedulers_.size());
+    masksEnabled_ = (maxWarps_ + units - 1) / units <= 64;
+    if (masksEnabled_) {
+        unitIssuable_.assign(units, 0);
+        unitBackedOff_.assign(units, 0);
+        unitPosOf_.assign(maxWarps_, 0);
+    }
+
     // ALU latencies are bounded, so writebacks at most max-latency
     // cycles ahead fit in a ring of per-cycle buckets.
     wbRingSize_ =
@@ -131,7 +143,16 @@ SmCore::tryLaunchCtas()
                 prog.numRegs, prog.numPreds, mask);
             ddos_->resetWarp(warp_slot);
             resident_.push_back(warp.get());
-            unitResident_[warp_slot % units].push_back(warp.get());
+            const unsigned unit_id = warp_slot % units;
+            auto &unit = unitResident_[unit_id];
+            if (masksEnabled_) {
+                const std::uint64_t bit = std::uint64_t{1} << unit.size();
+                unitPosOf_[warp_slot] =
+                    static_cast<std::uint32_t>(unit.size());
+                unitIssuable_[unit_id] |= bit;
+                unitBackedOff_[unit_id] &= ~bit;
+            }
+            unit.push_back(warp.get());
             slot.warps.push_back(std::move(warp));
         }
         slot.liveWarps = warpsPerCta_;
@@ -174,6 +195,7 @@ SmCore::checkBarrier(Cta &cta)
     for (auto &w : cta.warps) {
         if (!w->done()) {
             w->setAtBarrier(false);
+            refreshWarpMask(*w);
             tracer_.emit(now_, id_, static_cast<std::int32_t>(w->id()),
                          trace::EventKind::BarrierExit);
         }
@@ -726,8 +748,11 @@ SmCore::onWarpFinished(Warp &w)
         sched->notifyFinished(&w);
     resident_.erase(std::remove(resident_.begin(), resident_.end(), &w),
                     resident_.end());
-    auto &unit = unitResident_[w.id() % schedulers_.size()];
+    const unsigned unit_id =
+        w.id() % static_cast<unsigned>(schedulers_.size());
+    auto &unit = unitResident_[unit_id];
     unit.erase(std::remove(unit.begin(), unit.end(), &w), unit.end());
+    rebuildUnitMask(unit_id);  // positions shifted by the erase
     Cta &cta = ctas_.at(w.id() / warpsPerCta_);
     if (cta.liveWarps == 0)
         panic("warp finished in an already-empty CTA");
@@ -738,6 +763,45 @@ SmCore::onWarpFinished(Warp &w)
 }
 
 void
+SmCore::rebuildUnitMask(unsigned u)
+{
+    if (!masksEnabled_)
+        return;
+    std::uint64_t issuable = 0;
+    std::uint64_t backed_off = 0;
+    const auto &unit = unitResident_[u];
+    for (std::size_t k = 0; k < unit.size(); ++k) {
+        const Warp &w = *unit[k];
+        unitPosOf_[w.id()] = static_cast<std::uint32_t>(k);
+        const std::uint64_t bit = std::uint64_t{1} << k;
+        if (!w.atBarrier())
+            issuable |= bit;
+        if (w.bows().backedOff)
+            backed_off |= bit;
+    }
+    unitIssuable_[u] = issuable;
+    unitBackedOff_[u] = backed_off;
+}
+
+void
+SmCore::refreshWarpMask(const Warp &w)
+{
+    if (!masksEnabled_)
+        return;
+    const unsigned u =
+        w.id() % static_cast<unsigned>(schedulers_.size());
+    const std::uint64_t bit = std::uint64_t{1} << unitPosOf_[w.id()];
+    if (w.atBarrier())
+        unitIssuable_[u] &= ~bit;
+    else
+        unitIssuable_[u] |= bit;
+    if (w.bows().backedOff)
+        unitBackedOff_[u] |= bit;
+    else
+        unitBackedOff_[u] &= ~bit;
+}
+
+bool
 SmCore::cycle(Cycle now)
 {
     now_ = now;
@@ -787,15 +851,58 @@ SmCore::cycle(Cycle now)
     //    the backed-off queue in FIFO order).
     const unsigned units = static_cast<unsigned>(schedulers_.size());
     const bool deprio = backoff_.deprioritizes();
+    bool issued_any = false;
     for (unsigned u = 0; u < units; ++u) {
         if (unitResident_[u].empty())
             continue;
         Scheduler &sched = *schedulers_[u];
+        UnitMask mask;
+        if (masksEnabled_) {
+            mask.valid = true;
+            mask.issuable = unitIssuable_[u];
+            mask.backedOff = unitBackedOff_[u];
+        }
         Warp *winner = nullptr;
         if (sched.supportsPick()) {
             // Positional policies (GTO, LRR) can answer "who issues"
             // directly from the age-ordered resident list.
-            winner = sched.pick(unitResident_[u], now, deprio, *this);
+            winner = sched.pick(unitResident_[u], mask, now, deprio,
+                                *this);
+        } else if (mask.valid && sched.supportsFilteredOrder()) {
+            // Element-wise policies (CAWA) order a pre-filtered copy:
+            // the masked-out warps could never win (barrier-parked, or
+            // behind every non-backed-off warp under deprioritization)
+            // and dropping them keeps their relative order intact.
+            std::uint64_t cand = mask.issuable;
+            if (deprio)
+                cand &= ~mask.backedOff;
+            unitWarps_.clear();
+            for (std::uint64_t bits = cand; bits != 0; bits &= bits - 1) {
+                unitWarps_.push_back(
+                    unitResident_[u][static_cast<unsigned>(
+                        std::countr_zero(bits))]);
+            }
+            sched.order(unitWarps_, now);
+            for (Warp *w : unitWarps_) {
+                if (eligible(*w)) {
+                    winner = w;
+                    break;
+                }
+            }
+            if (!winner && deprio) {
+                // Backed-off queue, FIFO by ticket: the eligible warp
+                // with the smallest backoffSeq.
+                for (std::uint64_t boff = mask.backedOff & mask.issuable;
+                     boff != 0; boff &= boff - 1) {
+                    Warp *w = unitResident_[u][static_cast<unsigned>(
+                        std::countr_zero(boff))];
+                    if (winner &&
+                        w->bows().backoffSeq >= winner->bows().backoffSeq)
+                        continue;
+                    if (eligible(*w))
+                        winner = w;
+                }
+            }
         } else {
             unitWarps_ = unitResident_[u];
             sched.order(unitWarps_, now);
@@ -818,7 +925,13 @@ SmCore::cycle(Cycle now)
         }
         if (winner) {
             issue(*winner, now);
+            // A finished winner left the vectors (masks rebuilt); a
+            // live one may have entered a barrier or changed back-off
+            // state during execution.
+            if (!winner->done())
+                refreshWarpMask(*winner);
             sched.notifyIssued(winner, now);
+            issued_any = true;
         }
     }
 
@@ -839,6 +952,88 @@ SmCore::cycle(Cycle now)
     st.backedOffWarpCycles += backoff_.backedOffCount();
 
     retireFinishedCtas();
+    return issued_any;
+}
+
+Cycle
+SmCore::nextWorkCycle(Cycle now) const
+{
+    // A free CTA slot with grid work left dispatches next cycle (a
+    // retirement at the end of cycle(now) may have just opened one).
+    if (launch_.nextCta < gridCtas_ && validCtas_ < maxResidentCtas_)
+        return now + 1;
+    Cycle horizon = kNeverCycle;
+    if (wbPending_ != 0) {
+        // The ring covers at most wbRingSize_-1 cycles ahead and the
+        // bucket for `now` was drained this cycle, so the first
+        // non-empty bucket is the earliest pending writeback.
+        for (unsigned k = 1; k < wbRingSize_; ++k) {
+            if (!wbRing_[(now + k) % wbRingSize_].empty()) {
+                horizon = now + k;
+                break;
+            }
+        }
+    }
+    horizon = std::min(horizon, ldst_.nextEventCycle(now));
+    if (backoff_.enabled()) {
+        // Only unexpired deadlines create future work; a backed-off
+        // warp whose delay already expired is blocked by something
+        // else (or it would have issued this cycle).
+        for (const Warp *w : resident_) {
+            const BowsState &b = w->bows();
+            if (b.backedOff && b.delayUntil > now)
+                horizon = std::min(horizon, b.delayUntil);
+        }
+    }
+    return horizon;
+}
+
+void
+SmCore::fastForward(Cycle from, Cycle to)
+{
+    // No unit issued at `from - 1` and nothing can issue before
+    // nextWorkCycle() > to, so per-warp eligibility — and with it each
+    // warp's stall classification — is frozen across the gap; every
+    // per-cycle accounting step collapses to one multiplication. The
+    // adaptive-window replay is the exception: the delay limit can
+    // change at mid-gap boundaries, which fastForwardWindows()
+    // integrates exactly.
+    now_ = to;
+    const std::uint64_t delta = to - from + 1;
+    KernelStats &st = launch_.stats;
+    st.delayLimitCycleSum += backoff_.fastForwardWindows(from, to);
+    st.smCycles += delta;
+    if (cawaAccounting_) {
+        for (Warp *w : resident_) {
+            w->cawa().activeCycles += delta;
+            w->cawa().stallCycles += delta;  // nobody issued in the gap
+        }
+    }
+    if (stallAccounting_)
+        recordStallGap(delta);
+    st.residentWarpCycles += delta * resident_.size();
+    st.backedOffWarpCycles +=
+        delta * static_cast<std::uint64_t>(backoff_.backedOffCount());
+}
+
+void
+SmCore::recordStallGap(std::uint64_t delta)
+{
+    // recordStallCycle() over unitResident_ visits exactly the resident
+    // warps; with no issues and frozen gates each warp keeps one cause
+    // for the whole gap, so the per-cycle increment becomes += delta
+    // and the grand total still advances by resident_.size() per cycle.
+    KernelStats &st = launch_.stats;
+    const std::size_t sm_base =
+        static_cast<std::size_t>(id_) * st.stallWarpsPerSm;
+    for (Warp *w : resident_) {
+        const trace::StallCause cause = classifyStall(*w);
+        const std::size_t idx =
+            (sm_base + w->id()) * trace::kNumStallCauses +
+            static_cast<std::size_t>(cause);
+        if (idx < st.stallCounts.size())
+            st.stallCounts[idx] += delta;
+    }
 }
 
 trace::StallCause

@@ -74,11 +74,34 @@ class SmCore : private IssueGate {
   public:
     SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch);
 
-    /** Advances the SM by one cycle. */
-    void cycle(Cycle now);
+    /** Advances the SM by one cycle; true when any unit issued. */
+    bool cycle(Cycle now);
 
     /** True while CTAs are resident or still waiting for dispatch. */
     bool busy() const;
+
+    /**
+     * Next-event horizon (docs/PERF.md): assuming cycle(now) just ran
+     * and issued nothing, the earliest cycle > now at which this SM can
+     * make progress — the minimum over pending ALU writebacks, LD/ST
+     * events, expiring back-off deadlines, and CTA-dispatch
+     * availability; kNeverCycle when none is pending (deadlock). Being
+     * early (over-conservative) only shrinks a skip; reporting later
+     * than a real event would desynchronize the simulation, so every
+     * state change inside (now, horizon) must trace back to one of the
+     * enumerated sources.
+     */
+    Cycle nextWorkCycle(Cycle now) const;
+
+    /**
+     * Replays the per-cycle accounting of the idle gap [from, to] in
+     * one step: adaptive-window boundaries and the delay-limit sum,
+     * smCycles, CAWA active/stall counters, the stall-breakdown table
+     * (each warp's blocking cause is frozen through the gap), and the
+     * resident/backed-off warp-cycle sums. Callable only when no unit
+     * on this SM can issue anywhere in the gap (to < nextWorkCycle).
+     */
+    void fastForward(Cycle from, Cycle to);
 
     const DdosUnit &ddos() const { return *ddos_; }
     const BackoffUnit &backoff() const { return backoff_; }
@@ -116,6 +139,12 @@ class SmCore : private IssueGate {
     trace::StallCause classifyStall(Warp &w) const;
     /** Per-cycle stall attribution + unit-level stall events (gated). */
     void recordStallCycle(Cycle now);
+    /** Bulk stall attribution for @p delta identical idle cycles. */
+    void recordStallGap(std::uint64_t delta);
+    /** Recomputes one unit's masks and positions from its vector. */
+    void rebuildUnitMask(unsigned u);
+    /** Re-derives a resident warp's barrier/backed-off mask bits. */
+    void refreshWarpMask(const Warp &w);
 
     /** Hot-path instruction fetch. Launch-validated programs always have
      *  in-range PCs; anything else falls back to the checked accessor so
@@ -151,6 +180,19 @@ class SmCore : private IssueGate {
     std::vector<std::vector<Warp *>> unitResident_;
     /** Per-warp SM slot for the DDOS history registers. */
     std::vector<int> warpSlotOf_;
+
+    /**
+     * Active-warp bitmasks mirroring unitResident_ (bit k = position k
+     * of unit u's vector): not-at-barrier and BOWS backed-off. Kept in
+     * sync at warp launch/finish, barrier entry/exit, and back-off
+     * transitions; only maintained when every unit fits in 64 slots
+     * (masksEnabled_), else schedulers fall back to vector scans.
+     */
+    std::vector<std::uint64_t> unitIssuable_;
+    std::vector<std::uint64_t> unitBackedOff_;
+    /** Warp slot -> position inside its unit's resident vector. */
+    std::vector<std::uint32_t> unitPosOf_;
+    bool masksEnabled_ = false;
 
     /**
      * Calendar queue for ALU writebacks: ring of per-cycle buckets

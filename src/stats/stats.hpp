@@ -124,6 +124,10 @@ struct KernelStats {
     // --- energy -----------------------------------------------------------
     EnergyEvents energy;
     double energyNj = 0.0;
+    /** Static/leakage energy over smCycles (EnergyCosts::
+     *  staticPerSmCyclePj); reported separately from the dynamic
+     *  energyNj so normalized-dynamic comparisons are unaffected. */
+    double staticEnergyNj = 0.0;
 
     // --- DDOS accuracy (Table I) --------------------------------------
     DdosAccuracy::Report ddos;

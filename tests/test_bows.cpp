@@ -197,6 +197,61 @@ TEST(AdaptiveDelay, TickHonoursWindowBoundaries)
     EXPECT_EQ(e.limit(), 500u);
 }
 
+TEST(AdaptiveDelay, FastForwardMatchesPerCycleTicks)
+{
+    // The idle-gap replay must be indistinguishable from calling tick()
+    // on every cycle of the gap: same final limit, same window phase,
+    // same contribution to delayLimitCycleSum — including across gaps
+    // that swallow several window boundaries.
+    const Cycle gaps[][2] = {
+        {20, 40},      // inside the first window: no boundary
+        {900, 1100},   // one boundary (limit may change)
+        {1500, 4700},  // three boundaries (prev counters must zero)
+    };
+    for (const auto &gap : gaps) {
+        AdaptiveDelayEstimator fast(adaptiveCfg());
+        AdaptiveDelayEstimator ref(adaptiveCfg());
+        // Pressure before the gap so the first in-gap boundary moves
+        // the limit, then run both estimators to the cycle before it.
+        for (int i = 0; i < 100; ++i) {
+            fast.onInstruction(i % 4 == 0);
+            ref.onInstruction(i % 4 == 0);
+        }
+        for (Cycle c = 1; c < gap[0]; ++c) {
+            fast.tick(c);
+            ref.tick(c);
+        }
+        std::uint64_t ref_sum = 0;
+        for (Cycle c = gap[0]; c <= gap[1]; ++c) {
+            ref.tick(c);
+            ref_sum += ref.limit();
+        }
+        EXPECT_EQ(fast.fastForward(gap[0], gap[1]), ref_sum);
+        EXPECT_EQ(fast.limit(), ref.limit());
+        EXPECT_EQ(fast.windowEnd(), ref.windowEnd());
+        // The gap must also leave the ratio baseline identical: the
+        // next live window's update depends on the prev counters.
+        for (int i = 0; i < 60; ++i) {
+            fast.onInstruction(i % 2 == 0);
+            ref.onInstruction(i % 2 == 0);
+        }
+        for (Cycle c = gap[1] + 1; c <= gap[1] + 2000; ++c) {
+            fast.tick(c);
+            ref.tick(c);
+        }
+        EXPECT_EQ(fast.limit(), ref.limit());
+    }
+}
+
+TEST(Backoff, FastForwardWindowsSumsStaticLimit)
+{
+    // Non-adaptive configs contribute limit x gap-length and change no
+    // estimator state.
+    BackoffUnit b(fixedCfg(300));
+    EXPECT_EQ(b.fastForwardWindows(10, 19), 10u * 300u);
+    EXPECT_EQ(b.delayLimit(), 300u);
+}
+
 TEST(Backoff, AdaptiveLimitFlowsIntoIssuedWarps)
 {
     BowsConfig cfg = adaptiveCfg();

@@ -19,6 +19,10 @@
  *  - Observer effect: attaching a trace sink (and the stall-breakdown
  *    accounting it enables) must not change simulation results for ANY
  *    kernel, including the order-dependent ones.
+ *  - Skip equivalence: the idle-cycle fast-forward (docs/PERF.md) must
+ *    be invisible — every kernel, scheduler, and BOWS mode must produce
+ *    identical memory, cycles, outcomes, and stall accounting with
+ *    idleSkip on and off.
  */
 
 namespace bowsim {
@@ -133,6 +137,66 @@ TEST_P(ObserverEffect, TracedRunIdenticalToUntraced)
 }
 
 INSTANTIATE_TEST_SUITE_P(Kernels, ObserverEffect,
+                         ::testing::ValuesIn(allKernelNames()),
+                         [](const auto &info) { return info.param; });
+
+class SkipEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SkipEquivalence, FastForwardIsInvisible)
+{
+    const std::string &name = GetParam();
+    const SchedulerKind scheds[] = {SchedulerKind::LRR, SchedulerKind::GTO,
+                                    SchedulerKind::CAWA};
+    for (SchedulerKind sched : scheds) {
+        for (bool bows : {false, true}) {
+            GpuConfig cfg = diffConfig(sched, bows);
+            // Stall breakdown on in BOTH runs: the per-cause counters
+            // are bulk-updated across skipped gaps and must match the
+            // per-cycle classification exactly.
+            cfg.collectStallBreakdown = true;
+            cfg.idleSkip = true;
+            RunResult on = runKernel(name, cfg);
+            cfg.idleSkip = false;
+            RunResult off = runKernel(name, cfg);
+
+            const std::string label =
+                name + " under " + std::string(toString(sched)) +
+                (bows ? "+BOWS" : "");
+            ASSERT_EQ(on.digest, off.digest)
+                << label << ": skip changed the final memory image";
+            ASSERT_EQ(on.stats.cycles, off.stats.cycles) << label;
+            EXPECT_EQ(on.stats.warpInstructions,
+                      off.stats.warpInstructions)
+                << label;
+            EXPECT_EQ(on.stats.outcomes.total(), off.stats.outcomes.total())
+                << label;
+            EXPECT_EQ(on.stats.outcomes.lockSuccess,
+                      off.stats.outcomes.lockSuccess)
+                << label;
+            EXPECT_EQ(on.stats.residentWarpCycles,
+                      off.stats.residentWarpCycles)
+                << label;
+            EXPECT_EQ(on.stats.backedOffWarpCycles,
+                      off.stats.backedOffWarpCycles)
+                << label;
+            EXPECT_EQ(on.stats.delayLimitCycleSum,
+                      off.stats.delayLimitCycleSum)
+                << label;
+            EXPECT_EQ(on.stats.smCycles, off.stats.smCycles) << label;
+            ASSERT_TRUE(on.stats.hasStallBreakdown());
+            ASSERT_TRUE(off.stats.hasStallBreakdown());
+            const auto on_stalls = on.stats.stallTotals();
+            const auto off_stalls = off.stats.stallTotals();
+            for (unsigned c = 0; c < trace::kNumStallCauses; ++c) {
+                EXPECT_EQ(on_stalls[c], off_stalls[c])
+                    << label << ": stall cause "
+                    << trace::toString(static_cast<trace::StallCause>(c));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, SkipEquivalence,
                          ::testing::ValuesIn(allKernelNames()),
                          [](const auto &info) { return info.param; });
 

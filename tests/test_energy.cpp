@@ -23,6 +23,19 @@ TEST(Energy, SingleEventCostsMatchTable)
     EXPECT_DOUBLE_EQ(m.dynamicEnergyNj(ev), 2 * c.dramPj / 1000.0);
 }
 
+TEST(Energy, StaticEnergyScalesWithSmCycles)
+{
+    EnergyModel m;
+    const EnergyCosts &c = m.costs();
+    EXPECT_DOUBLE_EQ(m.staticEnergyNj(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.staticEnergyNj(1), c.staticPerSmCyclePj / 1000.0);
+    EXPECT_DOUBLE_EQ(m.staticEnergyNj(2000),
+                     2000 * c.staticPerSmCyclePj / 1000.0);
+    // Leakage is charged per SM-cycle, not per event: it must be kept
+    // out of the dynamic tally.
+    EXPECT_DOUBLE_EQ(m.dynamicEnergyNj(EnergyEvents{}), 0.0);
+}
+
 TEST(Energy, EnergyIsLinearInEvents)
 {
     EnergyModel m;

@@ -39,21 +39,28 @@ class GoldenStats : public ::testing::TestWithParam<Golden> {};
 TEST_P(GoldenStats, PinnedCyclesAndOutcomes)
 {
     const Golden &g = GetParam();
-    GpuConfig cfg = makeGtx480Config();
-    cfg.numCores = 4;
-    cfg.scheduler = SchedulerKind::GTO;
-    cfg.bows.enabled = g.bows;
-    Gpu gpu(cfg);
-    KernelStats s = makeBenchmark(g.kernel, 0.25)->run(gpu);
+    // Both fast-forward modes must land on the same golden values: the
+    // skip is an equivalence-preserving transformation (docs/PERF.md),
+    // so a divergence here localizes a horizon/accounting bug.
+    for (bool idle_skip : {true, false}) {
+        GpuConfig cfg = makeGtx480Config();
+        cfg.numCores = 4;
+        cfg.scheduler = SchedulerKind::GTO;
+        cfg.bows.enabled = g.bows;
+        cfg.idleSkip = idle_skip;
+        Gpu gpu(cfg);
+        KernelStats s = makeBenchmark(g.kernel, 0.25)->run(gpu);
 
-    EXPECT_EQ(s.cycles, g.cycles);
-    EXPECT_EQ(s.warpInstructions, g.warpInstructions);
-    EXPECT_EQ(s.outcomes.lockSuccess, g.lockSuccess);
-    EXPECT_EQ(s.outcomes.interWarpFail, g.interWarpFail);
-    EXPECT_EQ(s.outcomes.intraWarpFail, g.intraWarpFail);
-    // Neither kernel uses wait-style loops at this scale.
-    EXPECT_EQ(s.outcomes.waitExitSuccess, 0u);
-    EXPECT_EQ(s.outcomes.waitExitFail, 0u);
+        const char *mode = idle_skip ? "idleSkip=on" : "idleSkip=off";
+        EXPECT_EQ(s.cycles, g.cycles) << mode;
+        EXPECT_EQ(s.warpInstructions, g.warpInstructions) << mode;
+        EXPECT_EQ(s.outcomes.lockSuccess, g.lockSuccess) << mode;
+        EXPECT_EQ(s.outcomes.interWarpFail, g.interWarpFail) << mode;
+        EXPECT_EQ(s.outcomes.intraWarpFail, g.intraWarpFail) << mode;
+        // Neither kernel uses wait-style loops at this scale.
+        EXPECT_EQ(s.outcomes.waitExitSuccess, 0u) << mode;
+        EXPECT_EQ(s.outcomes.waitExitFail, 0u) << mode;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(HtAtm, GoldenStats, ::testing::ValuesIn(kGolden),

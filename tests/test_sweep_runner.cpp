@@ -153,5 +153,29 @@ TEST(SweepToJson, RecordsEveryPointWithStatsOrError)
     EXPECT_EQ(Json::parse(text).dump(), text);
 }
 
+TEST(SweepToJson, RecordsIdleSkipAndStaticEnergy)
+{
+    std::vector<SweepPoint> points = smallSweep();
+    points.resize(2);
+    points[1].cfg.idleSkip = false;
+    const std::vector<SweepResult> results = SweepRunner(1).run(points);
+
+    const Json doc =
+        harness::sweepToJson("unit_test", 1, points, results);
+    const Json &arr = doc.at("points");
+    ASSERT_EQ(arr.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const Json &p = arr.at(i);
+        // json_check requires config.idle_skip on every point; the
+        // producer must emit it unconditionally.
+        ASSERT_TRUE(p.has("config"));
+        ASSERT_TRUE(p.at("config").has("idle_skip"));
+        EXPECT_EQ(p.at("config").at("idle_skip").asBool(),
+                  points[i].cfg.idleSkip);
+        ASSERT_TRUE(p.at("stats").has("static_energy_nj"));
+        EXPECT_GT(p.at("stats").at("static_energy_nj").asDouble(), 0.0);
+    }
+}
+
 }  // namespace
 }  // namespace bowsim
