@@ -44,6 +44,15 @@ struct BenchOptions {
     /** Sweep worker threads; 0 resolves via BOWSIM_JOBS, then the
      *  hardware concurrency (--jobs / BOWSIM_JOBS). */
     unsigned jobs = 0;
+    /**
+     * Per-simulation SM worker threads (--sm-threads / BOWSIM_SM_THREADS):
+     * forces GpuConfig::smThreads on every point. 0 leaves each config
+     * untouched (the default of 1 means sequential). Unlike --jobs, which
+     * parallelizes across independent sweep points, this parallelizes the
+     * compute phase inside one simulation; results are bit-identical for
+     * any value (docs/PERF.md). Recorded per point as config.sm_threads.
+     */
+    unsigned smThreads = 0;
     /** When set, runSweep() writes the sweep artifact here (--json). */
     std::string jsonPath;
     /**
@@ -95,8 +104,8 @@ tracePathFor(const std::string &base, const std::string &id)
 }
 
 /**
- * Parses --scale= / --cores= / --jobs= / --json= / --trace= / --no-skip
- * plus the corresponding
+ * Parses --scale= / --cores= / --jobs= / --sm-threads= / --json= /
+ * --trace= / --no-skip plus the corresponding
  * BOWSIM_* environment variables (flags win over the environment, the
  * environment wins over the bench's defaults). Unknown arguments are
  * ignored so binaries with their own flags can share the parser.
@@ -116,6 +125,8 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         o.tracePath = env;
     if (const char *env = std::getenv("BOWSIM_NO_SKIP"))
         o.noSkip = env[0] != '\0' && env[0] != '0';
+    if (const char *env = std::getenv("BOWSIM_SM_THREADS"))
+        o.smThreads = static_cast<unsigned>(std::atoi(env));
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0)
             o.scale = std::atof(argv[i] + 8);
@@ -127,6 +138,8 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
             o.jsonPath = argv[i] + 7;
         else if (std::strncmp(argv[i], "--trace=", 8) == 0)
             o.tracePath = argv[i] + 8;
+        else if (std::strncmp(argv[i], "--sm-threads=", 13) == 0)
+            o.smThreads = static_cast<unsigned>(std::atoi(argv[i] + 13));
         else if (std::strcmp(argv[i], "--no-skip") == 0)
             o.noSkip = true;
     }
@@ -187,7 +200,7 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
     // Per-point overrides (--trace file fan-out, --no-skip) operate on
     // a copy; the artifact then records the configs that actually ran.
     std::vector<SweepPoint> points = sweep.points;
-    if (!opts.tracePath.empty() || opts.noSkip) {
+    if (!opts.tracePath.empty() || opts.noSkip || opts.smThreads != 0) {
         for (SweepPoint &p : points) {
             if (p.body) {
                 // Custom bodies construct their own Gpu from a config
@@ -197,11 +210,15 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                              "warning: point '%s' has a custom body; "
                              "%s is not supported for it\n",
                              p.id.c_str(),
-                             opts.noSkip ? "--no-skip" : "--trace");
+                             opts.noSkip        ? "--no-skip"
+                             : opts.smThreads   ? "--sm-threads"
+                                                : "--trace");
                 continue;
             }
             if (opts.noSkip)
                 p.cfg.idleSkip = false;
+            if (opts.smThreads != 0)
+                p.cfg.smThreads = opts.smThreads;
             if (!opts.tracePath.empty())
                 p.tracePath = tracePathFor(opts.tracePath, p.id);
         }

@@ -201,8 +201,9 @@ BENCHMARK(BM_MicroBackoffIdle)->Name("micro_backoff_idle")
 
 /**
  * Custom main instead of BENCHMARK_MAIN(): the shared bench flags
- * (--scale/--cores/--jobs/--json) are stripped before google-benchmark
- * sees argv, so driver scripts can pass one flag set to every binary.
+ * (--scale/--cores/--jobs/--sm-threads/--json) are stripped before
+ * google-benchmark sees argv, so driver scripts can pass one flag set
+ * to every binary.
  */
 int
 main(int argc, char **argv)
@@ -213,6 +214,7 @@ main(int argc, char **argv)
         const bool shared = std::strncmp(argv[i], "--scale=", 8) == 0 ||
                             std::strncmp(argv[i], "--cores=", 8) == 0 ||
                             std::strncmp(argv[i], "--jobs=", 7) == 0 ||
+                            std::strncmp(argv[i], "--sm-threads=", 13) == 0 ||
                             std::strncmp(argv[i], "--json=", 7) == 0;
         if (!shared)
             kept.push_back(argv[i]);

@@ -47,6 +47,7 @@ makeGtx480Config()
     cfg.l1d = CacheConfig{16 * 1024, 4, kLineBytes, 32};
     cfg.l2 = CacheConfig{64 * 1024, 8, kLineBytes, 64};
     cfg.numL2Banks = 6;
+    cfg.atomicServicePeriod = 4;
     cfg.coreClockMhz = 700.0;
     return cfg;
 }
@@ -63,6 +64,7 @@ makeGtx1080TiConfig()
     cfg.l1d = CacheConfig{48 * 1024, 6, kLineBytes, 64};
     cfg.l2 = CacheConfig{128 * 1024, 16, kLineBytes, 64};
     cfg.numL2Banks = 11;
+    cfg.atomicServicePeriod = 4;
     cfg.coreClockMhz = 1481.0;
     // Pascal's memory system is both faster and wider.
     cfg.l2HitLatency = 100;

@@ -148,6 +148,12 @@ struct GpuConfig {
     unsigned dramLatency = 220;
     /** Cycles between successive DRAM services on one channel. */
     unsigned dramServicePeriod = 4;
+    /**
+     * Minimum cycles between atomic operations at one L2 bank (Table II,
+     * "atomic service period"). This serialization is what makes failed
+     * lock acquires consume memory bandwidth.
+     */
+    unsigned atomicServicePeriod = 4;
 
     // --- Clocks (MHz), used to convert cycles to wall time ---------------
     double coreClockMhz = 700.0;
@@ -177,6 +183,17 @@ struct GpuConfig {
      * events cannot be synthesized for skipped cycles.
      */
     bool idleSkip = true;
+
+    /**
+     * Host worker threads for the per-cycle SM compute phase (--sm-threads
+     * / BOWSIM_SM_THREADS on the bench binaries). Purely an execution
+     * knob: results are independent of it by the phase-split contract
+     * (docs/PERF.md) — the compute phase of active SMs runs concurrently,
+     * and all globally visible side effects (functional memory, memory-
+     * system requests, traces) are committed serially in SM-id order at a
+     * cycle barrier. 1 (the default) keeps the sequential loop.
+     */
+    unsigned smThreads = 1;
 
     /** Warps per core implied by the thread budget. */
     unsigned maxWarpsPerCore() const { return maxThreadsPerCore / kWarpSize; }

@@ -182,6 +182,8 @@ configToJson(const GpuConfig &cfg)
     j.set("name", cfg.name);
     j.set("cores", cfg.numCores);
     j.set("idle_skip", cfg.idleSkip);
+    j.set("sm_threads", cfg.smThreads);
+    j.set("atomic_service_period", cfg.atomicServicePeriod);
     j.set("scheduler", toString(cfg.scheduler));
     j.set("spin_detect", toString(cfg.spinDetect));
     j.set("bows_enabled", cfg.bows.enabled);

@@ -2,6 +2,7 @@
 #define BOWSIM_MEM_INTERCONNECT_HPP
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -32,7 +33,8 @@ class Interconnect {
     Cycle
     inject(unsigned port, Cycle now)
     {
-        Cycle start = std::max(now, portFree_.at(port));
+        assert(port < portFree_.size());
+        Cycle start = std::max(now, portFree_[port]);
         portFree_[port] = start + 1;
         ++packets_;
         return start + latency_;

@@ -39,7 +39,7 @@ class L2Bank {
         : cache_(cfg.l2),
           dram_(cfg.dramLatency, cfg.dramServicePeriod),
           hitLatency_(cfg.l2HitLatency),
-          atomicPeriod_(4)
+          atomicPeriod_(cfg.atomicServicePeriod)
     {
     }
 

@@ -1,0 +1,133 @@
+#ifndef BOWSIM_MEM_MEM_PORT_HPP
+#define BOWSIM_MEM_MEM_PORT_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/mem/l2_bank.hpp"
+#include "src/trace/trace.hpp"
+
+/**
+ * @file
+ * Per-SM ordered commit queue backing the phase-split cycle contract
+ * (docs/PERF.md): during the compute phase an SM appends every globally
+ * visible side effect — memory-system requests, functional global-memory
+ * operations, trace events — to its own CommitQueue instead of performing
+ * it inline. Gpu::launch drains the queues at the cycle barrier in SM-id
+ * order, which reproduces the sequential loop's side-effect order exactly
+ * (within one SM's cycle the queue preserves program order; across SMs
+ * the drain order equals the old loop order). With --sm-threads=1 the
+ * queue is bypassed entirely: side effects run inline at the enqueue
+ * point and the serial path is byte-for-byte the pre-split loop.
+ */
+
+namespace bowsim {
+
+class Warp;
+struct Instruction;
+
+/** A MemorySystem::request deferred to the commit phase. */
+struct MemPortRequest {
+    MemPacket pkt;
+    /**
+     * LD/ST event sequence number reserved at decision time so the
+     * (when, seq) event-queue tie-break matches the inline path exactly.
+     */
+    std::uint64_t seq = 0;
+    /** What to schedule once the reply cycle is known at commit. */
+    enum class Completion : std::uint8_t { None, OpDone, Fill };
+    Completion completion = Completion::None;
+    /** Fill target line (Completion::Fill only). */
+    Addr line = 0;
+};
+
+/** One deferred globally visible side effect. */
+struct CommitEntry {
+    enum class Kind : std::uint8_t {
+        Trace,         ///< staged trace event
+        MemRequest,    ///< LD/ST unit memory-system request
+        GlobalLoad,    ///< functional global-memory load
+        GlobalStore,   ///< functional global-memory store
+        GlobalAtomic,  ///< functional read-modify-write
+    };
+
+    Kind kind = Kind::Trace;
+    /** Atomic at a lock-acquire PC (captured at issue; the PC moves on
+     *  before commit, so it cannot be re-derived from the warp). */
+    bool acquire = false;
+    LaneMask exec = 0;
+    Warp *warp = nullptr;
+    const Instruction *inst = nullptr;
+    MemPortRequest req;
+    trace::TraceEvent ev;
+    std::array<Addr, kWarpSize> addrs{};
+};
+
+/**
+ * Ordered per-SM buffer of deferred side effects for one cycle. Appended
+ * to by exactly one compute thread; drained (and cleared) by the commit
+ * phase on the coordinating thread every cycle.
+ */
+class CommitQueue {
+  public:
+    bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+    const std::vector<CommitEntry> &entries() const { return entries_; }
+
+    void
+    pushTrace(const trace::TraceEvent &ev)
+    {
+        CommitEntry e;
+        e.kind = CommitEntry::Kind::Trace;
+        e.ev = ev;
+        entries_.push_back(e);
+    }
+
+    void
+    pushRequest(const MemPortRequest &req)
+    {
+        CommitEntry e;
+        e.kind = CommitEntry::Kind::MemRequest;
+        e.req = req;
+        entries_.push_back(e);
+    }
+
+    void
+    pushGlobal(CommitEntry::Kind kind, Warp *warp, const Instruction *inst,
+               LaneMask exec, const std::array<Addr, kWarpSize> &addrs,
+               bool acquire)
+    {
+        CommitEntry e;
+        e.kind = kind;
+        e.warp = warp;
+        e.inst = inst;
+        e.exec = exec;
+        e.addrs = addrs;
+        e.acquire = acquire;
+        entries_.push_back(e);
+    }
+
+  private:
+    std::vector<CommitEntry> entries_;
+};
+
+/**
+ * TraceSink that stages events into a CommitQueue. SM-side events share
+ * the queue with deferred memory requests, so the drain interleaves them
+ * with the MemorySystem's own emissions (L2Miss/AtomicSerialize, emitted
+ * while the request entry commits) in exactly the sequential order.
+ */
+class StagingSink final : public trace::TraceSink {
+  public:
+    explicit StagingSink(CommitQueue &q) : q_(&q) {}
+    void emit(const trace::TraceEvent &ev) override { q_->pushTrace(ev); }
+
+  private:
+    CommitQueue *q_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_MEM_MEM_PORT_HPP

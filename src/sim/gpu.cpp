@@ -1,5 +1,8 @@
 #include "src/sim/gpu.hpp"
 
+#include <algorithm>
+#include <exception>
+
 #include "src/common/log.hpp"
 
 namespace bowsim {
@@ -49,10 +52,30 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
     launch.spinDetect = cfg_.spinDetect;
     launch.stats.kernel = prog.name;
 
+    // Phase-split execution (docs/PERF.md): with sm-threads > 1 each
+    // cycle becomes dispatch (serial) -> compute (parallel, SM-private)
+    // -> commit (serial, SM-id order), with cores staging all globally
+    // visible side effects in per-SM commit queues and counting into
+    // per-SM stat shards. Byte-identical to the sequential loop by
+    // construction; sm-threads = 1 runs the sequential loop itself.
+    const unsigned sm_threads =
+        std::min(std::max(cfg_.smThreads, 1u), cfg_.numCores);
+    const bool phased = sm_threads > 1;
+    launch.deferCommit = phased;
+
+    std::vector<std::unique_ptr<KernelStats>> shards;
     std::vector<std::unique_ptr<SmCore>> cores;
     cores.reserve(cfg_.numCores);
-    for (unsigned c = 0; c < cfg_.numCores; ++c)
-        cores.push_back(std::make_unique<SmCore>(c, cfg_, launch));
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        KernelStats *shard = nullptr;
+        if (phased) {
+            shards.push_back(std::make_unique<KernelStats>());
+            shard = shards.back().get();
+        }
+        cores.push_back(std::make_unique<SmCore>(c, cfg_, launch, shard));
+    }
+    if (phased && !pool_)
+        pool_ = std::make_unique<WorkerPool>(sm_threads);
 
     // Only busy SMs are cycled. An SM with no resident CTAs once the CTA
     // dispatcher has drained can never become busy again, so it leaves
@@ -83,6 +106,56 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
     Cycle now = 0;
     std::uint64_t idle_cores = 0;
     std::uint64_t idle_delay_sum = 0;
+
+    // Parallel-phase scaffolding, allocated once per launch. The slices
+    // capture the loop state by reference; per-SM results and exceptions
+    // land in position-indexed arrays so the coordinator can reduce them
+    // in SM order.
+    std::vector<std::uint8_t> issued_flags;
+    std::vector<std::exception_ptr> errors;
+    Cycle phase_now = 0;
+    Cycle ff_from = 0;
+    Cycle ff_to = 0;
+    WorkerPool::Task compute_slice;
+    WorkerPool::Task forward_slice;
+    if (phased) {
+        issued_flags.resize(cores.size(), 0);
+        errors.resize(cores.size());
+        compute_slice = [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                try {
+                    issued_flags[i] = active[i]->compute(phase_now) ? 1 : 0;
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        };
+        forward_slice = [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                try {
+                    active[i]->fastForward(ff_from, ff_to);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        };
+    }
+    // Rethrows the lowest-SM-id pending exception, after committing the
+    // queues of every SM up to and including the faulting one — exactly
+    // the state the sequential loop leaves behind when SM i throws
+    // mid-cycle (earlier SMs finished, later SMs never ran).
+    auto rethrow_first_error = [&](bool commit_prefix, Cycle when) {
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            if (!errors[i])
+                continue;
+            if (commit_prefix) {
+                for (std::size_t k = 0; k <= i; ++k)
+                    active[k]->commit(when);
+            }
+            std::rethrow_exception(errors[i]);
+        }
+    };
+
     do {
         ++now;
         if (now > cfg_.watchdogCycles)
@@ -91,8 +164,22 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
         launch.stats.delayLimitCycleSum += idle_delay_sum;
         launch.stats.smCycles += idle_cores;
         bool issued = false;
-        for (SmCore *core : active)
-            issued |= core->cycle(now);
+        if (!phased || active.size() <= 1) {
+            // Sequential loop (also the tail of a phased run once one
+            // SM remains — commit queues still drain inside cycle()).
+            for (SmCore *core : active)
+                issued |= core->cycle(now);
+        } else {
+            for (SmCore *core : active)
+                core->dispatch(now);
+            phase_now = now;
+            pool_->run(active.size(), compute_slice);
+            rethrow_first_error(/*commit_prefix=*/true, now);
+            for (std::size_t i = 0; i < active.size(); ++i)
+                issued |= issued_flags[i] != 0;
+            for (SmCore *core : active)
+                core->commit(now);
+        }
         for (std::size_t i = 0; i < active.size();) {
             if (active[i]->busy()) {
                 ++i;
@@ -117,8 +204,17 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
                 // Skip cycles now+1 .. target-1; cycle target runs live.
                 const Cycle to = target - 1;
                 const std::uint64_t delta = to - now;
-                for (SmCore *core : active)
-                    core->fastForward(now + 1, to);
+                if (phased && active.size() > 1) {
+                    // fastForward only touches SM-private accounting, so
+                    // the gap replay parallelizes over the same pool.
+                    ff_from = now + 1;
+                    ff_to = to;
+                    pool_->run(active.size(), forward_slice);
+                    rethrow_first_error(/*commit_prefix=*/false, now);
+                } else {
+                    for (SmCore *core : active)
+                        core->fastForward(now + 1, to);
+                }
                 launch.stats.delayLimitCycleSum += idle_delay_sum * delta;
                 launch.stats.smCycles += idle_cores * delta;
                 now = to;
@@ -127,6 +223,11 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
     } while (!active.empty());
 
     KernelStats &stats = launch.stats;
+    // Deterministic shard merge: every per-SM counter sums in SM-id
+    // order (shards carry no launch-wide fields, so the aggregate
+    // matches the inline-mode totals exactly).
+    for (const auto &shard : shards)
+        stats += *shard;
     stats.cycles = now;
     stats.mem = memsys.stats();
     stats.energy.l2Accesses = stats.mem.l2Accesses;

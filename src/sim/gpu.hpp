@@ -9,6 +9,7 @@
 #include "src/isa/program.hpp"
 #include "src/mem/memory_space.hpp"
 #include "src/sim/sm_core.hpp"
+#include "src/sim/worker_pool.hpp"
 #include "src/stats/stats.hpp"
 
 /**
@@ -64,6 +65,9 @@ class Gpu {
     MemorySpace mem_;
     EnergyModel energy_;
     trace::TraceSink *traceSink_ = nullptr;
+    /** Compute-phase worker pool (cfg_.smThreads > 1); persistent so
+     *  repeated launches reuse the same threads. */
+    std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace bowsim

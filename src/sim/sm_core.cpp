@@ -23,9 +23,12 @@ firstLane(LaneMask m)
 
 }  // namespace
 
-SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch)
+SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
+               KernelStats *shard)
     : id_(id), cfg_(cfg), launch_(launch),
-      ldst_(cfg, id, *launch.memsys, launch.stats),
+      stats_(shard ? *shard : launch.stats), staging_(queue_),
+      deferCommit_(launch.deferCommit),
+      ldst_(cfg, id, *launch.memsys, stats_),
       backoff_(cfg.bows), maxWarps_(cfg.maxWarpsPerCore())
 {
     for (unsigned s = 0; s < cfg.numSchedulersPerCore; ++s)
@@ -62,16 +65,23 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch)
     // Tracing and stall attribution ride the same launch-wide handle.
     // Sizing the stall table here (cores are built serially) keeps
     // Gpu::launch() agnostic and covers direct SmCore construction.
+    // In deferCommit mode the core's own handle points at the staging
+    // sink, so every SM-side emission lands in the commit queue and is
+    // forwarded to the real sink in drain order.
     tracer_ = launch_.trace;
     stallAccounting_ = tracer_.enabled() || cfg.collectStallBreakdown;
+    if (deferCommit_ && tracer_.enabled())
+        tracer_ = trace::Tracer(&staging_);
     if (stallAccounting_) {
-        KernelStats &st = launch_.stats;
+        KernelStats &st = stats_;
         st.stallWarpsPerSm = maxWarps_;
         std::size_t need = static_cast<std::size_t>(cfg.numCores) *
                            maxWarps_ * trace::kNumStallCauses;
         if (st.stallCounts.size() < need)
             st.stallCounts.resize(need, 0);
     }
+    if (deferCommit_)
+        ldst_.setCommitQueue(&queue_);
     ldst_.setTrace(tracer_);
     ddos_->setTrace(tracer_, id_);
     backoff_.setTrace(tracer_, id_);
@@ -342,7 +352,7 @@ void
 SmCore::executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
                    Cycle now)
 {
-    KernelStats &st = launch_.stats;
+    KernelStats &st = stats_;
     const bool is_setp = inst.op == Opcode::Setp;
     // Per-instruction facts hoisted out of the per-lane loop: the PC (and
     // thus the wait-check set membership) and operand validity cannot
@@ -484,7 +494,7 @@ SmCore::executeAtomicLane(Warp &w, const Instruction &inst, unsigned lane,
                           Addr addr, bool is_acquire)
 {
     MemorySpace &mem = *launch_.mem;
-    KernelStats &st = launch_.stats;
+    KernelStats &st = stats_;
     Word old = mem.read(addr, inst.size);
     Word operand = readOperand(w, inst.src[1], lane);
     Word next = old;
@@ -537,7 +547,6 @@ SmCore::executeMemory(Warp &w, const Instruction &inst, LaneMask exec,
     if (exec == 0)
         return;  // fully predicated off: no transaction, no hazard
 
-    MemorySpace &mem = *launch_.mem;
     std::array<Addr, kWarpSize> addrs{};
     if (inst.src[0].isReg()) {
         // Common case: the address base lives in a register row.
@@ -573,32 +582,41 @@ SmCore::executeMemory(Warp &w, const Instruction &inst, LaneMask exec,
                 std::memcpy(cta.shared.data() + a, &v, inst.size);
             }
         }
+    } else if (deferCommit_) {
+        // Phase-split mode: stage the functional op for the commit
+        // phase. The lock-acquire flag is PC-derived, so it is captured
+        // now — the warp's PC advances before the queue drains.
+        CommitEntry::Kind kind;
+        bool acquire = false;
+        switch (inst.op) {
+          case Opcode::Ld:
+            kind = CommitEntry::Kind::GlobalLoad;
+            break;
+          case Opcode::St:
+            kind = CommitEntry::Kind::GlobalStore;
+            break;
+          case Opcode::Atom:
+            kind = CommitEntry::Kind::GlobalAtomic;
+            acquire = (launch_.pcFlags[w.stack().pc()] &
+                       LaunchState::kPcLockAcquire) != 0;
+            break;
+          default:
+            panic("executeMemory on non-memory opcode");
+        }
+        queue_.pushGlobal(kind, &w, &inst, exec, addrs, acquire);
     } else {
         switch (inst.op) {
           case Opcode::Ld:
-            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
-                const unsigned lane = firstLane(rest);
-                w.regs().write(lane, inst.dst.index,
-                               mem.read(addrs[lane], inst.size));
-            }
+            execGlobalLoad(w, inst, exec, addrs);
             break;
           case Opcode::St:
-            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
-                const unsigned lane = firstLane(rest);
-                Word v = readOperand(w, inst.src[1], lane);
-                mem.write(addrs[lane], v, inst.size);
-                launch_.lockTracker.onWrite(addrs[lane], v);
-            }
+            execGlobalStore(w, inst, exec, addrs);
             break;
-          case Opcode::Atom: {
-            bool acquire = (launch_.pcFlags[w.stack().pc()] &
-                            LaunchState::kPcLockAcquire) != 0;
-            for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
-                const unsigned lane = firstLane(rest);
-                executeAtomicLane(w, inst, lane, addrs[lane], acquire);
-            }
+          case Opcode::Atom:
+            execGlobalAtomic(w, inst, exec, addrs,
+                             (launch_.pcFlags[w.stack().pc()] &
+                              LaunchState::kPcLockAcquire) != 0);
             break;
-          }
           default:
             panic("executeMemory on non-memory opcode");
         }
@@ -607,6 +625,44 @@ SmCore::executeMemory(Warp &w, const Instruction &inst, LaneMask exec,
     ldst_.submit(&w, inst, addrs, exec, sync, now);
     if (inst.dst.valid())
         w.scoreboard().reserve(inst);
+}
+
+void
+SmCore::execGlobalLoad(Warp &w, const Instruction &inst, LaneMask exec,
+                       const std::array<Addr, kWarpSize> &addrs)
+{
+    // Safe to defer to the cycle barrier: the scoreboard reserve at
+    // issue prevents any same-cycle read of the destination register.
+    MemorySpace &mem = *launch_.mem;
+    for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+        const unsigned lane = firstLane(rest);
+        w.regs().write(lane, inst.dst.index,
+                       mem.read(addrs[lane], inst.size));
+    }
+}
+
+void
+SmCore::execGlobalStore(Warp &w, const Instruction &inst, LaneMask exec,
+                        const std::array<Addr, kWarpSize> &addrs)
+{
+    MemorySpace &mem = *launch_.mem;
+    for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+        const unsigned lane = firstLane(rest);
+        Word v = readOperand(w, inst.src[1], lane);
+        mem.write(addrs[lane], v, inst.size);
+        launch_.lockTracker.onWrite(addrs[lane], v);
+    }
+}
+
+void
+SmCore::execGlobalAtomic(Warp &w, const Instruction &inst, LaneMask exec,
+                         const std::array<Addr, kWarpSize> &addrs,
+                         bool acquire)
+{
+    for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
+        const unsigned lane = firstLane(rest);
+        executeAtomicLane(w, inst, lane, addrs[lane], acquire);
+    }
 }
 
 void
@@ -631,7 +687,7 @@ SmCore::issue(Warp &w, Cycle now)
     }
 
     // --- accounting ----------------------------------------------------
-    KernelStats &st = launch_.stats;
+    KernelStats &st = stats_;
     ++st.warpInstructions;
     unsigned lanes = popcount(active);
     st.threadInstructions += lanes;
@@ -804,8 +860,51 @@ SmCore::refreshWarpMask(const Warp &w)
 bool
 SmCore::cycle(Cycle now)
 {
+    dispatch(now);
+    const bool issued = compute(now);
+    commit(now);
+    return issued;
+}
+
+void
+SmCore::dispatch(Cycle now)
+{
     now_ = now;
     tryLaunchCtas();
+}
+
+void
+SmCore::commit(Cycle now)
+{
+    if (!deferCommit_ || queue_.empty())
+        return;
+    for (const CommitEntry &e : queue_.entries()) {
+        switch (e.kind) {
+          case CommitEntry::Kind::Trace:
+            launch_.trace.record(e.ev);
+            break;
+          case CommitEntry::Kind::MemRequest:
+            ldst_.commitRequest(e.req, now);
+            break;
+          case CommitEntry::Kind::GlobalLoad:
+            execGlobalLoad(*e.warp, *e.inst, e.exec, e.addrs);
+            break;
+          case CommitEntry::Kind::GlobalStore:
+            execGlobalStore(*e.warp, *e.inst, e.exec, e.addrs);
+            break;
+          case CommitEntry::Kind::GlobalAtomic:
+            execGlobalAtomic(*e.warp, *e.inst, e.exec, e.addrs,
+                             e.acquire);
+            break;
+        }
+    }
+    queue_.clear();
+}
+
+bool
+SmCore::compute(Cycle now)
+{
+    now_ = now;
 
     // 1. Memory and ALU writebacks due this cycle.
     const bool tracing = tracer_.enabled();
@@ -843,8 +942,8 @@ SmCore::cycle(Cycle now)
     // 2. The BOWS adaptive window. (Pending delays are absolute
     //    deadlines on this path, so there are no counters to tick.)
     backoff_.tickWindow(now);
-    launch_.stats.delayLimitCycleSum += backoff_.delayLimit();
-    ++launch_.stats.smCycles;
+    stats_.delayLimitCycleSum += backoff_.delayLimit();
+    ++stats_.smCycles;
 
     // 3. Issue: one instruction per scheduler unit per cycle (Fig. 8
     //    arbitration: base-policy order over non-backed-off warps, then
@@ -938,7 +1037,7 @@ SmCore::cycle(Cycle now)
     // 4. Per-cycle warp accounting (CAWA stalls, Fig. 11 occupancy).
     //    The occupancy sums are running counters, so only CAWA — the one
     //    consumer of per-warp active/stall cycles — needs the warp loop.
-    KernelStats &st = launch_.stats;
+    KernelStats &st = stats_;
     if (cawaAccounting_) {
         for (Warp *w : resident_) {
             ++w->cawa().activeCycles;
@@ -1000,7 +1099,7 @@ SmCore::fastForward(Cycle from, Cycle to)
     // integrates exactly.
     now_ = to;
     const std::uint64_t delta = to - from + 1;
-    KernelStats &st = launch_.stats;
+    KernelStats &st = stats_;
     st.delayLimitCycleSum += backoff_.fastForwardWindows(from, to);
     st.smCycles += delta;
     if (cawaAccounting_) {
@@ -1023,7 +1122,7 @@ SmCore::recordStallGap(std::uint64_t delta)
     // warps; with no issues and frozen gates each warp keeps one cause
     // for the whole gap, so the per-cycle increment becomes += delta
     // and the grand total still advances by resident_.size() per cycle.
-    KernelStats &st = launch_.stats;
+    KernelStats &st = stats_;
     const std::size_t sm_base =
         static_cast<std::size_t>(id_) * st.stallWarpsPerSm;
     for (Warp *w : resident_) {
@@ -1062,7 +1161,7 @@ SmCore::recordStallCycle(Cycle now)
     // units issued; issuing only consumes resources, so a warp that looks
     // eligible here genuinely lost arbitration.
     const bool tracing = tracer_.enabled();
-    KernelStats &st = launch_.stats;
+    KernelStats &st = stats_;
     const std::size_t sm_base =
         static_cast<std::size_t>(id_) * st.stallWarpsPerSm;
     const unsigned units = static_cast<unsigned>(schedulers_.size());

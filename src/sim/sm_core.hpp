@@ -10,6 +10,7 @@
 #include "src/core/ddos/ddos_unit.hpp"
 #include "src/isa/program.hpp"
 #include "src/mem/lock_tracker.hpp"
+#include "src/mem/mem_port.hpp"
 #include "src/mem/memory_space.hpp"
 #include "src/sched/scheduler.hpp"
 #include "src/sim/ldst_unit.hpp"
@@ -44,6 +45,14 @@ struct LaunchState {
     /** Monotonic warp age counter (GTO's age ordering). */
     std::uint64_t warpAgeCounter = 0;
 
+    /**
+     * Phase-split mode (sm-threads > 1): cores stage every globally
+     * visible side effect in their CommitQueue during compute() and
+     * apply it in commit(), instead of executing inline. Set before
+     * cores are constructed; see docs/PERF.md for the contract.
+     */
+    bool deferCommit = false;
+
     /** Per-PC sync-annotation flags, bit-packed from Program::sync once
      *  at launch so the issue path avoids std::set lookups. */
     static constexpr std::uint8_t kPcSyncRegion = 1;
@@ -72,10 +81,47 @@ struct LaunchState {
 
 class SmCore : private IssueGate {
   public:
-    SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch);
+    /**
+     * @param shard per-SM statistics target for the phase-split mode;
+     *        nullptr (inline mode) accumulates into launch.stats
+     *        directly. Shards are merged by Gpu::launch in SM-id order.
+     */
+    SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
+           KernelStats *shard = nullptr);
 
-    /** Advances the SM by one cycle; true when any unit issued. */
+    /**
+     * Advances the SM by one cycle; true when any unit issued.
+     * Equivalent to dispatch(now) + compute(now) + commit(now) — the
+     * sequential loop's shape.
+     */
     bool cycle(Cycle now);
+
+    /**
+     * Phase 1 (serial, SM-id order): CTA dispatch. The only per-cycle
+     * step that touches launch-shared dispatch state (nextCta,
+     * warpAgeCounter), hoisted out of compute() so the latter is
+     * SM-private. Hoisting all dispatches ahead of all computes is
+     * order-equivalent to the interleaved loop: nothing between two
+     * SMs' dispatch points in the sequential order writes nextCta, and
+     * an SM's free slots only change in its own cycle.
+     */
+    void dispatch(Cycle now);
+
+    /**
+     * Phase 2 (parallel-safe): fetch, scheduling, scoreboard, SIMT
+     * stack, DDOS/BOWS, L1/shared-memory — everything SM-private. In
+     * deferCommit mode, globally visible side effects are staged in the
+     * commit queue instead of executed. True when any unit issued.
+     */
+    bool compute(Cycle now);
+
+    /**
+     * Phase 3 (serial, SM-id order): drains the commit queue —
+     * functional global-memory ops (including atomics),
+     * MemorySystem::request calls, staged trace events — in program
+     * order. No-op in inline mode, where these ran at the enqueue point.
+     */
+    void commit(Cycle now);
 
     /** True while CTAs are resident or still waiting for dispatch. */
     bool busy() const;
@@ -163,11 +209,29 @@ class SmCore : private IssueGate {
                        bool sync, Cycle now);
     void executeAtomicLane(Warp &w, const Instruction &inst, unsigned lane,
                            Addr addr, bool is_acquire);
+    /** Functional global-memory ops; run at issue (inline mode) or at
+     *  commit (deferCommit mode) — same order either way. */
+    void execGlobalLoad(Warp &w, const Instruction &inst, LaneMask exec,
+                        const std::array<Addr, kWarpSize> &addrs);
+    void execGlobalStore(Warp &w, const Instruction &inst, LaneMask exec,
+                         const std::array<Addr, kWarpSize> &addrs);
+    void execGlobalAtomic(Warp &w, const Instruction &inst, LaneMask exec,
+                          const std::array<Addr, kWarpSize> &addrs,
+                          bool acquire);
     void onWarpFinished(Warp &w);
 
     unsigned id_;
     const GpuConfig &cfg_;
     LaunchState &launch_;
+    /** This SM's statistics target: its private shard under the phase-
+     *  split contract, or the launch-wide aggregate in inline mode. */
+    KernelStats &stats_;
+    /** Deferred side effects for the commit phase (deferCommit_ only). */
+    CommitQueue queue_;
+    /** Trace staging into queue_, so SM-side events keep their order
+     *  relative to deferred memory requests. */
+    StagingSink staging_;
+    bool deferCommit_ = false;
     LdstUnit ldst_;
     std::vector<std::unique_ptr<Scheduler>> schedulers_;
     std::unique_ptr<DdosUnit> ddos_;

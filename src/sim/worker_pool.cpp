@@ -1,0 +1,121 @@
+#include "src/sim/worker_pool.hpp"
+
+namespace bowsim {
+
+namespace {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spin budget before parking on the atomic; short on purpose so an
+ *  oversubscribed host degrades to futex waits instead of burning
+ *  timeslices. */
+constexpr unsigned kCallerSpins = 1024;
+constexpr unsigned kWorkerSpins = 4096;
+
+/**
+ * Spinning is pointless unless the thread being waited on can run
+ * simultaneously: with more pool threads than hardware threads, every
+ * spin iteration only delays the peer it is waiting for. Park on the
+ * futex immediately in that case.
+ */
+inline bool
+spinWorthwhile(unsigned nthreads)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 || nthreads <= hw;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(unsigned threads)
+    : nthreads_(threads == 0 ? 1 : threads), spin_(spinWorthwhile(nthreads_))
+{
+    workers_.reserve(nthreads_ - 1);
+    for (unsigned i = 1; i < nthreads_; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    if (workers_.empty())
+        return;
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::run(std::size_t count, const Task &task)
+{
+    if (workers_.empty() || count <= 1) {
+        if (count != 0)
+            task(0, count);
+        return;
+    }
+    task_ = &task;
+    count_ = count;
+    pending_.store(static_cast<std::uint32_t>(workers_.size()),
+                   std::memory_order_relaxed);
+    // The release increment publishes task_/count_ to every worker that
+    // acquire-loads the new epoch.
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+
+    // Participant 0's slice, on the calling thread.
+    const std::size_t end0 = count / nthreads_;
+    if (end0 != 0)
+        task(0, end0);
+
+    std::uint32_t left;
+    unsigned spins = 0;
+    while ((left = pending_.load(std::memory_order_acquire)) != 0) {
+        if (spin_ && ++spins < kCallerSpins) {
+            cpuRelax();
+            continue;
+        }
+        pending_.wait(left, std::memory_order_acquire);
+    }
+    task_ = nullptr;
+}
+
+void
+WorkerPool::workerMain(unsigned self)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t e;
+        unsigned spins = 0;
+        while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+            if (spin_ && ++spins < kWorkerSpins) {
+                cpuRelax();
+                continue;
+            }
+            epoch_.wait(seen, std::memory_order_acquire);
+        }
+        seen = e;
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        const std::size_t begin = self * count_ / nthreads_;
+        const std::size_t end = (self + 1) * count_ / nthreads_;
+        if (begin < end)
+            (*task_)(begin, end);
+        // The acq_rel decrement orders this worker's writes before the
+        // caller's acquire load; waking only matters for the last one.
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            pending_.notify_one();
+    }
+}
+
+}  // namespace bowsim

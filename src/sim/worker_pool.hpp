@@ -1,0 +1,63 @@
+#ifndef BOWSIM_SIM_WORKER_POOL_HPP
+#define BOWSIM_SIM_WORKER_POOL_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+/**
+ * @file
+ * Persistent fork/join worker pool for the per-cycle SM compute phase.
+ * run() hands each participant (the calling thread included) one
+ * contiguous slice of [0, count) and blocks until every slice finishes —
+ * one barrier per simulated cycle. Workers spin briefly before falling
+ * back to atomic waits (futex), so the pool is cheap at cycle granularity
+ * without burning whole time slices when the host is oversubscribed.
+ */
+
+namespace bowsim {
+
+class WorkerPool {
+  public:
+    using Task = std::function<void(std::size_t, std::size_t)>;
+
+    /** Spawns @p threads - 1 workers; the caller is participant 0. */
+    explicit WorkerPool(unsigned threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned threads() const { return nthreads_; }
+
+    /**
+     * Runs task(begin, end) over a static partition of [0, count); the
+     * calling thread takes slice 0 and returns only after all slices are
+     * done. Slices must not touch shared mutable state; anything the
+     * task writes is visible to the caller when run() returns.
+     */
+    void run(std::size_t count, const Task &task);
+
+  private:
+    void workerMain(unsigned self);
+
+    std::vector<std::thread> workers_;
+    /** Bumped (release) to publish task_/count_ and start a round. */
+    std::atomic<std::uint64_t> epoch_{0};
+    /** Workers yet to finish the current round. */
+    std::atomic<std::uint32_t> pending_{0};
+    std::atomic<bool> stop_{false};
+    const Task *task_ = nullptr;
+    std::size_t count_ = 0;
+    unsigned nthreads_;
+    /** False when the pool oversubscribes the host (threads > hardware
+     *  threads): spinning then only delays the peer being waited on. */
+    bool spin_;
+};
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_SIM_WORKER_POOL_HPP

@@ -130,6 +130,14 @@ class Tracer {
         sink_->emit(ev);
     }
 
+    /** Forwards an already-built event (commit-phase queue drain). */
+    void
+    record(const TraceEvent &ev) const
+    {
+        if (sink_)
+            sink_->emit(ev);
+    }
+
   private:
     TraceSink *sink_ = nullptr;
 };

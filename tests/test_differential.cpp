@@ -200,6 +200,79 @@ INSTANTIATE_TEST_SUITE_P(Kernels, SkipEquivalence,
                          ::testing::ValuesIn(allKernelNames()),
                          [](const auto &info) { return info.param; });
 
+class ThreadEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ThreadEquivalence, ParallelSmExecutionIsInvisible)
+{
+    // Phase-split determinism contract (docs/PERF.md): sm-threads is a
+    // pure execution knob. Every kernel, scheduler, and BOWS mode must
+    // produce identical memory, cycles, outcomes, and stall accounting
+    // whether SM compute phases run sequentially or on a worker pool.
+    const std::string &name = GetParam();
+    const SchedulerKind scheds[] = {SchedulerKind::LRR, SchedulerKind::GTO,
+                                    SchedulerKind::CAWA};
+    for (SchedulerKind sched : scheds) {
+        for (bool bows : {false, true}) {
+            GpuConfig cfg = diffConfig(sched, bows);
+            cfg.collectStallBreakdown = true;
+            cfg.smThreads = 1;
+            RunResult seq = runKernel(name, cfg);
+            cfg.smThreads = 4;
+            RunResult par = runKernel(name, cfg);
+
+            const std::string label =
+                name + " under " + std::string(toString(sched)) +
+                (bows ? "+BOWS" : "") + " sm-threads=4";
+            ASSERT_EQ(par.digest, seq.digest)
+                << label << ": parallel run changed the memory image";
+            ASSERT_EQ(par.stats.cycles, seq.stats.cycles) << label;
+            EXPECT_EQ(par.stats.warpInstructions,
+                      seq.stats.warpInstructions)
+                << label;
+            EXPECT_EQ(par.stats.outcomes.total(), seq.stats.outcomes.total())
+                << label;
+            EXPECT_EQ(par.stats.outcomes.lockSuccess,
+                      seq.stats.outcomes.lockSuccess)
+                << label;
+            EXPECT_EQ(par.stats.outcomes.interWarpFail,
+                      seq.stats.outcomes.interWarpFail)
+                << label;
+            EXPECT_EQ(par.stats.residentWarpCycles,
+                      seq.stats.residentWarpCycles)
+                << label;
+            EXPECT_EQ(par.stats.backedOffWarpCycles,
+                      seq.stats.backedOffWarpCycles)
+                << label;
+            EXPECT_EQ(par.stats.delayLimitCycleSum,
+                      seq.stats.delayLimitCycleSum)
+                << label;
+            EXPECT_EQ(par.stats.smCycles, seq.stats.smCycles) << label;
+            EXPECT_EQ(par.stats.l1Accesses, seq.stats.l1Accesses) << label;
+            EXPECT_EQ(par.stats.mem.l2Accesses, seq.stats.mem.l2Accesses)
+                << label;
+            EXPECT_EQ(par.stats.mem.dramAccesses,
+                      seq.stats.mem.dramAccesses)
+                << label;
+            EXPECT_EQ(par.stats.mem.icntPackets, seq.stats.mem.icntPackets)
+                << label;
+            EXPECT_EQ(par.stats.energyNj, seq.stats.energyNj) << label;
+            ASSERT_TRUE(par.stats.hasStallBreakdown());
+            ASSERT_TRUE(seq.stats.hasStallBreakdown());
+            const auto par_stalls = par.stats.stallTotals();
+            const auto seq_stalls = seq.stats.stallTotals();
+            for (unsigned c = 0; c < trace::kNumStallCauses; ++c) {
+                EXPECT_EQ(par_stalls[c], seq_stalls[c])
+                    << label << ": stall cause "
+                    << trace::toString(static_cast<trace::StallCause>(c));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ThreadEquivalence,
+                         ::testing::ValuesIn(allKernelNames()),
+                         [](const auto &info) { return info.param; });
+
 TEST(Determinism, RepeatedRunsAreBitIdentical)
 {
     // Belt and braces under the differential umbrella: two fresh Gpu

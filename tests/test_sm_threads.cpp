@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/kernels/registry.hpp"
+#include "src/sim/gpu.hpp"
+#include "src/sim/worker_pool.hpp"
+#include "src/trace/ring_recorder.hpp"
+
+/**
+ * Fast-suite coverage for the phase-split parallel execution path
+ * (docs/PERF.md): WorkerPool scheduling invariants, and end-to-end
+ * equivalence of sm-threads > 1 against the sequential loop on small
+ * kernels. The exhaustive sweep (every kernel x scheduler x BOWS mode)
+ * lives in the slow differential suite; this keeps a representative
+ * always-on probe so a determinism break fails the fast gate.
+ */
+
+namespace bowsim {
+namespace {
+
+TEST(WorkerPool, CoversEveryIndexExactlyOncePerRound)
+{
+    WorkerPool pool(4);
+    constexpr std::size_t kItems = 103;  // not divisible by 4
+    constexpr int kRounds = 200;
+    std::vector<std::atomic<int>> hits(kItems);
+    WorkerPool::Task task = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    };
+    for (int round = 0; round < kRounds; ++round)
+        pool.run(kItems, task);
+    for (std::size_t i = 0; i < kItems; ++i)
+        ASSERT_EQ(hits[i].load(), kRounds) << "index " << i;
+}
+
+TEST(WorkerPool, ResultsAreVisibleToCallerWithoutAtomics)
+{
+    // pool.run() must be a full synchronization point: plain writes made
+    // by workers are visible to the caller once run() returns.
+    WorkerPool pool(3);
+    std::vector<std::uint64_t> out(1000, 0);
+    WorkerPool::Task task = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            out[i] = i * i;
+    };
+    pool.run(out.size(), task);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], i * i);
+}
+
+TEST(WorkerPool, SmallCountsRunInlineOnTheCaller)
+{
+    WorkerPool pool(8);
+    int calls = 0;  // not atomic: count <= 1 must stay on this thread
+    WorkerPool::Task task = [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 1u);
+        ++calls;
+    };
+    pool.run(1, task);
+    EXPECT_EQ(calls, 1);
+    pool.run(0, task);
+    EXPECT_EQ(calls, 1) << "count == 0 must not invoke the task";
+}
+
+TEST(WorkerPool, MoreThreadsThanItems)
+{
+    WorkerPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    WorkerPool::Task task = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    };
+    pool.run(hits.size(), task);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+struct RunResult {
+    std::uint64_t digest = 0;
+    KernelStats stats;
+};
+
+RunResult
+runKernel(const std::string &name, const GpuConfig &cfg,
+          trace::TraceSink *sink = nullptr)
+{
+    Gpu gpu(cfg);
+    if (sink)
+        gpu.setTraceSink(sink);
+    RunResult r;
+    r.stats = makeBenchmark(name, /*scale=*/0.1)->run(gpu);
+    r.digest = gpu.mem().digest();
+    return r;
+}
+
+GpuConfig
+smtConfig(unsigned threads)
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 4;
+    cfg.bows.enabled = true;
+    cfg.collectStallBreakdown = true;
+    cfg.smThreads = threads;
+    return cfg;
+}
+
+void
+expectSameRun(const RunResult &par, const RunResult &seq,
+              const std::string &label)
+{
+    ASSERT_EQ(par.digest, seq.digest)
+        << label << ": memory image diverged";
+    EXPECT_EQ(par.stats.cycles, seq.stats.cycles) << label;
+    EXPECT_EQ(par.stats.warpInstructions, seq.stats.warpInstructions)
+        << label;
+    EXPECT_EQ(par.stats.smCycles, seq.stats.smCycles) << label;
+    EXPECT_EQ(par.stats.outcomes.total(), seq.stats.outcomes.total())
+        << label;
+    EXPECT_EQ(par.stats.outcomes.lockSuccess, seq.stats.outcomes.lockSuccess)
+        << label;
+    EXPECT_EQ(par.stats.residentWarpCycles, seq.stats.residentWarpCycles)
+        << label;
+    EXPECT_EQ(par.stats.backedOffWarpCycles, seq.stats.backedOffWarpCycles)
+        << label;
+    EXPECT_EQ(par.stats.delayLimitCycleSum, seq.stats.delayLimitCycleSum)
+        << label;
+    EXPECT_EQ(par.stats.l1Accesses, seq.stats.l1Accesses) << label;
+    EXPECT_EQ(par.stats.mem.l2Accesses, seq.stats.mem.l2Accesses) << label;
+    EXPECT_EQ(par.stats.mem.icntPackets, seq.stats.mem.icntPackets) << label;
+    EXPECT_EQ(par.stats.mem.dramAccesses, seq.stats.mem.dramAccesses)
+        << label;
+    EXPECT_EQ(par.stats.energyNj, seq.stats.energyNj) << label;
+    const auto par_stalls = par.stats.stallTotals();
+    const auto seq_stalls = seq.stats.stallTotals();
+    for (unsigned c = 0; c < trace::kNumStallCauses; ++c) {
+        EXPECT_EQ(par_stalls[c], seq_stalls[c])
+            << label << ": stall cause "
+            << trace::toString(static_cast<trace::StallCause>(c));
+    }
+}
+
+TEST(SmThreads, ParallelRunMatchesSequential)
+{
+    // HT exercises locks + atomics + global loads/stores, VEC the
+    // sync-free streaming path; an uneven thread count forces mixed
+    // slice sizes over the four SMs. (The full kernel x scheduler
+    // sweep, including ATM, runs in the slow ThreadEquivalence suite.)
+    for (const char *name : {"HT", "VEC"}) {
+        RunResult seq = runKernel(name, smtConfig(1));
+        RunResult par = runKernel(name, smtConfig(3));
+        expectSameRun(par, seq, std::string(name) + " sm-threads=3");
+    }
+}
+
+TEST(SmThreads, ThreadCountClampsToCoreCount)
+{
+    // More threads than SMs must behave like threads == numCores.
+    RunResult seq = runKernel("HT", smtConfig(1));
+    RunResult par = runKernel("HT", smtConfig(16));
+    expectSameRun(par, seq, "HT sm-threads=16 (clamped)");
+}
+
+TEST(SmThreads, TracedEventStreamsAreIdentical)
+{
+    // The commit phase must reproduce the sequential trace byte for
+    // byte: same events, same order, same payloads.
+    GpuConfig cfg = smtConfig(1);
+    trace::RingRecorder seq_rec;
+    RunResult seq = runKernel("HT", cfg, &seq_rec);
+
+    cfg.smThreads = 3;
+    trace::RingRecorder par_rec;
+    RunResult par = runKernel("HT", cfg, &par_rec);
+
+    ASSERT_EQ(par.digest, seq.digest);
+    ASSERT_EQ(par_rec.dropped(), 0u) << "ring too small for exact compare";
+    ASSERT_EQ(seq_rec.dropped(), 0u) << "ring too small for exact compare";
+    const std::vector<trace::TraceEvent> seq_ev = seq_rec.events();
+    const std::vector<trace::TraceEvent> par_ev = par_rec.events();
+    ASSERT_EQ(par_ev.size(), seq_ev.size());
+    for (std::size_t i = 0; i < seq_ev.size(); ++i) {
+        // TraceEvent is packed with explicit padding, so memcmp is exact.
+        ASSERT_EQ(std::memcmp(&par_ev[i], &seq_ev[i], sizeof(seq_ev[i])), 0)
+            << "event " << i << " diverged: seq kind "
+            << static_cast<int>(seq_ev[i].kind) << " @" << seq_ev[i].cycle
+            << " sm " << seq_ev[i].sm << ", par kind "
+            << static_cast<int>(par_ev[i].kind) << " @" << par_ev[i].cycle
+            << " sm " << par_ev[i].sm;
+    }
+}
+
+TEST(SmThreads, ComposesWithIdleSkip)
+{
+    GpuConfig cfg = smtConfig(3);
+    cfg.idleSkip = true;
+    RunResult skip_on = runKernel("HT", cfg);
+    cfg.idleSkip = false;
+    RunResult skip_off = runKernel("HT", cfg);
+    expectSameRun(skip_on, skip_off, "HT sm-threads=3 idle-skip");
+}
+
+TEST(SmThreads, RepeatedLaunchesReuseThePool)
+{
+    // Two launches on one Gpu instance (the pool persists across
+    // launches) must both match their sequential counterparts.
+    GpuConfig cfg = smtConfig(3);
+    Gpu gpu(cfg);
+    KernelStats first = makeBenchmark("HT", 0.1)->run(gpu);
+    KernelStats second = makeBenchmark("HT", 0.1)->run(gpu);
+
+    GpuConfig ref_cfg = smtConfig(1);
+    Gpu ref(ref_cfg);
+    KernelStats ref_first = makeBenchmark("HT", 0.1)->run(ref);
+    KernelStats ref_second = makeBenchmark("HT", 0.1)->run(ref);
+
+    EXPECT_EQ(first.cycles, ref_first.cycles);
+    EXPECT_EQ(second.cycles, ref_second.cycles);
+    EXPECT_EQ(gpu.mem().digest(), ref.mem().digest());
+}
+
+}  // namespace
+}  // namespace bowsim

@@ -172,6 +172,14 @@ TEST(SweepToJson, RecordsIdleSkipAndStaticEnergy)
         ASSERT_TRUE(p.at("config").has("idle_skip"));
         EXPECT_EQ(p.at("config").at("idle_skip").asBool(),
                   points[i].cfg.idleSkip);
+        // Likewise for the phase-split worker count and the atomic
+        // service period (json_check requires both).
+        ASSERT_TRUE(p.at("config").has("sm_threads"));
+        EXPECT_EQ(p.at("config").at("sm_threads").asInt(),
+                  static_cast<std::int64_t>(points[i].cfg.smThreads));
+        ASSERT_TRUE(p.at("config").has("atomic_service_period"));
+        EXPECT_EQ(p.at("config").at("atomic_service_period").asInt(),
+                  static_cast<std::int64_t>(points[i].cfg.atomicServicePeriod));
         ASSERT_TRUE(p.at("stats").has("static_energy_nj"));
         EXPECT_GT(p.at("stats").at("static_energy_nj").asDouble(), 0.0);
     }
