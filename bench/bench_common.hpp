@@ -13,6 +13,8 @@
 
 #include "src/harness/sweep.hpp"
 #include "src/kernels/registry.hpp"
+#include "src/metrics/kernel_profile.hpp"
+#include "src/metrics/progress.hpp"
 #include "src/sim/gpu.hpp"
 
 /**
@@ -71,6 +73,34 @@ struct BenchOptions {
      * config.idle_skip.
      */
     bool noSkip = false;
+    /**
+     * When set, every runner-constructed point records a sampled metrics
+     * time series to a per-point file derived from this base path
+     * (--metrics / BOWSIM_METRICS), named like --trace fan-out. A ".csv"
+     * suffix selects CSV output, anything else JSON (docs/METRICS.md).
+     */
+    std::string metricsPath;
+    /**
+     * Sample spacing in simulated cycles (--metrics-interval /
+     * BOWSIM_METRICS_INTERVAL). 0 defers to each point's config, which
+     * defaults to 1000 when --metrics is on. Recorded per point as
+     * config.metrics_interval.
+     */
+    Cycle metricsInterval = 0;
+    /**
+     * Per-kernel profile reports (--profile / BOWSIM_PROFILE): turns on
+     * GpuConfig::collectStallBreakdown for every point and prints
+     * metrics::profileReport after the sweep — per-scheduler-unit issue
+     * distribution, peak-vs-mean occupancy, ranked stall causes, and
+     * the top warps by back-off residency.
+     */
+    bool profile = false;
+    /**
+     * Sweep heartbeat (--progress / BOWSIM_PROGRESS): one stderr status
+     * line rewritten after every finished point with done/total counts,
+     * aggregate sim-cycles/s, and an ETA. stdout is untouched.
+     */
+    bool progress = false;
 };
 
 /** Sanitizes a point id into a filename fragment (slashes etc. -> '_'). */
@@ -105,7 +135,8 @@ tracePathFor(const std::string &base, const std::string &id)
 
 /**
  * Parses --scale= / --cores= / --jobs= / --sm-threads= / --json= /
- * --trace= / --no-skip plus the corresponding
+ * --trace= / --no-skip / --metrics= / --metrics-interval= / --profile /
+ * --progress plus the corresponding
  * BOWSIM_* environment variables (flags win over the environment, the
  * environment wins over the bench's defaults). Unknown arguments are
  * ignored so binaries with their own flags can share the parser.
@@ -127,6 +158,14 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         o.noSkip = env[0] != '\0' && env[0] != '0';
     if (const char *env = std::getenv("BOWSIM_SM_THREADS"))
         o.smThreads = static_cast<unsigned>(std::atoi(env));
+    if (const char *env = std::getenv("BOWSIM_METRICS"))
+        o.metricsPath = env;
+    if (const char *env = std::getenv("BOWSIM_METRICS_INTERVAL"))
+        o.metricsInterval = static_cast<Cycle>(std::atoll(env));
+    if (const char *env = std::getenv("BOWSIM_PROFILE"))
+        o.profile = env[0] != '\0' && env[0] != '0';
+    if (const char *env = std::getenv("BOWSIM_PROGRESS"))
+        o.progress = env[0] != '\0' && env[0] != '0';
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0)
             o.scale = std::atof(argv[i] + 8);
@@ -142,6 +181,14 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
             o.smThreads = static_cast<unsigned>(std::atoi(argv[i] + 13));
         else if (std::strcmp(argv[i], "--no-skip") == 0)
             o.noSkip = true;
+        else if (std::strncmp(argv[i], "--metrics-interval=", 19) == 0)
+            o.metricsInterval = static_cast<Cycle>(std::atoll(argv[i] + 19));
+        else if (std::strncmp(argv[i], "--metrics=", 10) == 0)
+            o.metricsPath = argv[i] + 10;
+        else if (std::strcmp(argv[i], "--profile") == 0)
+            o.profile = true;
+        else if (std::strcmp(argv[i], "--progress") == 0)
+            o.progress = true;
     }
     return o;
 }
@@ -184,6 +231,23 @@ struct Sweep {
         points.push_back(std::move(p));
         return points.size() - 1;
     }
+
+    /**
+     * Adds a custom point that runs on a runner-provided Gpu. Prefer
+     * this over the body overload: the runner owns Gpu construction, so
+     * --trace/--metrics/--no-skip/--sm-threads/--profile all apply.
+     */
+    size_t
+    add(std::string id, GpuConfig cfg,
+        std::function<KernelStats(Gpu &)> gpu_body)
+    {
+        SweepPoint p;
+        p.id = std::move(id);
+        p.cfg = cfg;
+        p.gpuBody = std::move(gpu_body);
+        points.push_back(std::move(p));
+        return points.size() - 1;
+    }
 };
 
 /**
@@ -200,7 +264,9 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
     // Per-point overrides (--trace file fan-out, --no-skip) operate on
     // a copy; the artifact then records the configs that actually ran.
     std::vector<SweepPoint> points = sweep.points;
-    if (!opts.tracePath.empty() || opts.noSkip || opts.smThreads != 0) {
+    if (!opts.tracePath.empty() || opts.noSkip || opts.smThreads != 0 ||
+        !opts.metricsPath.empty() || opts.metricsInterval != 0 ||
+        opts.profile) {
         for (SweepPoint &p : points) {
             if (p.body) {
                 // Custom bodies construct their own Gpu from a config
@@ -212,7 +278,12 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                              p.id.c_str(),
                              opts.noSkip        ? "--no-skip"
                              : opts.smThreads   ? "--sm-threads"
-                                                : "--trace");
+                             : opts.profile     ? "--profile"
+                             : !opts.metricsPath.empty()
+                                 ? "--metrics"
+                             : opts.metricsInterval != 0
+                                 ? "--metrics-interval"
+                                 : "--trace");
                 continue;
             }
             if (opts.noSkip)
@@ -221,9 +292,28 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                 p.cfg.smThreads = opts.smThreads;
             if (!opts.tracePath.empty())
                 p.tracePath = tracePathFor(opts.tracePath, p.id);
+            if (opts.metricsInterval != 0)
+                p.cfg.metricsInterval = opts.metricsInterval;
+            if (!opts.metricsPath.empty()) {
+                p.metricsPath = tracePathFor(opts.metricsPath, p.id);
+                if (p.cfg.metricsInterval == 0)
+                    p.cfg.metricsInterval = 1000;
+            }
+            if (opts.profile)
+                p.cfg.collectStallBreakdown = true;
         }
     }
+    metrics::ProgressMeter meter;
+    if (opts.progress) {
+        meter.start(sweep.name, points.size());
+        runner.setPointCallback(
+            [&meter](std::size_t, const SweepResult &r) {
+                meter.pointDone(r.stats.cycles);
+            });
+    }
     std::vector<SweepResult> results = runner.run(points);
+    if (opts.progress)
+        meter.finish();
     if (!opts.jsonPath.empty()) {
         std::ofstream out(opts.jsonPath);
         if (!out) {
@@ -247,6 +337,13 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
     }
     if (failed)
         std::exit(1);
+    if (opts.profile) {
+        for (size_t i = 0; i < results.size(); ++i) {
+            std::printf("\n[%s]\n%s", points[i].id.c_str(),
+                        metrics::profileReport(results[i].stats).c_str());
+        }
+        std::printf("\n");
+    }
     return results;
 }
 

@@ -31,12 +31,12 @@ htForBuckets(unsigned buckets, double scale)
     return p;
 }
 
-/** Sweep body: one hashtable run with explicit parameters. */
-std::function<KernelStats()>
-htBody(const GpuConfig &cfg, const HashtableParams &p)
+/** Sweep body: one hashtable run with explicit parameters. The runner
+ *  provides the Gpu, so --trace/--metrics/--no-skip all apply. */
+std::function<KernelStats(Gpu &)>
+htBody(const HashtableParams &p)
 {
-    return [cfg, p]() {
-        Gpu gpu(cfg);
+    return [p](Gpu &gpu) {
         auto h = makeHashtable(p);
         return h->run(gpu);
     };
@@ -63,15 +63,14 @@ main(int argc, char **argv)
         applyCores(opts, fermi);
         GpuConfig pascal = makeGtx1080TiConfig();
         applyCores(opts, pascal);
-        sweep.add("HT/fermi/" + std::to_string(b), fermi, htBody(fermi, p));
-        sweep.add("HT/pascal/" + std::to_string(b), pascal,
-                  htBody(pascal, p));
+        sweep.add("HT/fermi/" + std::to_string(b), fermi, htBody(p));
+        sweep.add("HT/pascal/" + std::to_string(b), pascal, htBody(p));
         HashtableParams single = p;
         single.ctas = 1;
         single.threadsPerCta = 32;
         single.insertions = 2048;
         sweep.add("HT/single/" + std::to_string(b), fermi,
-                  htBody(fermi, single));
+                  htBody(single));
     }
 
     const std::vector<SweepResult> results = runSweep(opts, sweep);

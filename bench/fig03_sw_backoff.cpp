@@ -40,11 +40,11 @@ main(int argc, char **argv)
             p.delayFactor = f;
             sweep.add("HT/" + std::to_string(b) + "/d" +
                           std::to_string(f),
-                      cfg, [cfg, p]() {
-                          Gpu gpu(cfg);
+                      cfg,
+                      std::function<KernelStats(Gpu &)>([p](Gpu &gpu) {
                           auto h = makeHashtable(p);
                           return h->run(gpu);
-                      });
+                      }));
         }
     }
 

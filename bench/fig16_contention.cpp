@@ -39,11 +39,11 @@ main(int argc, char **argv)
             p.threadsPerCta = 256;
             sweep.add("HT/" + std::to_string(b) +
                           (bows ? "/BOWS" : "/GTO"),
-                      cfg, [cfg, p]() {
-                          Gpu gpu(cfg);
+                      cfg,
+                      std::function<KernelStats(Gpu &)>([p](Gpu &gpu) {
                           auto h = makeHashtable(p);
                           return h->run(gpu);
-                      });
+                      }));
         }
     }
 

@@ -1,15 +1,22 @@
 /**
  * Validates bench artifacts (used by the bench_smoke ctest targets):
  *
- *   json_check FILE [EXPECTED_POINT_COUNT]   BENCH_*.json sweep artifact
- *   json_check --trace FILE                  Chrome trace_event document
+ *   json_check FILE [EXPECTED_POINT_COUNT]    BENCH_*.json sweep artifact
+ *   json_check --trace FILE                   Chrome trace_event document
+ *   json_check --metrics FILE [SWEEP POINT]   metrics time series; with a
+ *                                             sweep artifact and point id,
+ *                                             cross-checks the final row
+ *                                             against that point's stats
  *
  * Sweep artifacts must parse, carry a "points" array of the expected
  * size (when a count is given), and every point must report ok == true.
  * Trace documents get the structural/property checks of
  * harness::checkChromeTrace (monotone per-track timestamps, balanced
- * B/E intervals). The validation logic lives in src/harness/json_check
- * so the unit tests exercise exactly what this tool runs.
+ * B/E intervals). Metrics series get harness::checkMetricsSeries
+ * (monotone cycles, grid-aligned samples, non-decreasing counters,
+ * final-row/KernelStats consistency). The validation logic lives in
+ * src/harness/json_check so the unit tests exercise exactly what this
+ * tool runs.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -22,19 +29,55 @@
 using bowsim::harness::CheckResult;
 using bowsim::harness::Json;
 
+namespace {
+
+int
+usage(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s FILE [EXPECTED_POINT_COUNT]\n"
+                 "       %s --trace FILE\n"
+                 "       %s --metrics FILE [SWEEP_JSON POINT_ID]\n",
+                 prog, prog, prog);
+    return 2;
+}
+
+/** Finds the "stats" object of the point with @p id in @p sweep. */
+const Json *
+findPointStats(const Json &sweep, const std::string &id)
+{
+    if (!sweep.has("points"))
+        bowsim::fatal("sweep artifact has no \"points\" array");
+    const Json &points = sweep.at("points");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Json &p = points.at(i);
+        if (p.has("id") && p.at("id").asString() == id) {
+            if (!p.has("stats"))
+                bowsim::fatal("point '", id, "' has no stats (failed?)");
+            return &p.at("stats");
+        }
+    }
+    bowsim::fatal("sweep artifact has no point with id '", id, "'");
+}
+
+}  // namespace
+
 int
 main(int argc, char **argv)
 {
     bool trace_mode = argc >= 2 && std::strcmp(argv[1], "--trace") == 0;
-    int first_file = trace_mode ? 2 : 1;
-    if (argc <= first_file || argc > first_file + 2 ||
-        (trace_mode && argc != 3)) {
-        std::fprintf(stderr,
-                     "usage: %s FILE [EXPECTED_POINT_COUNT]\n"
-                     "       %s --trace FILE\n",
-                     argv[0], argv[0]);
-        return 2;
-    }
+    bool metrics_mode =
+        argc >= 2 && std::strcmp(argv[1], "--metrics") == 0;
+    int first_file = trace_mode || metrics_mode ? 2 : 1;
+    bool args_ok;
+    if (trace_mode)
+        args_ok = argc == 3;
+    else if (metrics_mode)
+        args_ok = argc == 3 || argc == 5;
+    else
+        args_ok = argc == 2 || argc == 3;
+    if (!args_ok)
+        return usage(argv[0]);
     const char *path = argv[first_file];
 
     try {
@@ -42,10 +85,18 @@ main(int argc, char **argv)
         CheckResult res;
         if (trace_mode) {
             res = bowsim::harness::checkChromeTrace(doc);
+        } else if (metrics_mode) {
+            Json sweep;
+            const Json *stats = nullptr;
+            if (argc == 5) {
+                sweep = bowsim::harness::loadJsonFile(argv[3]);
+                stats = findPointStats(sweep, argv[4]);
+            }
+            res = bowsim::harness::checkMetricsSeries(doc, stats);
         } else {
             std::int64_t expected = -1;
-            if (argc == first_file + 2)
-                expected = std::strtol(argv[first_file + 1], nullptr, 10);
+            if (argc == 3)
+                expected = std::strtol(argv[2], nullptr, 10);
             res = bowsim::harness::checkSweepArtifact(doc, expected);
         }
         if (!res.ok) {

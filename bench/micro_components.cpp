@@ -19,6 +19,7 @@
 #include "src/kernels/registry.hpp"
 #include "src/mem/cache.hpp"
 #include "src/mem/coalescer.hpp"
+#include "src/metrics/sampler.hpp"
 #include "src/sim/gpu.hpp"
 
 namespace {
@@ -197,6 +198,41 @@ BM_MicroBackoffIdle(benchmark::State &state)
 BENCHMARK(BM_MicroBackoffIdle)->Name("micro_backoff_idle")
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * micro_cycle_loop with a metrics sampler attached (interval 1000,
+ * in-memory only). Compare against micro_cycle_loop, which runs the
+ * identical workload with the sampler detached: the difference is the
+ * full metrics cost (per-cycle compare + per-sample collection), and
+ * micro_cycle_loop itself guards the detached null path, which must
+ * stay within noise of the pre-metrics baseline.
+ */
+void
+BM_MicroMetrics(benchmark::State &state)
+{
+    GpuConfig cfg = makeGtx480Config();
+    cfg.numCores = 1;
+    cfg.metricsInterval = 1000;
+    const std::string name = syncKernelNames().front();
+    std::uint64_t cycles = 0;
+    std::uint64_t rows = 0;
+    for (auto _ : state) {
+        Gpu gpu(cfg);
+        metrics::MetricsSampler sampler(cfg.metricsInterval);
+        gpu.setMetrics(&sampler);
+        auto h = makeBenchmark(name, 0.05);
+        cycles += h->run(gpu).cycles;
+        rows += sampler.registry().rows().size();
+    }
+    benchmark::DoNotOptimize(cycles);
+    benchmark::DoNotOptimize(rows);
+    state.counters["sim_cycles_per_iter"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kAvgIterations);
+    state.counters["rows_per_iter"] = benchmark::Counter(
+        static_cast<double>(rows), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MicroMetrics)->Name("micro_metrics")
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 /**
@@ -211,11 +247,16 @@ main(int argc, char **argv)
     std::vector<char *> kept;
     kept.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
-        const bool shared = std::strncmp(argv[i], "--scale=", 8) == 0 ||
-                            std::strncmp(argv[i], "--cores=", 8) == 0 ||
-                            std::strncmp(argv[i], "--jobs=", 7) == 0 ||
-                            std::strncmp(argv[i], "--sm-threads=", 13) == 0 ||
-                            std::strncmp(argv[i], "--json=", 7) == 0;
+        const bool shared =
+            std::strncmp(argv[i], "--scale=", 8) == 0 ||
+            std::strncmp(argv[i], "--cores=", 8) == 0 ||
+            std::strncmp(argv[i], "--jobs=", 7) == 0 ||
+            std::strncmp(argv[i], "--sm-threads=", 13) == 0 ||
+            std::strncmp(argv[i], "--json=", 7) == 0 ||
+            std::strncmp(argv[i], "--metrics=", 10) == 0 ||
+            std::strncmp(argv[i], "--metrics-interval=", 19) == 0 ||
+            std::strcmp(argv[i], "--profile") == 0 ||
+            std::strcmp(argv[i], "--progress") == 0;
         if (!shared)
             kept.push_back(argv[i]);
     }

@@ -195,6 +195,15 @@ struct GpuConfig {
      */
     unsigned smThreads = 1;
 
+    /**
+     * Sample period, in simulated cycles, for the time-series metrics
+     * sampler (--metrics-interval / BOWSIM_METRICS_INTERVAL on the bench
+     * binaries). 0 disables sampling; the value is only consulted when a
+     * MetricsSampler is attached via Gpu::setMetrics(). Recorded in sweep
+     * JSON artifacts so a series can be interpreted offline.
+     */
+    Cycle metricsInterval = 0;
+
     /** Warps per core implied by the thread budget. */
     unsigned maxWarpsPerCore() const { return maxThreadsPerCore / kWarpSize; }
 };

@@ -27,6 +27,7 @@ SibTable::onSpinningBranch(Pc pc, Pc *evicted, bool *did_evict)
                 *evicted = victim->first;
             if (did_evict)
                 *did_evict = true;
+            ++evicts_;
             table_.erase(victim);
         }
         it = table_.emplace(pc, Entry{}).first;
@@ -34,8 +35,10 @@ SibTable::onSpinningBranch(Pc pc, Pc *evicted, bool *did_evict)
     Entry &e = it->second;
     if (e.confidence < threshold_)
         ++e.confidence;
-    if (e.confidence >= threshold_)
+    if (e.confidence >= threshold_ && !e.confirmed) {
         e.confirmed = true;
+        ++confirms_;
+    }
     peak_ = std::max(peak_, table_.size());
 }
 
@@ -48,8 +51,10 @@ SibTable::onNonSpinningBranch(Pc pc)
     Entry &e = it->second;
     if (e.confidence > 0)
         --e.confidence;
-    if (e.confidence == 0 && !e.confirmed)
+    if (e.confidence == 0 && !e.confirmed) {
+        ++evicts_;
         table_.erase(it);
+    }
 }
 
 bool

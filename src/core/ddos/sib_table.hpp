@@ -55,11 +55,18 @@ class SibTable {
     /** High-water mark of concurrent entries (Section IV-B sizing). */
     size_t peakOccupancy() const { return peak_; }
 
+    /** Total confirmation transitions (candidate -> confirmed SIB). */
+    std::uint64_t confirms() const { return confirms_; }
+    /** Total entries dropped: capacity evictions + confidence decay. */
+    std::uint64_t evicts() const { return evicts_; }
+
   private:
     unsigned capacity_;
     unsigned threshold_;
     std::map<Pc, Entry> table_;
     size_t peak_ = 0;
+    std::uint64_t confirms_ = 0;
+    std::uint64_t evicts_ = 0;
 };
 
 }  // namespace bowsim

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "src/common/log.hpp"
 
@@ -72,6 +73,10 @@ checkSweepArtifact(const Json &doc, std::int64_t expected_points)
         if (!p.at("config").has("atomic_service_period")) {
             return fail("point " + std::to_string(i) +
                         " config lacks \"atomic_service_period\"");
+        }
+        if (!p.at("config").has("metrics_interval")) {
+            return fail("point " + std::to_string(i) +
+                        " config lacks \"metrics_interval\"");
         }
         if (!p.has("ok") || !p.at("ok").asBool()) {
             std::ostringstream os;
@@ -157,6 +162,188 @@ checkChromeTrace(const Json &doc)
     std::ostringstream os;
     os << "OK (" << timed << " timed events on " << tracks.size()
        << " tracks)";
+    CheckResult r;
+    r.message = os.str();
+    return r;
+}
+
+CheckResult
+checkMetricsSeries(const Json &doc, const Json *stats)
+{
+    if (!doc.has("interval") || !doc.at("interval").isNumber())
+        return fail("metrics document has no numeric \"interval\"");
+    const std::int64_t interval = doc.at("interval").asInt();
+    if (interval <= 0)
+        return fail("metrics interval must be positive");
+    if (!doc.has("columns") ||
+        doc.at("columns").type() != Json::Type::Array)
+        return fail("metrics document has no \"columns\" array");
+    if (!doc.has("rows") || doc.at("rows").type() != Json::Type::Array)
+        return fail("metrics document has no \"rows\" array");
+
+    const Json &columns = doc.at("columns");
+    std::map<std::string, std::size_t> colIndex;
+    std::vector<bool> isCounter(columns.size(), false);
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        const Json &col = columns.at(c);
+        if (col.type() != Json::Type::Object || !col.has("name") ||
+            !col.has("kind")) {
+            return fail("column " + std::to_string(c) +
+                        " lacks name/kind");
+        }
+        const std::string &kind = col.at("kind").asString();
+        if (kind != "counter" && kind != "gauge" && kind != "rate")
+            return fail("column " + std::to_string(c) +
+                        " has unknown kind \"" + kind + "\"");
+        isCounter[c] = kind == "counter";
+        colIndex.emplace(col.at("name").asString(), c);
+    }
+    auto required = [&](const char *name) {
+        return colIndex.count(name) != 0;
+    };
+    if (!required("cycle") || !required("launch"))
+        return fail("metrics schema lacks cycle/launch columns");
+    const std::size_t cycleCol = colIndex.at("cycle");
+    const std::size_t launchCol = colIndex.at("launch");
+
+    const Json &rows = doc.at("rows");
+    std::int64_t prevCycle = -1;
+    std::int64_t prevLaunch = 0;
+    std::int64_t prevGridCycle = -1;
+    std::vector<std::int64_t> prevRow(columns.size(), 0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Json &row = rows.at(i);
+        if (row.type() != Json::Type::Array ||
+            row.size() != columns.size()) {
+            return fail("row " + std::to_string(i) +
+                        " does not match the column schema");
+        }
+        const std::int64_t cycle = row.at(cycleCol).asInt();
+        const std::int64_t launch = row.at(launchCol).asInt();
+        if (cycle <= prevCycle) {
+            return fail("row " + std::to_string(i) + ": cycle " +
+                        std::to_string(cycle) +
+                        " not strictly increasing (previous " +
+                        std::to_string(prevCycle) + ")");
+        }
+        if (launch < prevLaunch) {
+            return fail("row " + std::to_string(i) +
+                        ": launch index went backwards");
+        }
+        const bool onGrid = cycle % interval == 0;
+        if (!onGrid) {
+            // Off-grid rows are only legal as launch boundaries: the
+            // launch index must advance on the next row, or this must
+            // be the final row of the series.
+            const bool last = i + 1 == rows.size();
+            const bool boundary =
+                last || rows.at(i + 1).at(launchCol).asInt() > launch;
+            if (!boundary) {
+                return fail("row " + std::to_string(i) + ": cycle " +
+                            std::to_string(cycle) +
+                            " is off the sample grid and not a launch "
+                            "boundary");
+            }
+        } else if (prevGridCycle >= 0 &&
+                   cycle - prevGridCycle != interval) {
+            return fail("row " + std::to_string(i) +
+                        ": grid samples " + std::to_string(prevGridCycle) +
+                        " -> " + std::to_string(cycle) +
+                        " are not one interval apart");
+        }
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (!isCounter[c])
+                continue;
+            const std::int64_t v = row.at(c).asInt();
+            if (i > 0 && v < prevRow[c]) {
+                return fail("row " + std::to_string(i) + ": counter \"" +
+                            columns.at(c).at("name").asString() +
+                            "\" decreased (" + std::to_string(prevRow[c]) +
+                            " -> " + std::to_string(v) + ")");
+            }
+            prevRow[c] = v;
+        }
+        prevCycle = cycle;
+        prevLaunch = launch;
+        if (onGrid)
+            prevGridCycle = cycle;
+    }
+
+    std::size_t checked = 0;
+    if (stats != nullptr) {
+        if (rows.size() == 0)
+            return fail("metrics series has no rows to check against "
+                        "KernelStats");
+        const Json &final_row = rows.at(rows.size() - 1);
+        auto expect = [&](const char *column, const Json &parent,
+                          const char *key) -> CheckResult {
+            if (!colIndex.count(column))
+                return fail(std::string("metrics schema lacks \"") +
+                            column + "\"");
+            if (!parent.has(key))
+                return fail(std::string("stats lack \"") + key + "\"");
+            const std::int64_t got =
+                final_row.at(colIndex.at(column)).asInt();
+            const std::int64_t want = parent.at(key).asInt();
+            if (got != want) {
+                std::ostringstream os;
+                os << "final row \"" << column << "\" = " << got
+                   << " disagrees with stats." << key << " = " << want;
+                return fail(os.str());
+            }
+            ++checked;
+            return CheckResult{};
+        };
+        // KernelStats::operator+= sums cycles across launches, exactly
+        // like the sampler's cross-launch cycle column, so this holds
+        // for multi-launch harnesses too.
+        CheckResult r = expect("cycle", *stats, "cycles");
+        if (r.ok)
+            r = expect("warp_instructions", *stats, "warp_instructions");
+        if (r.ok)
+            r = expect("thread_instructions", *stats,
+                       "thread_instructions");
+        if (r.ok && stats->has("mem")) {
+            const Json &mem = stats->at("mem");
+            for (const char *k :
+                 {"l1_accesses", "l1_misses", "l2_accesses", "l2_misses",
+                  "dram_accesses", "dram_row_activations", "atomics",
+                  "atomic_wait_cycles", "icnt_packets"}) {
+                r = expect(k, mem, k);
+                if (!r.ok)
+                    break;
+            }
+        }
+        if (r.ok && stats->has("sched")) {
+            const Json &sched = stats->at("sched");
+            for (const char *k :
+                 {"resident_warp_cycles", "backed_off_warp_cycles",
+                  "sm_cycles", "delay_limit_cycle_sum"}) {
+                r = expect(k, sched, k);
+                if (!r.ok)
+                    break;
+            }
+        }
+        if (r.ok && stats->has("outcomes")) {
+            const Json &out = stats->at("outcomes");
+            for (const char *k :
+                 {"lock_success", "inter_warp_fail", "intra_warp_fail",
+                  "wait_exit_success", "wait_exit_fail"}) {
+                r = expect(k, out, k);
+                if (!r.ok)
+                    break;
+            }
+        }
+        if (!r.ok)
+            return r;
+    }
+
+    std::ostringstream os;
+    os << "OK (" << rows.size() << " rows, " << columns.size()
+       << " columns, interval " << interval;
+    if (stats != nullptr)
+        os << ", " << checked << " totals matched against stats";
+    os << ")";
     CheckResult r;
     r.message = os.str();
     return r;

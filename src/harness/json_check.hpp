@@ -44,6 +44,24 @@ CheckResult checkSweepArtifact(const Json &doc,
  */
 CheckResult checkChromeTrace(const Json &doc);
 
+/**
+ * Validates a metrics time-series document (docs/METRICS.md):
+ *  - "interval" is a positive integer and "columns" an array of
+ *    {name, kind} objects matching every row's length;
+ *  - the "cycle" column is strictly increasing, and every row sits on
+ *    the sample grid (cycle % interval == 0) or is a launch-boundary
+ *    row (the launch index changes next row, or it is the final row);
+ *  - counter columns are non-decreasing over the whole series;
+ *  - the "launch" column is non-decreasing.
+ * With @p stats (a sweep artifact's "stats" object for the same run),
+ * additionally checks that the final row's counters agree with the
+ * KernelStats totals: cycle vs cycles (single-launch artifacts),
+ * warp_instructions, the mem block counters, the sched block sums, and
+ * the sync-outcome counts.
+ */
+CheckResult checkMetricsSeries(const Json &doc,
+                               const Json *stats = nullptr);
+
 }  // namespace bowsim::harness
 
 #endif  // BOWSIM_HARNESS_JSON_CHECK_HPP

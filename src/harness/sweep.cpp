@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 #include "src/common/log.hpp"
 #include "src/kernels/registry.hpp"
+#include "src/metrics/sampler.hpp"
 #include "src/sim/gpu.hpp"
 #include "src/trace/chrome_exporter.hpp"
 #include "src/trace/ring_recorder.hpp"
@@ -35,6 +37,13 @@ runPoint(const SweepPoint &point)
     std::unique_ptr<trace::RingRecorder> recorder;
     if (!point.tracePath.empty() && !point.body)
         recorder = std::make_unique<trace::RingRecorder>();
+    std::unique_ptr<metrics::MetricsSampler> sampler;
+    if (!point.metricsPath.empty() && !point.body) {
+        const Cycle interval =
+            point.cfg.metricsInterval ? point.cfg.metricsInterval : 1000;
+        sampler = std::make_unique<metrics::MetricsSampler>(
+            interval, point.metricsPath);
+    }
     try {
         if (point.body) {
             r.stats = point.body();
@@ -42,13 +51,30 @@ runPoint(const SweepPoint &point)
             Gpu gpu(point.cfg);
             if (recorder)
                 gpu.setTraceSink(recorder.get());
-            r.stats = makeBenchmark(point.kernel, point.scale)->run(gpu);
+            if (sampler)
+                gpu.setMetrics(sampler.get());
+            r.stats = point.gpuBody
+                          ? point.gpuBody(gpu)
+                          : makeBenchmark(point.kernel, point.scale)
+                                ->run(gpu);
         }
         r.ok = true;
     } catch (const std::exception &e) {
         r.error = e.what();
     } catch (...) {
         r.error = "unknown error";
+    }
+    if (sampler) {
+        // Like the trace below: written even on failure, so the series
+        // leading up to a watchdog abort is preserved.
+        try {
+            sampler->writeFile();
+        } catch (const std::exception &e) {
+            if (r.ok) {
+                r.ok = false;
+                r.error = e.what();
+            }
+        }
     }
     if (recorder) {
         // Written even on failure: the retained window ending at a
@@ -80,22 +106,30 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
         workers = static_cast<unsigned>(points.size());
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t i = 0; i < points.size(); ++i) {
             results[i] = runPoint(points[i]);
+            if (callback_)
+                callback_(i, results[i]);
+        }
         return results;
     }
 
     // Fixed pool; workers claim points in submission order so early
     // (usually slower, lower-indexed) points start first. results[i] is
     // owned exclusively by the claiming worker, so no locking is needed
-    // beyond the claim counter.
+    // beyond the claim counter (and the callback mutex).
     std::atomic<std::size_t> next{0};
+    std::mutex cb_mu;
     auto worker = [&]() {
         while (true) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
             results[i] = runPoint(points[i]);
+            if (callback_) {
+                std::lock_guard<std::mutex> lock(cb_mu);
+                callback_(i, results[i]);
+            }
         }
     };
     std::vector<std::thread> pool;
@@ -131,7 +165,9 @@ statsToJson(const KernelStats &s)
     mem.set("l2_hits", s.mem.l2Hits);
     mem.set("l2_misses", s.mem.l2Misses);
     mem.set("dram_accesses", s.mem.dramAccesses);
+    mem.set("dram_row_activations", s.mem.dramRowActivations);
     mem.set("atomics", s.mem.atomics);
+    mem.set("atomic_wait_cycles", s.mem.atomicWaitCycles);
     mem.set("icnt_packets", s.mem.icntPackets);
     j.set("mem", std::move(mem));
 
@@ -183,6 +219,7 @@ configToJson(const GpuConfig &cfg)
     j.set("cores", cfg.numCores);
     j.set("idle_skip", cfg.idleSkip);
     j.set("sm_threads", cfg.smThreads);
+    j.set("metrics_interval", cfg.metricsInterval);
     j.set("atomic_service_period", cfg.atomicServicePeriod);
     j.set("scheduler", toString(cfg.scheduler));
     j.set("spin_detect", toString(cfg.spinDetect));

@@ -9,6 +9,10 @@
 #include "src/harness/json.hpp"
 #include "src/stats/stats.hpp"
 
+namespace bowsim {
+class Gpu;
+}
+
 /**
  * @file
  * Parallel simulation sweep harness. A sweep is a list of independent
@@ -38,6 +42,14 @@ struct SweepPoint {
      */
     std::function<KernelStats()> body;
     /**
+     * Custom workload on a runner-provided Gpu: the runner constructs
+     * Gpu(cfg), attaches observers (trace recorder, metrics sampler),
+     * and hands it to this body. Prefer this over `body` — it keeps a
+     * non-registry workload compatible with --trace/--metrics/--profile.
+     * Ignored when `body` is set.
+     */
+    std::function<KernelStats(Gpu &)> gpuBody;
+    /**
      * When set, the point runs with a ring-buffered trace recorder
      * attached and writes a Chrome trace_event JSON document here (see
      * docs/TRACING.md). The file is written even when the point fails,
@@ -47,6 +59,15 @@ struct SweepPoint {
      * point owns its recorder, so tracing is safe under any --jobs.
      */
     std::string tracePath;
+    /**
+     * When set, the point runs with a MetricsSampler attached (interval
+     * cfg.metricsInterval, or 1000 when that is 0) and writes the
+     * sampled time series here (CSV for a ".csv" suffix, else JSON; see
+     * docs/METRICS.md). Written even when the point fails, like
+     * tracePath. Ignored (with a warning from runSweep) for `body`
+     * points; `gpuBody` points sample fine.
+     */
+    std::string metricsPath;
 };
 
 /** Outcome of one sweep point. */
@@ -71,6 +92,16 @@ class SweepRunner {
     unsigned jobs() const { return jobs_; }
 
     /**
+     * Called after each point finishes, with its submission index and
+     * result (e.g. the --progress heartbeat). Invoked from worker
+     * threads under a run-internal mutex, so the callback itself needs
+     * no locking; keep it cheap — it serializes point completion.
+     */
+    using PointCallback = std::function<void(std::size_t,
+                                            const SweepResult &)>;
+    void setPointCallback(PointCallback cb) { callback_ = std::move(cb); }
+
+    /**
      * Runs every point and returns results in submission order. With
      * jobs() == 1 everything runs on the calling thread.
      */
@@ -78,6 +109,7 @@ class SweepRunner {
 
   private:
     unsigned jobs_;
+    PointCallback callback_;
 };
 
 /** Serializes the interesting fields of @p s (deterministic order). */

@@ -22,15 +22,23 @@ class DramChannel {
     }
 
     /**
-     * Schedules an access that becomes serviceable at @p ready; returns
-     * the cycle its data is available.
+     * Schedules an access to @p line that becomes serviceable at
+     * @p ready; returns the cycle its data is available. Row-buffer
+     * tracking is observational only (no timing effect): a demand access
+     * to a different 2 KiB row than the previous one counts as a row
+     * activation.
      */
     Cycle
-    schedule(Cycle ready)
+    schedule(Cycle ready, Addr line = 0)
     {
         Cycle start = std::max(ready, free_);
         free_ = start + period_;
         ++accesses_;
+        const Addr row = line >> kRowShift;
+        if (row != lastRow_) {
+            ++rowActivations_;
+            lastRow_ = row;
+        }
         return start + latency_;
     }
 
@@ -38,19 +46,32 @@ class DramChannel {
     void
     scheduleWriteback(Cycle ready)
     {
-        (void)schedule(ready);
+        Cycle start = std::max(ready, free_);
+        free_ = start + period_;
+        ++accesses_;
         ++writebacks_;
+        // A write-back drains through the write buffer and closes
+        // whatever row the demand stream had open.
+        lastRow_ = kNoRow;
     }
 
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t writebacks() const { return writebacks_; }
+    /** Demand-stream row-buffer activations (2 KiB row granularity). */
+    std::uint64_t rowActivations() const { return rowActivations_; }
 
   private:
+    /** log2 of the row-buffer size: 2 KiB rows. */
+    static constexpr unsigned kRowShift = 11;
+    static constexpr Addr kNoRow = ~static_cast<Addr>(0);
+
     unsigned latency_;
     unsigned period_;
     Cycle free_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t writebacks_ = 0;
+    std::uint64_t rowActivations_ = 0;
+    Addr lastRow_ = kNoRow;
 };
 
 }  // namespace bowsim

@@ -13,6 +13,8 @@ L2Bank::access(const MemPacket &pkt, Cycle arrival, AccessInfo *info)
 
     Cycle start = std::max(arrival, free_);
     free_ = start + (is_atomic ? atomicPeriod_ : 1);
+    if (is_atomic)
+        atomicWaitCycles_ += start - arrival;
     if (info)
         info->waited = start - arrival;
 
@@ -31,7 +33,7 @@ L2Bank::access(const MemPacket &pkt, Cycle arrival, AccessInfo *info)
     cache_.fill(line, is_write || is_atomic, &evicted_dirty);
     if (evicted_dirty)
         dram_.scheduleWriteback(tag_done);
-    return dram_.schedule(tag_done);
+    return dram_.schedule(tag_done, line);
 }
 
 MemorySystem::MemorySystem(const GpuConfig &cfg)
@@ -80,7 +82,9 @@ MemorySystem::stats() const
         s.l2Hits += b.cache().hits();
         s.l2Misses += b.cache().misses();
         s.dramAccesses += b.dram().accesses() + b.dram().writebacks();
+        s.dramRowActivations += b.dram().rowActivations();
         s.atomics += b.atomics();
+        s.atomicWaitCycles += b.atomicWaitCycles();
     }
     s.icntPackets = toMem_.packets() + toSm_.packets();
     return s;

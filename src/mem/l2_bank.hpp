@@ -59,6 +59,8 @@ class L2Bank {
 
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t atomics() const { return atomics_; }
+    /** Total cycles atomics queued behind this bank's service slot. */
+    std::uint64_t atomicWaitCycles() const { return atomicWaitCycles_; }
     const Cache &cache() const { return cache_; }
     const DramChannel &dram() const { return dram_; }
 
@@ -71,6 +73,7 @@ class L2Bank {
     Cycle free_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t atomics_ = 0;
+    std::uint64_t atomicWaitCycles_ = 0;
 };
 
 /** Aggregate counters for the shared memory system. */
@@ -79,7 +82,9 @@ struct MemSystemStats {
     std::uint64_t l2Hits = 0;
     std::uint64_t l2Misses = 0;
     std::uint64_t dramAccesses = 0;
+    std::uint64_t dramRowActivations = 0;
     std::uint64_t atomics = 0;
+    std::uint64_t atomicWaitCycles = 0;
     std::uint64_t icntPackets = 0;
 };
 

@@ -1,0 +1,131 @@
+#include "src/metrics/kernel_profile.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "src/trace/trace.hpp"
+
+namespace bowsim::metrics {
+
+namespace {
+
+double
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+}
+
+}  // namespace
+
+std::string
+profileReport(const KernelStats &s)
+{
+    std::ostringstream os;
+    os << std::fixed;
+    os << "== profile: " << s.kernel << " ==\n";
+
+    // --- occupancy: peak vs mean resident warps ----------------------
+    const double mean_resident =
+        s.cycles == 0 ? 0.0
+                      : static_cast<double>(s.residentWarpCycles) /
+                            static_cast<double>(s.cycles);
+    std::uint64_t peak_resident = 0;
+    for (std::uint64_t p : s.peakResidentPerSm)
+        peak_resident += p;
+    os << "occupancy: mean " << std::setprecision(1) << mean_resident
+       << " resident warps";
+    if (peak_resident != 0) {
+        os << ", peak " << peak_resident << " (sum of per-SM peaks, "
+           << std::setprecision(1) << pct(s.residentWarpCycles,
+                                          peak_resident * s.cycles)
+           << "% of peak-cycles)";
+    }
+    os << "; backed-off " << std::setprecision(1)
+       << s.backedOffFraction() * 100.0 << "% of resident warp-cycles\n";
+
+    // --- per-scheduler-unit issue distribution ------------------------
+    if (!s.unitIssues.empty() && s.unitsPerSm != 0) {
+        os << "issue distribution (instructions per scheduler unit):\n";
+        os << "  " << std::left << std::setw(8) << "sm.unit" << std::right
+           << std::setw(14) << "issued" << std::setw(10) << "share"
+           << "\n";
+        for (std::size_t i = 0; i < s.unitIssues.size(); ++i) {
+            if (s.unitIssues[i] == 0)
+                continue;
+            std::ostringstream label;
+            label << "sm" << i / s.unitsPerSm << ".u" << i % s.unitsPerSm;
+            os << "  " << std::left << std::setw(8) << label.str()
+               << std::right << std::setw(14) << s.unitIssues[i]
+               << std::setw(9) << std::setprecision(1)
+               << pct(s.unitIssues[i], s.warpInstructions) << "%\n";
+        }
+    }
+
+    if (!s.hasStallBreakdown()) {
+        os << "(no stall breakdown: run with --profile through the bench "
+              "harness, set GpuConfig::collectStallBreakdown, or attach "
+              "a trace sink)\n";
+        return os.str();
+    }
+
+    // --- ranked stall causes ------------------------------------------
+    const auto totals = s.stallTotals();
+    std::vector<unsigned> order;
+    for (unsigned c = 0; c < trace::kNumStallCauses; ++c) {
+        if (totals[c] != 0 &&
+            static_cast<trace::StallCause>(c) != trace::StallCause::Issued)
+            order.push_back(c);
+    }
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return totals[a] != totals[b] ? totals[a] > totals[b] : a < b;
+    });
+    os << "stall causes (% of resident warp-cycles):\n";
+    for (unsigned c : order) {
+        os << "  " << std::left << std::setw(14)
+           << trace::toString(static_cast<trace::StallCause>(c))
+           << std::right << std::setw(14) << totals[c] << std::setw(9)
+           << std::setprecision(1) << pct(totals[c], s.residentWarpCycles)
+           << "%\n";
+    }
+
+    // --- top warps by back-off residency ------------------------------
+    constexpr unsigned kTopK = 8;
+    constexpr auto backoff =
+        static_cast<std::size_t>(trace::StallCause::Backoff);
+    struct WarpRow {
+        std::size_t row;
+        std::uint64_t cycles;
+    };
+    std::vector<WarpRow> warps;
+    const std::size_t rows = s.stallWarpsPerSm == 0
+                                 ? 0
+                                 : s.stallCounts.size() /
+                                       trace::kNumStallCauses;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::uint64_t v =
+            s.stallCounts[r * trace::kNumStallCauses + backoff];
+        if (v != 0)
+            warps.push_back({r, v});
+    }
+    std::sort(warps.begin(), warps.end(),
+              [](const WarpRow &a, const WarpRow &b) {
+                  return a.cycles != b.cycles ? a.cycles > b.cycles
+                                              : a.row < b.row;
+              });
+    if (!warps.empty()) {
+        os << "top warps by back-off residency:\n";
+        for (std::size_t i = 0; i < warps.size() && i < kTopK; ++i) {
+            os << "  sm" << warps[i].row / s.stallWarpsPerSm << ".w"
+               << warps[i].row % s.stallWarpsPerSm << ": "
+               << warps[i].cycles << " cycles (" << std::setprecision(1)
+               << pct(warps[i].cycles, s.backedOffWarpCycles)
+               << "% of backed-off warp-cycles)\n";
+        }
+    }
+    return os.str();
+}
+
+}  // namespace bowsim::metrics

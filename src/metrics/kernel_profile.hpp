@@ -1,0 +1,26 @@
+#ifndef BOWSIM_METRICS_KERNEL_PROFILE_HPP
+#define BOWSIM_METRICS_KERNEL_PROFILE_HPP
+
+#include <string>
+
+#include "src/stats/stats.hpp"
+
+/**
+ * @file
+ * nvprof-style per-kernel profile report (bench flag --profile; see
+ * docs/METRICS.md). Everything is derived from the KernelStats a run
+ * already produced — peak-vs-mean warp occupancy, the per-scheduler-unit
+ * issue distribution, the ranked issue-stall causes, and the warps with
+ * the largest back-off residency. The unit/stall tables need the stall
+ * breakdown (GpuConfig::collectStallBreakdown or an attached trace
+ * sink); without it the report says so instead of printing zeros.
+ */
+
+namespace bowsim::metrics {
+
+/** Formatted multi-section report over one kernel's statistics. */
+std::string profileReport(const KernelStats &stats);
+
+}  // namespace bowsim::metrics
+
+#endif  // BOWSIM_METRICS_KERNEL_PROFILE_HPP

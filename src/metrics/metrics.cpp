@@ -1,0 +1,36 @@
+#include "src/metrics/metrics.hpp"
+
+#include "src/common/log.hpp"
+
+namespace bowsim::metrics {
+
+const char *
+toString(Kind kind)
+{
+    switch (kind) {
+      case Kind::Counter: return "counter";
+      case Kind::Gauge: return "gauge";
+      case Kind::Rate: return "rate";
+    }
+    return "?";
+}
+
+std::size_t
+MetricsRegistry::define(std::string name, Kind kind)
+{
+    if (!rows_.empty())
+        fatal("metrics column '", name, "' defined after sampling began");
+    columns_.push_back(MetricColumn{std::move(name), kind});
+    return columns_.size() - 1;
+}
+
+void
+MetricsRegistry::addRow(std::vector<double> row)
+{
+    if (row.size() != columns_.size())
+        fatal("metrics row has ", row.size(), " values, schema has ",
+              columns_.size(), " columns");
+    rows_.push_back(std::move(row));
+}
+
+}  // namespace bowsim::metrics

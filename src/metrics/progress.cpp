@@ -1,0 +1,68 @@
+#include "src/metrics/progress.hpp"
+
+#include <cstdio>
+
+namespace bowsim::metrics {
+
+void
+ProgressMeter::start(std::string label, std::size_t total)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    label_ = std::move(label);
+    total_ = total;
+    done_ = 0;
+    simCycles_ = 0;
+    start_ = std::chrono::steady_clock::now();
+    active_ = true;
+    printLine(false);
+}
+
+void
+ProgressMeter::pointDone(std::uint64_t sim_cycles)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!active_)
+        return;
+    ++done_;
+    simCycles_ += sim_cycles;
+    printLine(false);
+}
+
+void
+ProgressMeter::finish()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!active_)
+        return;
+    printLine(true);
+    active_ = false;
+}
+
+void
+ProgressMeter::printLine(bool last)
+{
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double rate =
+        secs > 0.0 ? static_cast<double>(simCycles_) / secs : 0.0;
+    // Naive ETA: assume the remaining points cost what the finished
+    // ones averaged. Rough by design — this is a heartbeat, not a plan.
+    double eta = 0.0;
+    if (done_ > 0 && done_ < total_) {
+        eta = secs / static_cast<double>(done_) *
+              static_cast<double>(total_ - done_);
+    }
+    std::fprintf(stderr, "\r%s: %zu/%zu points, %.2fM sim-cycles/s",
+                 label_.c_str(), done_, total_, rate / 1e6);
+    if (done_ < total_)
+        std::fprintf(stderr, ", ETA %.0fs ", eta);
+    else
+        std::fprintf(stderr, ", done in %.1fs", secs);
+    if (last)
+        std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+}  // namespace bowsim::metrics

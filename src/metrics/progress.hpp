@@ -1,0 +1,47 @@
+#ifndef BOWSIM_METRICS_PROGRESS_HPP
+#define BOWSIM_METRICS_PROGRESS_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+/**
+ * @file
+ * Sweep heartbeat (bench flag --progress): one stderr status line,
+ * rewritten after every finished sweep point, showing points done/total,
+ * aggregate simulated cycles per wall-clock second, and a naive ETA.
+ * Thread-safe — the sweep runner's workers report completions
+ * concurrently. Purely observational: it never touches simulator state
+ * and writes only to stderr, so stdout tables and JSON artifacts are
+ * byte-identical with and without it.
+ */
+
+namespace bowsim::metrics {
+
+class ProgressMeter {
+  public:
+    /** Begins a run of @p total points labeled @p label. */
+    void start(std::string label, std::size_t total);
+
+    /** Records one finished point that simulated @p sim_cycles cycles. */
+    void pointDone(std::uint64_t sim_cycles);
+
+    /** Prints the final line and a newline (leaves the line visible). */
+    void finish();
+
+  private:
+    void printLine(bool last);
+
+    std::mutex mu_;
+    std::string label_;
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+    std::uint64_t simCycles_ = 0;
+    std::chrono::steady_clock::time_point start_;
+    bool active_ = false;
+};
+
+}  // namespace bowsim::metrics
+
+#endif  // BOWSIM_METRICS_PROGRESS_HPP

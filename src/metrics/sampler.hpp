@@ -1,0 +1,122 @@
+#ifndef BOWSIM_METRICS_SAMPLER_HPP
+#define BOWSIM_METRICS_SAMPLER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/metrics/metrics.hpp"
+
+/**
+ * @file
+ * Time-series sampling of simulator state (docs/METRICS.md). A
+ * MetricsSampler attached to a Gpu (Gpu::setMetrics) snapshots a fixed
+ * column schema every `interval` simulated cycles into a MetricsRegistry,
+ * plus one boundary row at the end of every launch. Sampling is *pull*:
+ * Gpu::launch calls sample() on the coordinator thread at the end of a
+ * cycle — after the phase-split commit barrier — so every value is read
+ * from serially-merged or SM-private-but-settled state and the series is
+ * bit-identical for any --sm-threads. The idle-cycle fast-forward clamps
+ * its jump targets to the next sample cycle (over-conservative, hence
+ * legal under the PR 3 horizon contract), so skip-on and skip-off runs
+ * produce byte-identical series too.
+ *
+ * Samples sit on a *global* cycle grid (multiples of the interval across
+ * launches): counter columns accumulate over launches via per-column
+ * bases folded at endLaunch(), so the whole series is monotone even for
+ * multi-launch harnesses (e.g. NW's two kernels).
+ */
+
+namespace bowsim {
+class SmCore;
+class MemorySystem;
+struct KernelStats;
+}  // namespace bowsim
+
+namespace bowsim::metrics {
+
+/** Where sample() reads from; everything is owned by Gpu::launch. */
+struct SampleSources {
+    const std::vector<std::unique_ptr<SmCore>> *cores = nullptr;
+    /** Launch-wide aggregate (inline-mode counters + retired-SM idle
+     *  accounting applied by the coordinator). */
+    const KernelStats *launchStats = nullptr;
+    /** Per-SM stat shards (phase-split mode; empty when inline). Counter
+     *  columns fold launchStats + all shards, which covers both modes. */
+    const std::vector<std::unique_ptr<KernelStats>> *shards = nullptr;
+    const MemorySystem *memsys = nullptr;
+};
+
+class MetricsSampler {
+  public:
+    /**
+     * @param interval sample spacing in simulated cycles (>= 1)
+     * @param path     output file ("" = keep in memory only); a ".csv"
+     *                 suffix selects CSV, anything else JSON
+     */
+    explicit MetricsSampler(Cycle interval, std::string path = "");
+
+    /**
+     * Starts a launch: defines the column schema on the first call (the
+     * per-SM column block needs @p num_cores, which must not change
+     * between launches of one sampler).
+     */
+    void beginLaunch(const std::string &kernel, unsigned num_cores);
+
+    /**
+     * Launch-local cycle of the next due sample (the global grid point
+     * minus the cycles consumed by earlier launches). Gpu::launch
+     * samples when `now >= nextSampleCycle()` and uses the same value to
+     * clamp idle-skip jump targets.
+     */
+    Cycle nextSampleCycle() const { return nextSampleGlobal_ - cycleBase_; }
+
+    /** Emits one row at launch-local cycle @p now and advances the grid. */
+    void sample(Cycle now, const SampleSources &src);
+
+    /**
+     * Ends a launch at launch-local cycle @p final_now: emits the
+     * boundary row (unless a grid sample already landed there), folds
+     * the launch's counters into the cross-launch bases, and re-anchors
+     * the grid for the next launch.
+     */
+    void endLaunch(Cycle final_now, const SampleSources &src);
+
+    /** The sampled series (schema + rows). */
+    const MetricsRegistry &registry() const { return reg_; }
+
+    Cycle interval() const { return interval_; }
+
+    /** Serializes the series (JSON, or CSV for a ".csv" path). */
+    std::string serialize() const;
+
+    /** Writes serialize() to the constructor path; no-op when "". */
+    void writeFile() const;
+
+  private:
+    std::vector<double> collectLocal(Cycle now,
+                                     const SampleSources &src) const;
+    void emitRow(Cycle now, const std::vector<double> &local);
+    void defineColumns(unsigned num_cores);
+
+    Cycle interval_;
+    std::string path_;
+    MetricsRegistry reg_;
+    std::vector<std::string> kernels_;
+    unsigned numCores_ = 0;
+
+    /** Simulated cycles consumed by completed launches (grid anchor). */
+    Cycle cycleBase_ = 0;
+    /** Next sample, in global (cross-launch) cycles. */
+    Cycle nextSampleGlobal_ = 0;
+    /** Per-column counter bases folded at endLaunch(). */
+    std::vector<double> base_;
+    std::size_t launchIndex_ = 0;
+    Cycle lastSampled_ = 0;
+    bool haveSampled_ = false;
+};
+
+}  // namespace bowsim::metrics
+
+#endif  // BOWSIM_METRICS_SAMPLER_HPP

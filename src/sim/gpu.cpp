@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "src/common/log.hpp"
+#include "src/metrics/sampler.hpp"
 
 namespace bowsim {
 
@@ -96,6 +97,18 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
     // trace sink is attached: per-cycle IssueStall events cannot be
     // synthesized for cycles that never run.
     const bool skip = cfg_.idleSkip && traceSink_ == nullptr;
+
+    // Metrics sampling (docs/METRICS.md): samples are pulled at the end
+    // of the cycle iteration — after the commit barrier, where per-SM
+    // state is settled in every execution mode — whenever the clock has
+    // reached the sampler's next grid cycle. kNeverCycle keeps the
+    // detached fast path to a single always-false compare per cycle.
+    metrics::SampleSources msrc{&cores, &launch.stats, &shards, &memsys};
+    Cycle metricsNext = kNeverCycle;
+    if (metrics_) {
+        metrics_->beginLaunch(prog.name, cfg_.numCores);
+        metricsNext = metrics_->nextSampleCycle();
+    }
     // Clamp jump targets so a deadlocked kernel (horizon at infinity,
     // or beyond the watchdog) still trips the same fatal at the same
     // cycle as the cycle-by-cycle loop.
@@ -199,7 +212,13 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
                 if (horizon <= now + 1)
                     break;
             }
-            const Cycle target = std::min(horizon, wd_stop);
+            Cycle target = std::min(horizon, wd_stop);
+            // Never jump past a sample cycle: clamping to metricsNext+1
+            // makes the skip land exactly on the grid cycle (an
+            // over-conservative horizon is always safe — docs/PERF.md),
+            // so the sampled state is identical with and without skip.
+            if (metricsNext != kNeverCycle)
+                target = std::min(target, metricsNext + 1);
             if (target > now + 1) {
                 // Skip cycles now+1 .. target-1; cycle target runs live.
                 const Cycle to = target - 1;
@@ -220,7 +239,18 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
                 now = to;
             }
         }
+        if (now >= metricsNext) {
+            metrics_->sample(now, msrc);
+            metricsNext = metrics_->nextSampleCycle();
+        }
     } while (!active.empty());
+
+    // The final cycle of the launch is recorded even when it falls off
+    // the sample grid, so the series' last row matches the returned
+    // KernelStats. Must run before the shard merge below: the sampler
+    // folds launch.stats + shards itself, exactly like the merge.
+    if (metrics_)
+        metrics_->endLaunch(now, msrc);
 
     KernelStats &stats = launch.stats;
     // Deterministic shard merge: every per-SM counter sums in SM-id

@@ -28,6 +28,10 @@
 
 namespace bowsim {
 
+namespace metrics {
+class MetricsSampler;
+}
+
 class Gpu {
   public:
     explicit Gpu(GpuConfig cfg);
@@ -58,6 +62,21 @@ class Gpu {
      */
     void setTraceSink(trace::TraceSink *sink) { traceSink_ = sink; }
 
+    /**
+     * Attaches a time-series metrics sampler to every subsequent launch
+     * (nullptr detaches). Observational like tracing — sampled and
+     * unsampled runs produce bit-identical results — but, unlike
+     * tracing, compatible with idle-skip and the parallel compute
+     * phase: samples are pulled at the commit barrier, where per-SM
+     * state is settled regardless of --sm-threads, and skip targets are
+     * clamped so the clock always lands exactly on sample cycles (see
+     * docs/METRICS.md for the determinism contract).
+     */
+    void setMetrics(metrics::MetricsSampler *sampler)
+    {
+        metrics_ = sampler;
+    }
+
     const GpuConfig &config() const { return cfg_; }
 
   private:
@@ -65,6 +84,7 @@ class Gpu {
     MemorySpace mem_;
     EnergyModel energy_;
     trace::TraceSink *traceSink_ = nullptr;
+    metrics::MetricsSampler *metrics_ = nullptr;
     /** Compute-phase worker pool (cfg_.smThreads > 1); persistent so
      *  repeated launches reuse the same threads. */
     std::unique_ptr<WorkerPool> pool_;

@@ -86,6 +86,9 @@ class LdstUnit {
 
     const Cache &l1() const { return l1_; }
 
+    /** Lines currently outstanding in the MSHR file (metrics gauge). */
+    std::size_t mshrOccupancy() const { return mshr_.size(); }
+
     /** Attaches the launch's event sink (L1Miss/MshrMerge). */
     void setTrace(trace::Tracer t) { tracer_ = t; }
 

@@ -79,7 +79,18 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
                            maxWarps_ * trace::kNumStallCauses;
         if (st.stallCounts.size() < need)
             st.stallCounts.resize(need, 0);
+        // Per-scheduler-unit issue distribution (--profile) rides the
+        // same gate: one increment per issue, off the default hot path.
+        st.unitsPerSm = static_cast<unsigned>(schedulers_.size());
+        std::size_t unit_need = static_cast<std::size_t>(cfg.numCores) *
+                                schedulers_.size();
+        if (st.unitIssues.size() < unit_need)
+            st.unitIssues.resize(unit_need, 0);
     }
+    // Peak residency is one max per CTA launch — cheap enough to keep
+    // always-on (profile reports and metrics need it unconditionally).
+    if (stats_.peakResidentPerSm.size() < cfg.numCores)
+        stats_.peakResidentPerSm.resize(cfg.numCores, 0);
     if (deferCommit_)
         ldst_.setCommitQueue(&queue_);
     ldst_.setTrace(tracer_);
@@ -166,6 +177,8 @@ SmCore::tryLaunchCtas()
             slot.warps.push_back(std::move(warp));
         }
         slot.liveWarps = warpsPerCta_;
+        stats_.peakResidentPerSm[id_] = std::max<std::uint64_t>(
+            stats_.peakResidentPerSm[id_], resident_.size());
     }
 }
 
@@ -242,6 +255,24 @@ SmCore::eligible(Warp &w) const
         return false;
     }
     return true;
+}
+
+unsigned
+SmCore::eligibleWarpCount() const
+{
+    unsigned n = 0;
+    for (Warp *w : resident_)
+        n += eligible(*w) ? 1 : 0;
+    return n;
+}
+
+unsigned
+SmCore::spinningWarpCount() const
+{
+    unsigned n = 0;
+    for (const Warp *w : resident_)
+        n += ddos_->isSpinning(w->id()) ? 1 : 0;
+    return n;
 }
 
 Word
@@ -689,6 +720,7 @@ SmCore::issue(Warp &w, Cycle now)
     // --- accounting ----------------------------------------------------
     KernelStats &st = stats_;
     ++st.warpInstructions;
+    ++issuedInstructions_;
     unsigned lanes = popcount(active);
     st.threadInstructions += lanes;
     st.activeLaneSum += lanes;
@@ -1024,6 +1056,8 @@ SmCore::compute(Cycle now)
         }
         if (winner) {
             issue(*winner, now);
+            if (stallAccounting_)
+                ++stats_.unitIssues[id_ * schedulers_.size() + u];
             // A finished winner left the vectors (masks rebuilt); a
             // live one may have entered a barrier or changed back-off
             // state during execution.

@@ -151,7 +151,19 @@ class SmCore : private IssueGate {
 
     const DdosUnit &ddos() const { return *ddos_; }
     const BackoffUnit &backoff() const { return backoff_; }
+    const LdstUnit &ldst() const { return ldst_; }
     unsigned id() const { return id_; }
+
+    // --- metrics-sampler gauges (SM-private, settled at the commit
+    // --- barrier; see src/metrics/sampler.cpp) ------------------------
+    /** Resident unfinished warps right now. */
+    std::size_t residentWarps() const { return resident_.size(); }
+    /** Resident warps passing every issue gate this cycle. */
+    unsigned eligibleWarpCount() const;
+    /** Resident warps the spin-detection mechanism flags as spinning. */
+    unsigned spinningWarpCount() const;
+    /** Instructions issued by this SM so far (always collected). */
+    std::uint64_t issuedInstructions() const { return issuedInstructions_; }
 
   private:
     struct Cta {
@@ -287,6 +299,8 @@ class SmCore : private IssueGate {
     unsigned drainedCtas_ = 0;
     /** Current cycle, for eligibility checks reached via IssueGate. */
     Cycle now_ = 0;
+    /** Lifetime issued-instruction count (metrics gauge source). */
+    std::uint64_t issuedInstructions_ = 0;
     /** Per-warp active/stall counters only feed CAWA's criticality. */
     bool cawaAccounting_ = false;
     /** Launch-wide event sink handle (null sink unless a trace is on). */

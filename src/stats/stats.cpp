@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "src/common/log.hpp"
+
 namespace bowsim {
 
 KernelStats &
@@ -24,7 +26,9 @@ KernelStats::operator+=(const KernelStats &o)
     mem.l2Hits += o.mem.l2Hits;
     mem.l2Misses += o.mem.l2Misses;
     mem.dramAccesses += o.mem.dramAccesses;
+    mem.dramRowActivations += o.mem.dramRowActivations;
     mem.atomics += o.mem.atomics;
+    mem.atomicWaitCycles += o.mem.atomicWaitCycles;
     mem.icntPackets += o.mem.icntPackets;
     outcomes += o.outcomes;
     residentWarpCycles += o.residentWarpCycles;
@@ -33,15 +37,43 @@ KernelStats::operator+=(const KernelStats &o)
     smCycles += o.smCycles;
     energy += o.energy;
     energyNj += o.energyNj;
-    // Stall tables from successive launches of one harness share the
-    // core geometry, so rows line up; a size mismatch (e.g. different
-    // configs summed) still merges positionally over the common prefix.
+    // Stall tables are indexed (sm * stallWarpsPerSm + warp) * cause, so
+    // rows from two tables only line up when both sides agree on warps
+    // per SM. Folding tables from different core geometries positionally
+    // would silently attribute one run's warp rows to another run's
+    // warps, so a mismatch is fatal rather than merged.
     if (!o.stallCounts.empty()) {
+        if (!stallCounts.empty() && stallWarpsPerSm != o.stallWarpsPerSm) {
+            fatal("KernelStats::operator+=: stall tables disagree on "
+                  "warps per SM (", stallWarpsPerSm, " vs ",
+                  o.stallWarpsPerSm,
+                  ") - refusing to merge mismatched core geometries");
+        }
         if (stallCounts.size() < o.stallCounts.size())
             stallCounts.resize(o.stallCounts.size(), 0);
         for (std::size_t i = 0; i < o.stallCounts.size(); ++i)
             stallCounts[i] += o.stallCounts[i];
-        stallWarpsPerSm = std::max(stallWarpsPerSm, o.stallWarpsPerSm);
+        stallWarpsPerSm = o.stallWarpsPerSm;
+    }
+    // Same indexing contract for the per-scheduler-unit issue table.
+    if (!o.unitIssues.empty()) {
+        if (!unitIssues.empty() && unitsPerSm != o.unitsPerSm) {
+            fatal("KernelStats::operator+=: unit-issue tables disagree "
+                  "on scheduler units per SM (", unitsPerSm, " vs ",
+                  o.unitsPerSm, ")");
+        }
+        if (unitIssues.size() < o.unitIssues.size())
+            unitIssues.resize(o.unitIssues.size(), 0);
+        for (std::size_t i = 0; i < o.unitIssues.size(); ++i)
+            unitIssues[i] += o.unitIssues[i];
+        unitsPerSm = o.unitsPerSm;
+    }
+    // Peaks are high-water marks: element-wise max, never summed.
+    if (peakResidentPerSm.size() < o.peakResidentPerSm.size())
+        peakResidentPerSm.resize(o.peakResidentPerSm.size(), 0);
+    for (std::size_t i = 0; i < o.peakResidentPerSm.size(); ++i) {
+        peakResidentPerSm[i] =
+            std::max(peakResidentPerSm[i], o.peakResidentPerSm[i]);
     }
     return *this;
 }

@@ -121,6 +121,23 @@ struct KernelStats {
     /** Per-cause totals over all warps (zeroes when not collected). */
     std::array<std::uint64_t, trace::kNumStallCauses> stallTotals() const;
 
+    // --- profile extras (--profile reports) ----------------------------
+    /**
+     * Instructions issued per scheduler unit, flattened as
+     * [sm * unitsPerSm + unit]. Collected together with stallCounts
+     * (same gate) — empty otherwise.
+     */
+    std::vector<std::uint64_t> unitIssues;
+    /** Scheduler units per SM backing the indexing above. */
+    unsigned unitsPerSm = 0;
+
+    /**
+     * High-water mark of resident warps per SM, always collected (one
+     * max per CTA launch, off the per-cycle path). Merged element-wise
+     * by max, not sum.
+     */
+    std::vector<std::uint64_t> peakResidentPerSm;
+
     // --- energy -----------------------------------------------------------
     EnergyEvents energy;
     double energyNj = 0.0;

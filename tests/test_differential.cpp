@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/kernels/registry.hpp"
+#include "src/metrics/sampler.hpp"
 #include "src/sim/gpu.hpp"
 #include "src/trace/ring_recorder.hpp"
 
@@ -272,6 +273,43 @@ TEST_P(ThreadEquivalence, ParallelSmExecutionIsInvisible)
 INSTANTIATE_TEST_SUITE_P(Kernels, ThreadEquivalence,
                          ::testing::ValuesIn(allKernelNames()),
                          [](const auto &info) { return info.param; });
+
+TEST(MetricsEquivalence, SampledSeriesIdenticalAcrossExecutionModes)
+{
+    // Metrics determinism contract (docs/METRICS.md): the sampled time
+    // series is a function of the simulated schedule only. For a
+    // spin-heavy kernel (ATM: serialized critical sections, BOWS
+    // back-off, long idle-skippable gaps), the serialized series must be
+    // byte-identical across sequential vs pooled SM execution and with
+    // the idle-cycle fast-forward on or off.
+    GpuConfig base = diffConfig(SchedulerKind::GTO, /*bows=*/true);
+    std::string ref;
+    std::string ref_label;
+    for (unsigned threads : {1u, 4u}) {
+        for (bool skip : {true, false}) {
+            GpuConfig cfg = base;
+            cfg.smThreads = threads;
+            cfg.idleSkip = skip;
+            Gpu gpu(cfg);
+            metrics::MetricsSampler sampler(1000);
+            gpu.setMetrics(&sampler);
+            makeBenchmark("ATM", kScale)->run(gpu);
+            ASSERT_GT(sampler.registry().rows().size(), 1u);
+            const std::string series = sampler.serialize();
+            const std::string label =
+                "sm-threads=" + std::to_string(threads) +
+                (skip ? " skip=on" : " skip=off");
+            if (ref.empty()) {
+                ref = series;
+                ref_label = label;
+                continue;
+            }
+            ASSERT_EQ(series, ref)
+                << "metrics series diverged: " << label << " vs "
+                << ref_label;
+        }
+    }
+}
 
 TEST(Determinism, RepeatedRunsAreBitIdentical)
 {
