@@ -101,6 +101,21 @@ struct BenchOptions {
      * aggregate sim-cycles/s, and an ETA. stdout is untouched.
      */
     bool progress = false;
+    /**
+     * Execution mode override (--exec-mode=cycle|functional|sampled /
+     * BOWSIM_EXEC_MODE): forces GpuConfig::execMode on every point.
+     * hasExecMode distinguishes "not given" from an explicit cycle.
+     * Recorded per point as config.exec_mode (docs/PERF.md, "Execution
+     * modes").
+     */
+    bool hasExecMode = false;
+    ExecMode execMode = ExecMode::Cycle;
+    /** Sampled-mode detailed window length in cycles (--sample-window /
+     *  BOWSIM_SAMPLE_WINDOW); 0 leaves each config's default. */
+    Cycle sampleWindow = 0;
+    /** Sampled-mode fast-forward distance in warp instructions
+     *  (--sample-period / BOWSIM_SAMPLE_PERIOD); 0 leaves the default. */
+    std::uint64_t samplePeriod = 0;
 };
 
 /** Sanitizes a point id into a filename fragment (slashes etc. -> '_'). */
@@ -136,7 +151,8 @@ tracePathFor(const std::string &base, const std::string &id)
 /**
  * Parses --scale= / --cores= / --jobs= / --sm-threads= / --json= /
  * --trace= / --no-skip / --metrics= / --metrics-interval= / --profile /
- * --progress plus the corresponding
+ * --progress / --exec-mode= / --sample-window= / --sample-period=
+ * plus the corresponding
  * BOWSIM_* environment variables (flags win over the environment, the
  * environment wins over the bench's defaults). Unknown arguments are
  * ignored so binaries with their own flags can share the parser.
@@ -166,6 +182,22 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         o.profile = env[0] != '\0' && env[0] != '0';
     if (const char *env = std::getenv("BOWSIM_PROGRESS"))
         o.progress = env[0] != '\0' && env[0] != '0';
+    auto setExecMode = [&o](const char *text) {
+        if (!parseExecMode(text, &o.execMode)) {
+            std::fprintf(stderr,
+                         "error: unknown exec mode '%s' (expected "
+                         "cycle, functional or sampled)\n",
+                         text);
+            std::exit(2);
+        }
+        o.hasExecMode = true;
+    };
+    if (const char *env = std::getenv("BOWSIM_EXEC_MODE"))
+        setExecMode(env);
+    if (const char *env = std::getenv("BOWSIM_SAMPLE_WINDOW"))
+        o.sampleWindow = static_cast<Cycle>(std::atoll(env));
+    if (const char *env = std::getenv("BOWSIM_SAMPLE_PERIOD"))
+        o.samplePeriod = static_cast<std::uint64_t>(std::atoll(env));
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0)
             o.scale = std::atof(argv[i] + 8);
@@ -189,6 +221,13 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
             o.profile = true;
         else if (std::strcmp(argv[i], "--progress") == 0)
             o.progress = true;
+        else if (std::strncmp(argv[i], "--exec-mode=", 12) == 0)
+            setExecMode(argv[i] + 12);
+        else if (std::strncmp(argv[i], "--sample-window=", 16) == 0)
+            o.sampleWindow = static_cast<Cycle>(std::atoll(argv[i] + 16));
+        else if (std::strncmp(argv[i], "--sample-period=", 16) == 0)
+            o.samplePeriod =
+                static_cast<std::uint64_t>(std::atoll(argv[i] + 16));
     }
     return o;
 }
@@ -266,7 +305,8 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
     std::vector<SweepPoint> points = sweep.points;
     if (!opts.tracePath.empty() || opts.noSkip || opts.smThreads != 0 ||
         !opts.metricsPath.empty() || opts.metricsInterval != 0 ||
-        opts.profile) {
+        opts.profile || opts.hasExecMode || opts.sampleWindow != 0 ||
+        opts.samplePeriod != 0) {
         for (SweepPoint &p : points) {
             if (p.body) {
                 // Custom bodies construct their own Gpu from a config
@@ -279,6 +319,7 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                              opts.noSkip        ? "--no-skip"
                              : opts.smThreads   ? "--sm-threads"
                              : opts.profile     ? "--profile"
+                             : opts.hasExecMode ? "--exec-mode"
                              : !opts.metricsPath.empty()
                                  ? "--metrics"
                              : opts.metricsInterval != 0
@@ -301,6 +342,12 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
             }
             if (opts.profile)
                 p.cfg.collectStallBreakdown = true;
+            if (opts.hasExecMode)
+                p.cfg.execMode = opts.execMode;
+            if (opts.sampleWindow != 0)
+                p.cfg.sampleWindow = opts.sampleWindow;
+            if (opts.samplePeriod != 0)
+                p.cfg.samplePeriod = opts.samplePeriod;
         }
     }
     metrics::ProgressMeter meter;

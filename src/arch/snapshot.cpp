@@ -1,0 +1,27 @@
+#include "src/arch/snapshot.hpp"
+
+namespace bowsim {
+
+WarpSnapshot
+snapshotWarp(const Warp &w)
+{
+    WarpSnapshot snap;
+    snap.warpInCta = w.warpInCta();
+    snap.age = w.age();
+    snap.atBarrier = w.atBarrier();
+    snap.done = w.done();
+    snap.stack = w.stack();
+    snap.regs = w.regs();
+    return snap;
+}
+
+void
+restoreWarp(Warp &w, const WarpSnapshot &snap)
+{
+    w.setAge(snap.age);
+    w.setAtBarrier(snap.atBarrier);
+    w.stack() = snap.stack;
+    w.regs() = snap.regs;
+}
+
+}  // namespace bowsim

@@ -1,0 +1,63 @@
+#ifndef BOWSIM_ARCH_SNAPSHOT_HPP
+#define BOWSIM_ARCH_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/warp.hpp"
+
+/**
+ * @file
+ * Architectural state snapshots: everything needed to seed a
+ * cycle-accurate SM from a point mid-execution (sampled mode's detailed
+ * windows) or to checkpoint/restore the functional executor. Snapshots
+ * capture architectural state only — SIMT stacks, register files,
+ * barrier membership, warp ages, CTA shared memory and the launch-wide
+ * dispatch cursor. Microarchitectural state (scoreboards, LD/ST queues,
+ * caches, DDOS/BOWS) deliberately starts cold on restore; sampled
+ * windows absorb that bias with a warm-up prefix (docs/PERF.md).
+ */
+
+namespace bowsim {
+
+/** One warp's architectural state (SimtStack and RegisterFile are plain
+ *  copyable values, so the snapshot holds them directly). */
+struct WarpSnapshot {
+    unsigned warpInCta = 0;
+    std::uint64_t age = 0;
+    bool atBarrier = false;
+    bool done = false;
+    SimtStack stack;
+    RegisterFile regs{0, 0};
+};
+
+/** One resident CTA: identity, shared memory, barrier count, warps. */
+struct CtaSnapshot {
+    unsigned id = 0;
+    unsigned arrivedAtBarrier = 0;
+    std::vector<std::uint8_t> shared;
+    std::vector<WarpSnapshot> warps;
+};
+
+/** One SM's resident CTAs (slot order preserved). */
+struct SmSnapshot {
+    std::vector<CtaSnapshot> ctas;
+};
+
+/** Whole-device architectural checkpoint (memory is snapshotted
+ *  separately — MemorySpace is itself copyable). */
+struct GpuSnapshot {
+    unsigned nextCta = 0;
+    std::uint64_t warpAgeCounter = 0;
+    std::vector<SmSnapshot> sms;
+};
+
+/** Captures @p w's architectural state. */
+WarpSnapshot snapshotWarp(const Warp &w);
+
+/** Restores @p w from @p snap (stack, registers, barrier flag, age). */
+void restoreWarp(Warp &w, const WarpSnapshot &snap);
+
+}  // namespace bowsim
+
+#endif  // BOWSIM_ARCH_SNAPSHOT_HPP

@@ -35,6 +35,31 @@ toString(HashKind kind)
     return "?";
 }
 
+const char *
+toString(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Cycle: return "cycle";
+      case ExecMode::Functional: return "functional";
+      case ExecMode::Sampled: return "sampled";
+    }
+    return "?";
+}
+
+bool
+parseExecMode(const std::string &text, ExecMode *out)
+{
+    if (text == "cycle")
+        *out = ExecMode::Cycle;
+    else if (text == "functional")
+        *out = ExecMode::Functional;
+    else if (text == "sampled")
+        *out = ExecMode::Sampled;
+    else
+        return false;
+    return true;
+}
+
 GpuConfig
 makeGtx480Config()
 {

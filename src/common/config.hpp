@@ -36,9 +36,37 @@ enum class HashKind {
     Modulo,  ///< Keep only the least-significant bits.
 };
 
+/**
+ * How a kernel launch is executed (docs/PERF.md, "Execution modes").
+ */
+enum class ExecMode {
+    /** Full cycle-accurate simulation (the default). */
+    Cycle,
+    /**
+     * ISA semantics only: warp-at-a-time interpretation with IPDOM
+     * reconvergence against functional memory; scoreboard, pipeline,
+     * caches and DRAM timing are skipped. Deterministic by construction
+     * (atomics apply in SM-id/warp-slot rotation order), so the final
+     * MemorySpace::digest() is reproducible and — for schedule-invariant
+     * kernels — identical to cycle mode. KernelStats::cycles is 0.
+     */
+    Functional,
+    /**
+     * SMARTS-style sampling: functional fast-forward alternating with
+     * detailed cycle-accurate windows seeded from architectural
+     * checkpoints; reports per-window IPC with mean and a 95% CI
+     * (KernelStats::ipcEst / ipcCi95 / sampledWindows).
+     */
+    Sampled,
+};
+
 const char *toString(SchedulerKind kind);
 const char *toString(SpinDetect kind);
 const char *toString(HashKind kind);
+const char *toString(ExecMode mode);
+
+/** Parses "cycle" / "functional" / "sampled"; false on anything else. */
+bool parseExecMode(const std::string &text, ExecMode *out);
 
 /** DDOS design parameters (Table I / Table II, "DDOS Specific"). */
 struct DdosConfig {
@@ -203,6 +231,33 @@ struct GpuConfig {
      * JSON artifacts so a series can be interpreted offline.
      */
     Cycle metricsInterval = 0;
+
+    // --- Execution mode (docs/PERF.md, "Execution modes") ----------------
+    /**
+     * Cycle-accurate, fast-functional, or sampled execution
+     * (--exec-mode / BOWSIM_EXEC_MODE on the bench binaries). Functional
+     * and sampled modes are estimation tools: per-cycle observability
+     * (traces, stall breakdowns, time-series metrics outside detailed
+     * windows) is forced off, and only cycle mode reports exact timing.
+     */
+    ExecMode execMode = ExecMode::Cycle;
+
+    /**
+     * Sampled mode: length of one detailed cycle-accurate window in
+     * cycles (--sample-window). The first quarter of each window is
+     * warm-up — simulated but excluded from the IPC measurement, which
+     * absorbs the cold-start bias of checkpoint-seeded caches and
+     * pipeline state.
+     */
+    Cycle sampleWindow = 4000;
+
+    /**
+     * Sampled mode: functional fast-forward distance between detailed
+     * windows, in warp instructions (--sample-period). The first
+     * fast-forward leg is half a period, so windows sit mid-period
+     * rather than sampling the launch transient at instruction 0.
+     */
+    std::uint64_t samplePeriod = 10000;
 
     /** Warps per core implied by the thread budget. */
     unsigned maxWarpsPerCore() const { return maxThreadsPerCore / kWarpSize; }

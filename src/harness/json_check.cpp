@@ -78,6 +78,30 @@ checkSweepArtifact(const Json &doc, std::int64_t expected_points)
             return fail("point " + std::to_string(i) +
                         " config lacks \"metrics_interval\"");
         }
+        // Execution mode must always be recorded (a cycle-mode artifact
+        // and a sampled-mode artifact are not comparable), and the
+        // estimator fields are exclusive to the estimating modes: a
+        // cycle-mode point carrying ipc_est would silently launder an
+        // estimate as ground truth.
+        if (!p.at("config").has("exec_mode")) {
+            return fail("point " + std::to_string(i) +
+                        " config lacks \"exec_mode\"");
+        }
+        const std::string &mode =
+            p.at("config").at("exec_mode").asString();
+        if (mode != "cycle" && mode != "functional" && mode != "sampled") {
+            return fail("point " + std::to_string(i) +
+                        " has unknown exec_mode \"" + mode + "\"");
+        }
+        if (mode == "cycle" && p.has("stats")) {
+            const Json &stats = p.at("stats");
+            if (stats.has("ipc_est") || stats.has("ipc_ci95") ||
+                stats.has("sampled_windows")) {
+                return fail("point " + std::to_string(i) +
+                            " is exec_mode=cycle but carries sampled "
+                            "estimator fields");
+            }
+        }
         if (!p.has("ok") || !p.at("ok").asBool()) {
             std::ostringstream os;
             os << "point " << (p.has("id") ? p.at("id").asString()

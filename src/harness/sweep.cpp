@@ -154,6 +154,14 @@ statsToJson(const KernelStats &s)
     j.set("active_lane_sum", s.activeLaneSum);
     j.set("simd_efficiency", s.simdEfficiency());
     j.set("ipc", s.ipc());
+    // Sampled-mode estimator fields appear only when an estimate was
+    // actually produced; cycle-mode artifacts never carry them
+    // (json_check enforces this).
+    if (s.hasSampledIpc()) {
+        j.set("ipc_est", s.ipcEst);
+        j.set("ipc_ci95", s.ipcCi95);
+        j.set("sampled_windows", s.sampledWindows);
+    }
 
     Json mem = Json::object();
     mem.set("l1_accesses", s.l1Accesses);
@@ -221,6 +229,13 @@ configToJson(const GpuConfig &cfg)
     j.set("sm_threads", cfg.smThreads);
     j.set("metrics_interval", cfg.metricsInterval);
     j.set("atomic_service_period", cfg.atomicServicePeriod);
+    j.set("exec_mode", toString(cfg.execMode));
+    // The sampling knobs only matter — and are only recorded — when the
+    // point actually ran in sampled mode.
+    if (cfg.execMode == ExecMode::Sampled) {
+        j.set("sample_window", cfg.sampleWindow);
+        j.set("sample_period", cfg.samplePeriod);
+    }
     j.set("scheduler", toString(cfg.scheduler));
     j.set("spin_detect", toString(cfg.spinDetect));
     j.set("bows_enabled", cfg.bows.enabled);

@@ -13,19 +13,55 @@ ProgressMeter::start(std::string label, std::size_t total)
     done_ = 0;
     simCycles_ = 0;
     start_ = std::chrono::steady_clock::now();
+    lastDone_ = 0.0;
+    ewmaGap_ = 0.0;
     active_ = true;
-    printLine(false);
+    printLine(false, 0.0);
 }
 
 void
 ProgressMeter::pointDone(std::uint64_t sim_cycles)
+{
+    const double now =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    pointDoneAt(sim_cycles, now);
+}
+
+void
+ProgressMeter::pointDoneAt(std::uint64_t sim_cycles, double now_secs)
 {
     std::lock_guard<std::mutex> lock(mu_);
     if (!active_)
         return;
     ++done_;
     simCycles_ += sim_cycles;
-    printLine(false);
+    // Concurrent workers may take their timestamps slightly out of
+    // order relative to lock acquisition; treat that as a zero gap.
+    const double gap = now_secs > lastDone_ ? now_secs - lastDone_ : 0.0;
+    // Seed the EWMA with the first gap; afterwards blend, so the ETA
+    // adapts when later points run longer than the early ones without
+    // jumping on a single slow point.
+    ewmaGap_ = done_ == 1 ? gap
+                          : kEwmaAlpha * gap + (1.0 - kEwmaAlpha) * ewmaGap_;
+    lastDone_ = now_secs;
+    printLine(false, now_secs);
+}
+
+double
+ProgressMeter::etaSeconds()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return etaLocked();
+}
+
+double
+ProgressMeter::etaLocked() const
+{
+    if (done_ == 0 || done_ >= total_)
+        return 0.0;
+    return ewmaGap_ * static_cast<double>(total_ - done_);
 }
 
 void
@@ -34,32 +70,25 @@ ProgressMeter::finish()
     std::lock_guard<std::mutex> lock(mu_);
     if (!active_)
         return;
-    printLine(true);
+    const double now =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    printLine(true, now);
     active_ = false;
 }
 
 void
-ProgressMeter::printLine(bool last)
+ProgressMeter::printLine(bool last, double now_secs)
 {
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_)
-            .count();
     const double rate =
-        secs > 0.0 ? static_cast<double>(simCycles_) / secs : 0.0;
-    // Naive ETA: assume the remaining points cost what the finished
-    // ones averaged. Rough by design — this is a heartbeat, not a plan.
-    double eta = 0.0;
-    if (done_ > 0 && done_ < total_) {
-        eta = secs / static_cast<double>(done_) *
-              static_cast<double>(total_ - done_);
-    }
+        now_secs > 0.0 ? static_cast<double>(simCycles_) / now_secs : 0.0;
     std::fprintf(stderr, "\r%s: %zu/%zu points, %.2fM sim-cycles/s",
                  label_.c_str(), done_, total_, rate / 1e6);
     if (done_ < total_)
-        std::fprintf(stderr, ", ETA %.0fs ", eta);
+        std::fprintf(stderr, ", ETA %.0fs ", etaLocked());
     else
-        std::fprintf(stderr, ", done in %.1fs", secs);
+        std::fprintf(stderr, ", done in %.1fs", now_secs);
     if (last)
         std::fprintf(stderr, "\n");
     std::fflush(stderr);

@@ -1,0 +1,561 @@
+#include "src/sim/functional.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "src/common/log.hpp"
+#include "src/isa/exec.hpp"
+
+namespace bowsim {
+
+namespace {
+
+unsigned
+popcount(LaneMask m)
+{
+    return static_cast<unsigned>(std::popcount(m));
+}
+
+unsigned
+firstLane(LaneMask m)
+{
+    return static_cast<unsigned>(std::countr_zero(m));
+}
+
+}  // namespace
+
+FunctionalExecutor::FunctionalExecutor(const GpuConfig &cfg,
+                                       LaunchState &launch)
+    : cfg_(cfg), launch_(launch)
+{
+    const Program &prog = *launch_.prog;
+    blockThreads_ = launch_.block.count();
+    gridCtas_ = launch_.grid.count();
+    warpsPerCta_ = (blockThreads_ + kWarpSize - 1) / kWarpSize;
+    maxResidentCtas_ = maxResidentCtasFor(cfg, prog, blockThreads_);
+    code_ = prog.code.data();
+    codeSize_ = static_cast<Pc>(prog.code.size());
+    if (launch_.pcFlags.size() != prog.code.size())
+        launch_.buildPcFlags();
+    sms_.resize(cfg.numCores);
+    for (FSm &sm : sms_)
+        sm.ctas.resize(maxResidentCtas_);
+}
+
+const Instruction &
+FunctionalExecutor::fetch(Pc pc) const
+{
+    return pc < codeSize_ ? code_[pc] : launch_.prog->at(pc);
+}
+
+bool
+FunctionalExecutor::finished() const
+{
+    return residentCtas_ == 0 && launch_.nextCta >= gridCtas_;
+}
+
+void
+FunctionalExecutor::tryLaunchCtas(FSm &sm)
+{
+    if (launch_.nextCta >= gridCtas_ || sm.validCtas == maxResidentCtas_)
+        return;
+    const Program &prog = *launch_.prog;
+    for (FCta &slot : sm.ctas) {
+        if (slot.valid)
+            continue;
+        if (launch_.nextCta >= gridCtas_)
+            return;
+        unsigned cta_id = launch_.nextCta++;
+        slot.valid = true;
+        ++sm.validCtas;
+        ++residentCtas_;
+        slot.id = cta_id;
+        slot.shared.assign(prog.sharedBytes, 0);
+        slot.warps.clear();
+        slot.arrivedAtBarrier = 0;
+        for (unsigned wi = 0; wi < warpsPerCta_; ++wi) {
+            unsigned lanes =
+                std::min(kWarpSize, blockThreads_ - wi * kWarpSize);
+            LaneMask mask = lanes == kWarpSize
+                                ? kFullMask
+                                : ((LaneMask{1} << lanes) - 1);
+            unsigned slot_index =
+                static_cast<unsigned>(&slot - sm.ctas.data());
+            slot.warps.push_back(std::make_unique<Warp>(
+                slot_index * warpsPerCta_ + wi, cta_id, wi,
+                launch_.warpAgeCounter++, prog.numRegs, prog.numPreds,
+                mask));
+        }
+        slot.liveWarps = warpsPerCta_;
+    }
+}
+
+void
+FunctionalExecutor::checkBarrier(FCta &cta)
+{
+    if (cta.liveWarps == 0 || cta.arrivedAtBarrier < cta.liveWarps)
+        return;
+    for (auto &w : cta.warps) {
+        if (!w->done())
+            w->setAtBarrier(false);
+    }
+    cta.arrivedAtBarrier = 0;
+}
+
+void
+FunctionalExecutor::onWarpFinished(FSm &sm, FCta &cta, Warp &w)
+{
+    (void)w;
+    if (cta.liveWarps == 0)
+        panic("warp finished in an already-empty CTA");
+    --cta.liveWarps;
+    checkBarrier(cta);
+    if (cta.liveWarps == 0) {
+        // No pipeline to drain: retire the CTA immediately so the slot
+        // is free for the next dispatch.
+        cta.warps.clear();
+        cta.valid = false;
+        --sm.validCtas;
+        --residentCtas_;
+    }
+}
+
+Word
+FunctionalExecutor::readOperand(const Warp &w, const Operand &op,
+                                unsigned lane, unsigned sm_id) const
+{
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        return w.regs().read(lane, op.index);
+      case Operand::Kind::Imm:
+        return op.imm;
+      case Operand::Kind::Pred:
+        return w.regs().readPred(lane, op.index) ? 1 : 0;
+      case Operand::Kind::Special:
+        return exec::readSpecial(
+            static_cast<SpecialReg>(op.index),
+            exec::ThreadCtx{w.warpInCta(), w.cta(), blockThreads_,
+                            gridCtas_, sm_id},
+            lane);
+      case Operand::Kind::None:
+        panic("readOperand on a missing operand");
+    }
+    return 0;
+}
+
+std::uint64_t
+FunctionalExecutor::runWarpSlice(unsigned sm_id, FCta &cta, Warp &w)
+{
+    KernelStats &st = launch_.stats;
+    std::uint64_t n = 0;
+
+    // Operand resolution mirrors SmCore::executeAlu: register sources
+    // become row pointers, immediates constants; only predicate/special
+    // sources keep the generic path.
+    struct SrcRef {
+        const Word *row = nullptr;
+        const Operand *op = nullptr;
+        Word imm = 0;
+    };
+    auto resolve = [&](const Operand &o) {
+        SrcRef s;
+        switch (o.kind) {
+          case Operand::Kind::Reg:
+            s.row = w.regs().row(o.index);
+            break;
+          case Operand::Kind::Imm:
+            s.imm = o.imm;
+            break;
+          case Operand::Kind::None:
+            break;
+          default:
+            s.op = &o;
+            break;
+        }
+        return s;
+    };
+    auto get = [&](const SrcRef &s, unsigned lane) -> Word {
+        if (s.row)
+            return s.row[lane];
+        if (s.op)
+            return readOperand(w, *s.op, lane, sm_id);
+        return s.imm;
+    };
+
+    while (n < kSliceInstructions) {
+        const Pc pc = w.stack().pc();
+        const Instruction &inst = fetch(pc);
+        const LaneMask active = w.stack().activeMask();
+        LaneMask exec_mask = active;
+        if (inst.guard >= 0) {
+            LaneMask pm = w.regs().predMask(inst.guard, active);
+            exec_mask = inst.guardNegate ? (active & ~pm) : pm;
+        }
+
+        // --- accounting (the cycle-mode issue() counters that remain
+        // --- meaningful without timing) -------------------------------
+        ++n;
+        ++executed_;
+        ++st.warpInstructions;
+        const unsigned lanes = popcount(active);
+        st.threadInstructions += lanes;
+        st.activeLaneSum += lanes;
+        const std::uint8_t flags = launch_.pcFlags[pc];
+        if (flags & LaunchState::kPcSyncRegion)
+            st.syncThreadInstructions += lanes;
+
+        bool end_slice = false;
+        switch (inst.op) {
+          case Opcode::Bra: {
+            const LaneMask taken = exec_mask;
+            const bool backward = inst.target <= pc;
+            if (backward && taken != 0 &&
+                (flags & LaunchState::kPcSpinBranch)) {
+                // SIBs are counted against the kernel's ground-truth
+                // annotations (there is no DDOS unit to predict them),
+                // and a spinning warp yields its turn so the warp it
+                // waits on can run.
+                ++st.sibInstructions;
+                end_slice = true;
+            }
+            w.stack().branch(inst, taken);
+            break;
+          }
+          case Opcode::Exit:
+            w.stack().exitLanes(exec_mask);
+            break;
+          case Opcode::Bar: {
+            w.stack().advance();
+            w.setAtBarrier(true);
+            ++cta.arrivedAtBarrier;
+            checkBarrier(cta);
+            end_slice = w.atBarrier();
+            break;
+          }
+          case Opcode::Nop:
+          case Opcode::Membar:
+            // Memory updates are globally visible at execution, so
+            // fences are complete no-ops here.
+            w.stack().advance();
+            break;
+          case Opcode::St: {
+            MemorySpace &mem = *launch_.mem;
+            if (inst.space == MemSpace::Shared) {
+                const SrcRef base = resolve(inst.src[0]);
+                for (LaneMask rest = exec_mask; rest != 0;
+                     rest &= rest - 1) {
+                    const unsigned lane = firstLane(rest);
+                    Addr a = static_cast<Addr>(get(base, lane) +
+                                               inst.memOffset);
+                    if (a + inst.size > cta.shared.size())
+                        simFatal("shared-memory access out of bounds in"
+                                 " '", launch_.prog->name, "' (addr ", a,
+                                 ")");
+                    Word v = readOperand(w, inst.src[1], lane, sm_id);
+                    std::memcpy(cta.shared.data() + a, &v, inst.size);
+                }
+            } else {
+                const SrcRef base = resolve(inst.src[0]);
+                const SrcRef val = resolve(inst.src[1]);
+                for (LaneMask rest = exec_mask; rest != 0;
+                     rest &= rest - 1) {
+                    const unsigned lane = firstLane(rest);
+                    Addr a = static_cast<Addr>(get(base, lane) +
+                                               inst.memOffset);
+                    Word v = get(val, lane);
+                    mem.write(a, v, inst.size);
+                    launch_.lockTracker.onWrite(a, v);
+                }
+            }
+            w.stack().advance();
+            break;
+          }
+          case Opcode::Atom: {
+            const bool acquire =
+                (flags & LaunchState::kPcLockAcquire) != 0;
+            const SrcRef base = resolve(inst.src[0]);
+            for (LaneMask rest = exec_mask; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                Addr a = static_cast<Addr>(get(base, lane) +
+                                           inst.memOffset);
+                Word operand = readOperand(w, inst.src[1], lane, sm_id);
+                Word desired =
+                    inst.atom == AtomOp::Cas
+                        ? readOperand(w, inst.src[2], lane, sm_id)
+                        : 0;
+                exec::AtomicResult r = exec::applyAtomicLane(
+                    *launch_.mem, launch_.lockTracker, inst, a, operand,
+                    desired, w.age() + 1);
+                if (r.isCas && acquire) {
+                    switch (r.cas) {
+                      case CasOutcome::Success:
+                        ++st.outcomes.lockSuccess;
+                        break;
+                      case CasOutcome::InterWarpFail:
+                        ++st.outcomes.interWarpFail;
+                        break;
+                      case CasOutcome::IntraWarpFail:
+                        ++st.outcomes.intraWarpFail;
+                        break;
+                    }
+                }
+                if (inst.dst.valid())
+                    w.regs().write(lane, inst.dst.index, r.old);
+            }
+            w.stack().advance();
+            break;
+          }
+          case Opcode::Ld: {
+            if (inst.space == MemSpace::Param) {
+                const SrcRef base = resolve(inst.src[0]);
+                Word *dst = w.regs().row(inst.dst.index);
+                for (LaneMask rest = exec_mask; rest != 0;
+                     rest &= rest - 1) {
+                    const unsigned lane = firstLane(rest);
+                    Addr offset = static_cast<Addr>(get(base, lane) +
+                                                    inst.memOffset);
+                    unsigned index = static_cast<unsigned>(offset / 8);
+                    if (index >= launch_.params.size())
+                        simFatal("ld.param index ", index,
+                                 " out of range in '",
+                                 launch_.prog->name, "'");
+                    dst[lane] = launch_.params[index];
+                }
+            } else if (inst.space == MemSpace::Shared) {
+                const SrcRef base = resolve(inst.src[0]);
+                for (LaneMask rest = exec_mask; rest != 0;
+                     rest &= rest - 1) {
+                    const unsigned lane = firstLane(rest);
+                    Addr a = static_cast<Addr>(get(base, lane) +
+                                               inst.memOffset);
+                    if (a + inst.size > cta.shared.size())
+                        simFatal("shared-memory access out of bounds in"
+                                 " '", launch_.prog->name, "' (addr ", a,
+                                 ")");
+                    Word v = 0;
+                    std::memcpy(&v, cta.shared.data() + a, inst.size);
+                    if (inst.size == 4)
+                        v = static_cast<Word>(
+                            static_cast<std::int32_t>(v));
+                    w.regs().write(lane, inst.dst.index, v);
+                }
+            } else {
+                MemorySpace &mem = *launch_.mem;
+                const SrcRef base = resolve(inst.src[0]);
+                Word *dst = w.regs().row(inst.dst.index);
+                for (LaneMask rest = exec_mask; rest != 0;
+                     rest &= rest - 1) {
+                    const unsigned lane = firstLane(rest);
+                    Addr a = static_cast<Addr>(get(base, lane) +
+                                               inst.memOffset);
+                    dst[lane] = mem.read(a, inst.size);
+                }
+            }
+            w.stack().advance();
+            break;
+          }
+          case Opcode::Setp: {
+            const bool is_wait_check =
+                (flags & LaunchState::kPcWaitCheck) != 0;
+            const SrcRef a = resolve(inst.src[0]);
+            const SrcRef b = resolve(inst.src[1]);
+            LaneMask &pred = w.regs().predRow(inst.dst.index);
+            for (LaneMask rest = exec_mask; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                const bool r =
+                    exec::compare(inst.cmp, get(a, lane), get(b, lane));
+                const LaneMask bit = LaneMask{1} << lane;
+                pred = r ? (pred | bit) : (pred & ~bit);
+                if (is_wait_check) {
+                    if (r)
+                        ++st.outcomes.waitExitSuccess;
+                    else
+                        ++st.outcomes.waitExitFail;
+                }
+            }
+            w.stack().advance();
+            break;
+          }
+          case Opcode::Selp: {
+            const SrcRef a = resolve(inst.src[0]);
+            const SrcRef b = resolve(inst.src[1]);
+            const LaneMask pbits = w.regs().predBits(inst.src[2].index);
+            Word *dst = w.regs().row(inst.dst.index);
+            for (LaneMask rest = exec_mask; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                dst[lane] =
+                    ((pbits >> lane) & 1) ? get(a, lane) : get(b, lane);
+            }
+            w.stack().advance();
+            break;
+          }
+          case Opcode::Clock: {
+            // Pseudo-time: one tick per warp instruction, monotonic
+            // across the whole device so timed back-off loops observe
+            // progress and terminate.
+            Word *dst = w.regs().row(inst.dst.index);
+            for (LaneMask rest = exec_mask; rest != 0; rest &= rest - 1)
+                dst[firstLane(rest)] = static_cast<Word>(executed_);
+            w.stack().advance();
+            break;
+          }
+          default: {
+            const SrcRef a = resolve(inst.src[0]);
+            const SrcRef b = resolve(inst.src[1]);
+            const SrcRef c = resolve(inst.src[2]);
+            Word *dst = w.regs().row(inst.dst.index);
+            for (LaneMask rest = exec_mask; rest != 0; rest &= rest - 1) {
+                const unsigned lane = firstLane(rest);
+                dst[lane] = exec::aluCompute(inst, get(a, lane),
+                                             get(b, lane), get(c, lane));
+            }
+            w.stack().advance();
+            break;
+          }
+        }
+
+        if (w.done()) {
+            onWarpFinished(sms_[sm_id], cta, w);
+            break;
+        }
+        if (end_slice)
+            break;
+    }
+    return n;
+}
+
+bool
+FunctionalExecutor::runFor(std::uint64_t max_instr)
+{
+    const std::uint64_t target =
+        max_instr > ~std::uint64_t{0} - executed_ ? ~std::uint64_t{0}
+                                                  : executed_ + max_instr;
+    // The rotation cursor persists across calls so runFor can stop at
+    // warp-slice granularity: a full rotation over all resident warps
+    // can execute hundreds of slices, far more than one sample period.
+    // Rotation order itself stays fixed (SM id, then CTA slot, then
+    // warp slot) — only where a call pauses varies, and that is a
+    // deterministic function of the runFor call sequence.
+    while (!finished() && executed_ < target) {
+        if (executed_ >= cfg_.watchdogCycles)
+            simFatal("kernel '", launch_.prog->name, "' exceeded the ",
+                     cfg_.watchdogCycles,
+                     "-instruction functional watchdog (deadlock?)");
+        if (rotSm_ == 0 && rotCta_ == 0 && rotWarp_ == 0) {
+            // Rotation boundary: every resident warp had a turn since
+            // the last one, so zero accumulated progress while CTAs
+            // remain is a barrier deadlock, not a spin (spinning warps
+            // execute instructions).
+            if (rotationStarted_ && rotationProgress_ == 0)
+                simFatal("kernel '", launch_.prog->name,
+                         "' made no progress in functional mode "
+                         "(barrier deadlock?)");
+            rotationStarted_ = true;
+            rotationProgress_ = 0;
+        }
+        FSm &sm = sms_[rotSm_];
+        if (rotCta_ == 0 && rotWarp_ == 0)
+            tryLaunchCtas(sm);
+        FCta &cta = sm.ctas[rotCta_];
+        if (cta.valid && rotWarp_ < cta.warps.size()) {
+            Warp &w = *cta.warps[rotWarp_];
+            if (!w.done() && !w.atBarrier())
+                rotationProgress_ += runWarpSlice(rotSm_, cta, w);
+        }
+        // Advance the cursor (runWarpSlice may have retired the CTA,
+        // clearing cta.warps — hence the slot-count bounds).
+        if (++rotWarp_ >= warpsPerCta_) {
+            rotWarp_ = 0;
+            if (++rotCta_ >= maxResidentCtas_) {
+                rotCta_ = 0;
+                if (++rotSm_ >= sms_.size())
+                    rotSm_ = 0;
+            }
+        }
+    }
+    return finished();
+}
+
+void
+FunctionalExecutor::run()
+{
+    runFor(~std::uint64_t{0});
+}
+
+GpuSnapshot
+FunctionalExecutor::snapshot() const
+{
+    GpuSnapshot snap;
+    snap.nextCta = launch_.nextCta;
+    snap.warpAgeCounter = launch_.warpAgeCounter;
+    snap.sms.resize(sms_.size());
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        for (const FCta &cta : sms_[s].ctas) {
+            if (!cta.valid)
+                continue;
+            CtaSnapshot cs;
+            cs.id = cta.id;
+            cs.arrivedAtBarrier = cta.arrivedAtBarrier;
+            cs.shared = cta.shared;
+            cs.warps.reserve(cta.warps.size());
+            for (const auto &w : cta.warps)
+                cs.warps.push_back(snapshotWarp(*w));
+            snap.sms[s].ctas.push_back(std::move(cs));
+        }
+    }
+    return snap;
+}
+
+void
+FunctionalExecutor::restore(const GpuSnapshot &snap)
+{
+    const Program &prog = *launch_.prog;
+    launch_.nextCta = snap.nextCta;
+    launch_.warpAgeCounter = snap.warpAgeCounter;
+    residentCtas_ = 0;
+    // The rotation restarts from SM 0; the cursor is an execution-order
+    // detail, not architectural state.
+    rotSm_ = 0;
+    rotCta_ = 0;
+    rotWarp_ = 0;
+    rotationProgress_ = 0;
+    rotationStarted_ = false;
+    sms_.clear();
+    sms_.resize(cfg_.numCores);
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        FSm &sm = sms_[s];
+        sm.ctas.resize(maxResidentCtas_);
+        static const std::vector<CtaSnapshot> kNoCtas;
+        const auto &ctas =
+            s < snap.sms.size() ? snap.sms[s].ctas : kNoCtas;
+        for (std::size_t c = 0; c < ctas.size(); ++c) {
+            if (c >= sm.ctas.size())
+                fatal("snapshot has more CTAs than fit one SM");
+            const CtaSnapshot &cs = ctas[c];
+            FCta &slot = sm.ctas[c];
+            slot.valid = true;
+            slot.id = cs.id;
+            slot.shared = cs.shared;
+            slot.arrivedAtBarrier = cs.arrivedAtBarrier;
+            slot.warps.clear();
+            slot.liveWarps = 0;
+            for (std::size_t wi = 0; wi < cs.warps.size(); ++wi) {
+                const WarpSnapshot &ws = cs.warps[wi];
+                auto warp = std::make_unique<Warp>(
+                    static_cast<unsigned>(c) * warpsPerCta_ +
+                        static_cast<unsigned>(wi),
+                    cs.id, ws.warpInCta, ws.age, prog.numRegs,
+                    prog.numPreds, kFullMask);
+                restoreWarp(*warp, ws);
+                if (!warp->done())
+                    ++slot.liveWarps;
+                slot.warps.push_back(std::move(warp));
+            }
+            ++sm.validCtas;
+            ++residentCtas_;
+        }
+    }
+}
+
+}  // namespace bowsim

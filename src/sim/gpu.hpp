@@ -32,6 +32,8 @@ namespace metrics {
 class MetricsSampler;
 }
 
+struct GpuSnapshot;
+
 class Gpu {
   public:
     explicit Gpu(GpuConfig cfg);
@@ -50,6 +52,15 @@ class Gpu {
      * Runs @p prog to completion and returns its statistics. Timing state
      * (caches, queues) starts cold at each launch; functional memory
      * persists across launches.
+     *
+     * GpuConfig::execMode selects how (docs/PERF.md, "Execution
+     * modes"): full cycle-accurate simulation (the default), fast
+     * functional interpretation (cycles = 0, timing skipped), or
+     * SMARTS-style sampling (functional fast-forward alternating with
+     * detailed windows; KernelStats::ipcEst / ipcCi95 /
+     * sampledWindows carry the timing estimate). Functional and
+     * sampled modes force the trace sink off; a metrics sampler is
+     * consulted only inside sampled mode's detailed windows.
      */
     KernelStats launch(const Program &prog, Dim3 grid, Dim3 block,
                        const std::vector<Word> &params);
@@ -80,6 +91,26 @@ class Gpu {
     const GpuConfig &config() const { return cfg_; }
 
   private:
+    KernelStats launchCycle(const Program &prog, Dim3 grid, Dim3 block,
+                            const std::vector<Word> &params);
+    KernelStats launchFunctional(const Program &prog, Dim3 grid,
+                                 Dim3 block,
+                                 const std::vector<Word> &params);
+    KernelStats launchSampled(const Program &prog, Dim3 grid, Dim3 block,
+                              const std::vector<Word> &params);
+    /**
+     * One detailed cycle-accurate window for sampled mode: seeds cores
+     * from @p snap against a copy of @p base_mem, simulates at most
+     * @p max_cycles cycles, and appends the measured post-warm-up IPC
+     * to @p ipcs (nothing is appended when the window ends inside the
+     * warm-up prefix).
+     */
+    void runDetailedWindow(const Program &prog, Dim3 grid, Dim3 block,
+                           const std::vector<Word> &params,
+                           const GpuSnapshot &snap,
+                           const MemorySpace &base_mem, Cycle warmup,
+                           Cycle max_cycles, std::vector<double> &ipcs);
+
     GpuConfig cfg_;
     MemorySpace mem_;
     EnergyModel energy_;

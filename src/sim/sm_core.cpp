@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "src/arch/snapshot.hpp"
 #include "src/common/log.hpp"
+#include "src/isa/exec.hpp"
 
 namespace bowsim {
 
@@ -22,6 +24,32 @@ firstLane(LaneMask m)
 }
 
 }  // namespace
+
+unsigned
+maxResidentCtasFor(const GpuConfig &cfg, const Program &prog,
+                   unsigned threads_per_cta)
+{
+    if (threads_per_cta == 0)
+        fatal("kernel launch with an empty block");
+    const unsigned max_warps = cfg.maxWarpsPerCore();
+    const unsigned warps_per_cta =
+        (threads_per_cta + kWarpSize - 1) / kWarpSize;
+    unsigned by_threads = cfg.maxThreadsPerCore / threads_per_cta;
+    unsigned regs_per_cta = prog.numRegs * threads_per_cta;
+    unsigned by_regs = regs_per_cta == 0
+                           ? cfg.maxCtasPerCore
+                           : cfg.numRegsPerCore / regs_per_cta;
+    unsigned by_shared = prog.sharedBytes == 0
+                             ? cfg.maxCtasPerCore
+                             : cfg.sharedMemPerCore / prog.sharedBytes;
+    unsigned by_warps = max_warps / warps_per_cta;
+    unsigned max_ctas = std::min({cfg.maxCtasPerCore, by_threads, by_regs,
+                                  by_shared, by_warps});
+    if (max_ctas == 0)
+        simFatal("kernel '", prog.name, "' does not fit on an SM (",
+                 threads_per_cta, " threads/CTA)");
+    return max_ctas;
+}
 
 SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
                KernelStats *shard)
@@ -99,25 +127,8 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
 
     const Program &prog = *launch_.prog;
     unsigned threads_per_cta = blockThreads_;
-    if (threads_per_cta == 0)
-        fatal("kernel launch with an empty block");
     warpsPerCta_ = (threads_per_cta + kWarpSize - 1) / kWarpSize;
-
-    // CTA residency limits (threads, CTA cap, registers, shared memory).
-    unsigned by_threads = cfg.maxThreadsPerCore / threads_per_cta;
-    unsigned regs_per_cta = prog.numRegs * threads_per_cta;
-    unsigned by_regs = regs_per_cta == 0
-                           ? cfg.maxCtasPerCore
-                           : cfg.numRegsPerCore / regs_per_cta;
-    unsigned by_shared = prog.sharedBytes == 0
-                             ? cfg.maxCtasPerCore
-                             : cfg.sharedMemPerCore / prog.sharedBytes;
-    unsigned by_warps = maxWarps_ / warpsPerCta_;
-    maxResidentCtas_ = std::min({cfg.maxCtasPerCore, by_threads, by_regs,
-                                 by_shared, by_warps});
-    if (maxResidentCtas_ == 0)
-        simFatal("kernel '", prog.name, "' does not fit on an SM (",
-                 threads_per_cta, " threads/CTA)");
+    maxResidentCtas_ = maxResidentCtasFor(cfg, prog, threads_per_cta);
     ctas_.resize(maxResidentCtas_);
 }
 
@@ -180,6 +191,52 @@ SmCore::tryLaunchCtas()
         stats_.peakResidentPerSm[id_] = std::max<std::uint64_t>(
             stats_.peakResidentPerSm[id_], resident_.size());
     }
+}
+
+void
+SmCore::seed(const SmSnapshot &snap)
+{
+    if (validCtas_ != 0)
+        panic("SmCore::seed on a core that already has resident CTAs");
+    const Program &prog = *launch_.prog;
+    const unsigned units = static_cast<unsigned>(schedulers_.size());
+    if (snap.ctas.size() > maxResidentCtas_)
+        fatal("snapshot has more CTAs than fit one SM");
+    for (std::size_t c = 0; c < snap.ctas.size(); ++c) {
+        const CtaSnapshot &cs = snap.ctas[c];
+        Cta &slot = ctas_[c];
+        slot.valid = true;
+        ++validCtas_;
+        slot.id = cs.id;
+        slot.shared = cs.shared;
+        slot.arrivedAtBarrier = cs.arrivedAtBarrier;
+        slot.warps.clear();
+        slot.liveWarps = 0;
+        for (std::size_t wi = 0; wi < cs.warps.size(); ++wi) {
+            const WarpSnapshot &ws = cs.warps[wi];
+            const unsigned warp_slot =
+                static_cast<unsigned>(c) * warpsPerCta_ +
+                static_cast<unsigned>(wi);
+            auto warp = std::make_unique<Warp>(warp_slot, cs.id,
+                                               ws.warpInCta, ws.age,
+                                               prog.numRegs,
+                                               prog.numPreds, kFullMask);
+            restoreWarp(*warp, ws);
+            ddos_->resetWarp(warp_slot);
+            if (!warp->done()) {
+                ++slot.liveWarps;
+                resident_.push_back(warp.get());
+                unitResident_[warp_slot % units].push_back(warp.get());
+            }
+            slot.warps.push_back(std::move(warp));
+        }
+        if (slot.liveWarps == 0)
+            ++drainedCtas_;
+    }
+    for (unsigned u = 0; u < units; ++u)
+        rebuildUnitMask(u);
+    stats_.peakResidentPerSm[id_] = std::max<std::uint64_t>(
+        stats_.peakResidentPerSm[id_], resident_.size());
 }
 
 void
@@ -286,98 +343,16 @@ SmCore::readOperand(Warp &w, const Operand &op, unsigned lane) const
       case Operand::Kind::Pred:
         return w.regs().readPred(lane, op.index) ? 1 : 0;
       case Operand::Kind::Special:
-        switch (static_cast<SpecialReg>(op.index)) {
-          case SpecialReg::TidX:
-            return static_cast<Word>(w.warpInCta() * kWarpSize + lane);
-          case SpecialReg::CtaIdX:
-            return static_cast<Word>(w.cta());
-          case SpecialReg::NTidX:
-            return static_cast<Word>(blockThreads_);
-          case SpecialReg::NCtaIdX:
-            return static_cast<Word>(gridCtas_);
-          case SpecialReg::LaneId:
-            return static_cast<Word>(lane);
-          case SpecialReg::WarpId:
-            return static_cast<Word>(w.warpInCta());
-          case SpecialReg::SmId:
-            return static_cast<Word>(id_);
-        }
-        return 0;
+        return exec::readSpecial(
+            static_cast<SpecialReg>(op.index),
+            exec::ThreadCtx{w.warpInCta(), w.cta(), blockThreads_,
+                            gridCtas_, id_},
+            lane);
       case Operand::Kind::None:
         panic("readOperand on a missing operand");
     }
     return 0;
 }
-
-namespace {
-
-/** Wrapping signed arithmetic via unsigned (overflow is defined). */
-Word
-wrapAdd(Word a, Word b)
-{
-    return static_cast<Word>(static_cast<std::uint64_t>(a) +
-                             static_cast<std::uint64_t>(b));
-}
-
-Word
-wrapSub(Word a, Word b)
-{
-    return static_cast<Word>(static_cast<std::uint64_t>(a) -
-                             static_cast<std::uint64_t>(b));
-}
-
-Word
-wrapMul(Word a, Word b)
-{
-    return static_cast<Word>(static_cast<std::uint64_t>(a) *
-                             static_cast<std::uint64_t>(b));
-}
-
-Word
-aluCompute(const Instruction &inst, Word a, Word b, Word c)
-{
-    switch (inst.op) {
-      case Opcode::Mov: return a;
-      case Opcode::Add: return wrapAdd(a, b);
-      case Opcode::Sub: return wrapSub(a, b);
-      case Opcode::Mul: return wrapMul(a, b);
-      case Opcode::Mad: return wrapAdd(wrapMul(a, b), c);
-      // Division by zero yields 0; INT64_MIN / -1 wraps (both are
-      // UB in C++ but well-defined device behaviour here).
-      case Opcode::Div:
-        return b == 0 ? 0 : (b == -1 ? wrapSub(0, a) : a / b);
-      case Opcode::Rem:
-        return b == 0 ? 0 : (b == -1 ? 0 : a % b);
-      case Opcode::Min: return std::min(a, b);
-      case Opcode::Max: return std::max(a, b);
-      case Opcode::And: return a & b;
-      case Opcode::Or: return a | b;
-      case Opcode::Xor: return a ^ b;
-      case Opcode::Not: return ~a;
-      case Opcode::Shl: return static_cast<Word>(
-          static_cast<std::uint64_t>(a) << (b & 63));
-      case Opcode::Shr: return static_cast<Word>(
-          static_cast<std::uint64_t>(a) >> (b & 63));
-      default:
-        panic("aluCompute on non-ALU opcode");
-    }
-}
-
-bool
-compare(CmpOp op, Word a, Word b)
-{
-    switch (op) {
-      case CmpOp::Eq: return a == b;
-      case CmpOp::Ne: return a != b;
-      case CmpOp::Lt: return a < b;
-      case CmpOp::Le: return a <= b;
-      case CmpOp::Gt: return a > b;
-      case CmpOp::Ge: return a >= b;
-    }
-    return false;
-}
-
-}  // namespace
 
 void
 SmCore::executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
@@ -447,7 +422,7 @@ SmCore::executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
             for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
                 const unsigned lane = firstLane(rest);
                 const bool r =
-                    compare(inst.cmp, get(a, lane), get(b, lane));
+                    exec::compare(inst.cmp, get(a, lane), get(b, lane));
                 const LaneMask bit = LaneMask{1} << lane;
                 pred = r ? (pred | bit) : (pred & ~bit);
                 if (is_wait_check) {
@@ -501,8 +476,8 @@ SmCore::executeAlu(Warp &w, const Instruction &inst, LaneMask exec,
             Word *dst = w.regs().row(inst.dst.index);
             for (LaneMask rest = exec; rest != 0; rest &= rest - 1) {
                 const unsigned lane = firstLane(rest);
-                dst[lane] = aluCompute(inst, get(a, lane), get(b, lane),
-                                       get(c, lane));
+                dst[lane] = exec::aluCompute(inst, get(a, lane),
+                                             get(b, lane), get(c, lane));
             }
             break;
           }
@@ -524,51 +499,30 @@ void
 SmCore::executeAtomicLane(Warp &w, const Instruction &inst, unsigned lane,
                           Addr addr, bool is_acquire)
 {
-    MemorySpace &mem = *launch_.mem;
-    KernelStats &st = stats_;
-    Word old = mem.read(addr, inst.size);
     Word operand = readOperand(w, inst.src[1], lane);
-    Word next = old;
-    switch (inst.atom) {
-      case AtomOp::Cas: {
-        Word desired = readOperand(w, inst.src[2], lane);
-        next = (old == operand) ? desired : old;
-        std::uint64_t warp_key = w.age() + 1;  // globally unique, nonzero
-        CasOutcome outcome = launch_.lockTracker.onCas(
-            addr, warp_key, old, operand, desired);
-        if (is_acquire) {
-            switch (outcome) {
-              case CasOutcome::Success:
-                ++st.outcomes.lockSuccess;
-                break;
-              case CasOutcome::InterWarpFail:
-                ++st.outcomes.interWarpFail;
-                break;
-              case CasOutcome::IntraWarpFail:
-                ++st.outcomes.intraWarpFail;
-                break;
-            }
+    Word desired = inst.atom == AtomOp::Cas
+                       ? readOperand(w, inst.src[2], lane)
+                       : 0;
+    // Warp key: the launch-wide age, globally unique and nonzero.
+    exec::AtomicResult r = exec::applyAtomicLane(
+        *launch_.mem, launch_.lockTracker, inst, addr, operand, desired,
+        w.age() + 1);
+    if (r.isCas && is_acquire) {
+        KernelStats &st = stats_;
+        switch (r.cas) {
+          case CasOutcome::Success:
+            ++st.outcomes.lockSuccess;
+            break;
+          case CasOutcome::InterWarpFail:
+            ++st.outcomes.interWarpFail;
+            break;
+          case CasOutcome::IntraWarpFail:
+            ++st.outcomes.intraWarpFail;
+            break;
         }
-        break;
-      }
-      case AtomOp::Exch:
-        next = operand;
-        launch_.lockTracker.onWrite(addr, operand);
-        break;
-      case AtomOp::Add:
-        next = static_cast<Word>(static_cast<std::uint64_t>(old) +
-                                 static_cast<std::uint64_t>(operand));
-        break;
-      case AtomOp::Min:
-        next = std::min(old, operand);
-        break;
-      case AtomOp::Max:
-        next = std::max(old, operand);
-        break;
     }
-    mem.write(addr, next, inst.size);
     if (inst.dst.valid())
-        w.regs().write(lane, inst.dst.index, old);
+        w.regs().write(lane, inst.dst.index, r.old);
 }
 
 void

@@ -79,6 +79,15 @@ struct LaunchState {
     }
 };
 
+/**
+ * CTA residency limit for one SM: the minimum over the CTA cap and the
+ * thread, register, shared-memory and warp-slot budgets. Shared by
+ * SmCore and the functional executor so both modes dispatch CTAs with
+ * identical occupancy. Fatal when the kernel does not fit at all.
+ */
+unsigned maxResidentCtasFor(const GpuConfig &cfg, const Program &prog,
+                            unsigned threads_per_cta);
+
 class SmCore : private IssueGate {
   public:
     /**
@@ -88,6 +97,17 @@ class SmCore : private IssueGate {
      */
     SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
            KernelStats *shard = nullptr);
+
+    /**
+     * Seeds this SM's resident CTAs/warps from an architectural
+     * checkpoint (sampled mode's detailed windows; docs/PERF.md). Call
+     * once, before the first cycle. Architectural state — SIMT stacks,
+     * registers, barrier membership, shared memory, warp ages — is
+     * restored exactly; microarchitectural state (scoreboard, LD/ST
+     * unit, caches, DDOS, BOWS) starts cold, which is why windows
+     * exclude a warm-up prefix from measurement.
+     */
+    void seed(const struct SmSnapshot &snap);
 
     /**
      * Advances the SM by one cycle; true when any unit issued.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/log.hpp"
+#include "src/harness/json_check.hpp"
 #include "src/harness/sweep.hpp"
 #include "src/kernels/registry.hpp"
 #include "src/sim/gpu.hpp"
@@ -183,6 +184,82 @@ TEST(SweepToJson, RecordsIdleSkipAndStaticEnergy)
         ASSERT_TRUE(p.at("stats").has("static_energy_nj"));
         EXPECT_GT(p.at("stats").at("static_energy_nj").asDouble(), 0.0);
     }
+}
+
+TEST(SweepToJson, RecordsExecModeAndSampledEstimator)
+{
+    std::vector<SweepPoint> points = smallSweep();
+    points.resize(3);
+    points[0].cfg.execMode = ExecMode::Cycle;
+    points[1].cfg.execMode = ExecMode::Functional;
+    points[2].cfg.execMode = ExecMode::Sampled;
+    points[2].cfg.sampleWindow = 500;
+    points[2].cfg.samplePeriod = 2000;
+    const std::vector<SweepResult> results = SweepRunner(1).run(points);
+
+    const Json doc =
+        harness::sweepToJson("unit_test", 1, points, results);
+    const Json &arr = doc.at("points");
+    ASSERT_EQ(arr.size(), 3u);
+
+    EXPECT_EQ(arr.at(0).at("config").at("exec_mode").asString(), "cycle");
+    EXPECT_FALSE(arr.at(0).at("config").has("sample_window"));
+    EXPECT_FALSE(arr.at(0).at("stats").has("ipc_est"));
+    EXPECT_FALSE(arr.at(0).at("stats").has("ipc_ci95"));
+
+    EXPECT_EQ(arr.at(1).at("config").at("exec_mode").asString(),
+              "functional");
+    EXPECT_EQ(arr.at(1).at("stats").at("cycles").asInt(), 0);
+    EXPECT_FALSE(arr.at(1).at("stats").has("ipc_est"));
+
+    const Json &smp = arr.at(2);
+    EXPECT_EQ(smp.at("config").at("exec_mode").asString(), "sampled");
+    EXPECT_EQ(smp.at("config").at("sample_window").asInt(), 500);
+    EXPECT_EQ(smp.at("config").at("sample_period").asInt(), 2000);
+    ASSERT_TRUE(smp.at("stats").has("ipc_est"));
+    ASSERT_TRUE(smp.at("stats").has("ipc_ci95"));
+    ASSERT_TRUE(smp.at("stats").has("sampled_windows"));
+    EXPECT_GT(smp.at("stats").at("ipc_est").asDouble(), 0.0);
+
+    // The full artifact passes the checker...
+    EXPECT_TRUE(harness::checkSweepArtifact(doc, 3).ok);
+
+    // ...and the checker enforces the mode contract: exec_mode must be
+    // present, and a cycle-mode point must not carry estimator fields.
+    auto brokenDoc = [](bool with_mode, bool with_est) {
+        Json cfg = Json::object();
+        cfg.set("idle_skip", true);
+        cfg.set("sm_threads", 1);
+        cfg.set("atomic_service_period", 1);
+        cfg.set("metrics_interval", 0);
+        if (with_mode)
+            cfg.set("exec_mode", "cycle");
+        Json stats = Json::object();
+        stats.set("cycles", 100);
+        if (with_est)
+            stats.set("ipc_est", 1.0);
+        Json p = Json::object();
+        p.set("id", "p0");
+        p.set("ok", true);
+        p.set("config", std::move(cfg));
+        p.set("stats", std::move(stats));
+        Json arr = Json::array();
+        arr.push(std::move(p));
+        Json d = Json::object();
+        d.set("points", std::move(arr));
+        return d;
+    };
+    EXPECT_TRUE(harness::checkSweepArtifact(brokenDoc(true, false), 1).ok);
+    const harness::CheckResult missing =
+        harness::checkSweepArtifact(brokenDoc(false, false), 1);
+    EXPECT_FALSE(missing.ok);
+    EXPECT_NE(missing.message.find("exec_mode"), std::string::npos)
+        << missing.message;
+    const harness::CheckResult est =
+        harness::checkSweepArtifact(brokenDoc(true, true), 1);
+    EXPECT_FALSE(est.ok);
+    EXPECT_NE(est.message.find("estimator"), std::string::npos)
+        << est.message;
 }
 
 }  // namespace
