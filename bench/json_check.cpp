@@ -7,6 +7,8 @@
  *                                             sweep artifact and point id,
  *                                             cross-checks the final row
  *                                             against that point's stats
+ *   json_check --litmus FILE [EXPECTED_CELLS] litmus outcome matrix
+ *                                             (docs/SYNC.md)
  *
  * Sweep artifacts must parse, carry a "points" array of the expected
  * size (when a count is given), and every point must report ok == true.
@@ -37,8 +39,9 @@ usage(const char *prog)
     std::fprintf(stderr,
                  "usage: %s FILE [EXPECTED_POINT_COUNT]\n"
                  "       %s --trace FILE\n"
-                 "       %s --metrics FILE [SWEEP_JSON POINT_ID]\n",
-                 prog, prog, prog);
+                 "       %s --metrics FILE [SWEEP_JSON POINT_ID]\n"
+                 "       %s --litmus FILE [EXPECTED_CELLS]\n",
+                 prog, prog, prog, prog);
     return 2;
 }
 
@@ -68,12 +71,16 @@ main(int argc, char **argv)
     bool trace_mode = argc >= 2 && std::strcmp(argv[1], "--trace") == 0;
     bool metrics_mode =
         argc >= 2 && std::strcmp(argv[1], "--metrics") == 0;
-    int first_file = trace_mode || metrics_mode ? 2 : 1;
+    bool litmus_mode =
+        argc >= 2 && std::strcmp(argv[1], "--litmus") == 0;
+    int first_file = trace_mode || metrics_mode || litmus_mode ? 2 : 1;
     bool args_ok;
     if (trace_mode)
         args_ok = argc == 3;
     else if (metrics_mode)
         args_ok = argc == 3 || argc == 5;
+    else if (litmus_mode)
+        args_ok = argc == 3 || argc == 4;
     else
         args_ok = argc == 2 || argc == 3;
     if (!args_ok)
@@ -85,6 +92,11 @@ main(int argc, char **argv)
         CheckResult res;
         if (trace_mode) {
             res = bowsim::harness::checkChromeTrace(doc);
+        } else if (litmus_mode) {
+            std::int64_t expected = -1;
+            if (argc == 4)
+                expected = std::strtol(argv[3], nullptr, 10);
+            res = bowsim::harness::checkLitmusMatrix(doc, expected);
         } else if (metrics_mode) {
             Json sweep;
             const Json *stats = nullptr;

@@ -199,6 +199,16 @@ struct GpuConfig {
     bool collectStallBreakdown = false;
 
     /**
+     * Accumulate KernelStats::spinningWarpCycles — the per-cycle count
+     * of resident warps the spin-detection mechanism currently flags as
+     * spinning. Off by default for the same reason as the stall
+     * breakdown: the gauge loops over resident warps, so it stays off
+     * the hot path unless a consumer (the litmus harness's spin-cycle
+     * attribution) asks for it.
+     */
+    bool collectSpinCycles = false;
+
+    /**
      * Event-driven idle-cycle fast-forward: when a cycle ends with no
      * warp issued on any SM, jump the clock to the earliest cycle at
      * which any component can do work (writeback, memory completion,

@@ -1,0 +1,51 @@
+#include "src/cpuref/sync_cpu.hpp"
+
+#include "src/common/log.hpp"
+
+namespace bowsim::cpuref {
+
+LockRef
+lockReference(sync::Primitive p, const sync::SyncGeometry &g)
+{
+    const unsigned warps = g.totalWarps();
+    const Word total = static_cast<Word>(g.totalAcquisitions());
+    LockRef r;
+    r.counter = total;
+    r.slots.assign(warps, static_cast<Word>(g.iters));
+    r.errors.assign(warps, 0);
+    switch (p) {
+      case sync::Primitive::TasLock:
+      case sync::Primitive::BackoffLock:
+        r.lockWord = 0;
+        break;
+      case sync::Primitive::TicketLock:
+        // Every round takes one ticket and advances now-serving by one.
+        r.nextTicket = total;
+        r.nowServing = total;
+        break;
+      case sync::Primitive::ArrayLock: {
+        // The k-th release opens flag slot (k+1) % slots; after the
+        // last one exactly that slot is open. flags[0] starts open.
+        r.tail = total;
+        r.flags.assign(warps, 0);
+        r.flags[static_cast<std::size_t>(total % warps)] = 1;
+        break;
+      }
+      case sync::Primitive::GlobalBarrier:
+        fatal("lockReference: GlobalBarrier is not a lock primitive");
+    }
+    return r;
+}
+
+BarrierRef
+barrierReference(const sync::SyncGeometry &g)
+{
+    BarrierRef r;
+    r.count = 0;
+    r.release = static_cast<Word>(g.iters);
+    r.data.assign(g.ctas, static_cast<Word>(g.iters));
+    r.errors.assign(g.ctas, 0);
+    return r;
+}
+
+}  // namespace bowsim::cpuref

@@ -1,0 +1,56 @@
+#ifndef BOWSIM_CPUREF_SYNC_CPU_HPP
+#define BOWSIM_CPUREF_SYNC_CPU_HPP
+
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/sync/primitives.hpp"
+
+/**
+ * @file
+ * Host references for the src/sync primitives: the exact final device
+ * memory a correct lock or barrier run must leave behind, independent
+ * of scheduling. The harness validate() methods and the unit tests
+ * both compare against these.
+ */
+
+namespace bowsim::cpuref {
+
+/** Expected final state of one lock-primitive run. */
+struct LockRef {
+    /** counter: every acquisition incremented it exactly once. */
+    Word counter = 0;
+    /** slots[gw]: rounds completed per warp. */
+    std::vector<Word> slots;
+    /** errors[gw]: CS-overlap witnesses, all zero under mutual exclusion. */
+    std::vector<Word> errors;
+    /** TAS/backoff lock word after the last release. */
+    Word lockWord = 0;
+    /** Ticket lock: final next-ticket and now-serving counters. */
+    Word nextTicket = 0;
+    Word nowServing = 0;
+    /** Array lock: final tail counter and flag array (one slot open). */
+    Word tail = 0;
+    std::vector<Word> flags;
+};
+
+/** Reference for @p p (any lock primitive) at geometry @p g. */
+LockRef lockReference(sync::Primitive p, const sync::SyncGeometry &g);
+
+/** Expected final state of one global-barrier run. */
+struct BarrierRef {
+    /** Arrive counter: reset by the last arriver of the last round. */
+    Word count = 0;
+    /** Release word: the last round's sequence number (== iters). */
+    Word release = 0;
+    /** data[cta]: each CTA's last published round (== iters). */
+    std::vector<Word> data;
+    /** errors[cta]: cross-CTA ordering violations, all zero. */
+    std::vector<Word> errors;
+};
+
+BarrierRef barrierReference(const sync::SyncGeometry &g);
+
+}  // namespace bowsim::cpuref
+
+#endif  // BOWSIM_CPUREF_SYNC_CPU_HPP

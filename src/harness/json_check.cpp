@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/common/log.hpp"
+#include "src/harness/litmus.hpp"
+#include "src/sync/primitives.hpp"
 
 namespace bowsim::harness {
 
@@ -367,6 +369,138 @@ checkMetricsSeries(const Json &doc, const Json *stats)
        << " columns, interval " << interval;
     if (stats != nullptr)
         os << ", " << checked << " totals matched against stats";
+    os << ")";
+    CheckResult r;
+    r.message = os.str();
+    return r;
+}
+
+CheckResult
+checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
+{
+    // --- document header ---------------------------------------------
+    for (const char *k : {"bench", "exec_mode", "watchdog_cycles",
+                          "threads_per_cta", "iters"}) {
+        if (!doc.has(k))
+            return fail(std::string("litmus document lacks \"") + k +
+                        "\"");
+    }
+    const std::string &mode = doc.at("exec_mode").asString();
+    if (mode != "cycle" && mode != "functional" && mode != "sampled")
+        return fail("unknown exec_mode \"" + mode + "\"");
+    if (doc.at("watchdog_cycles").asInt() <= 0)
+        return fail("watchdog_cycles must be positive");
+
+    // --- axis lists ---------------------------------------------------
+    for (const char *k : {"primitives", "schedulers", "bows",
+                          "occupancies", "cells"}) {
+        if (!doc.has(k) || doc.at(k).type() != Json::Type::Array)
+            return fail(std::string("litmus document lacks \"") + k +
+                        "\" array");
+        if (std::string(k) != "cells" && doc.at(k).size() == 0)
+            return fail(std::string("axis \"") + k + "\" is empty");
+    }
+    const Json &prims = doc.at("primitives");
+    for (std::size_t i = 0; i < prims.size(); ++i) {
+        sync::Primitive p;
+        if (!sync::parsePrimitive(prims.at(i).asString(), &p))
+            return fail("unknown primitive \"" + prims.at(i).asString() +
+                        "\"");
+    }
+    const Json &occs = doc.at("occupancies");
+    for (std::size_t i = 0; i < occs.size(); ++i) {
+        OccupancyLevel level;
+        if (!parseOccupancy(occs.at(i).asString(), &level))
+            return fail("unknown occupancy \"" + occs.at(i).asString() +
+                        "\"");
+    }
+    const Json &scheds = doc.at("schedulers");
+    const Json &bows = doc.at("bows");
+
+    // --- cells: schema, legality, and exact axis coverage -------------
+    const Json &cells = doc.at("cells");
+    const std::size_t expected_product =
+        prims.size() * scheds.size() * bows.size() * occs.size();
+    if (expected_cells >= 0 &&
+        cells.size() != static_cast<std::size_t>(expected_cells)) {
+        std::ostringstream os;
+        os << "matrix has " << cells.size() << " cells, expected "
+           << expected_cells;
+        return fail(os.str());
+    }
+    if (cells.size() != expected_product) {
+        std::ostringstream os;
+        os << "matrix has " << cells.size()
+           << " cells but the axis lists span " << expected_product;
+        return fail(os.str());
+    }
+    std::map<std::string, int> seen;
+    std::map<std::string, std::size_t> outcome_counts;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Json &c = cells.at(i);
+        const std::string where = "cell " + std::to_string(i);
+        for (const char *k : {"id", "primitive", "scheduler", "bows",
+                              "occupancy", "ctas", "warps_per_cta",
+                              "iters", "outcome", "config", "stats"}) {
+            if (!c.has(k))
+                return fail(where + " lacks \"" + k + "\"");
+        }
+        SyncOutcome outcome;
+        if (!parseSyncOutcome(c.at("outcome").asString(), &outcome))
+            return fail(where + " has illegal outcome \"" +
+                        c.at("outcome").asString() + "\"");
+        ++outcome_counts[c.at("outcome").asString()];
+        if (c.at("ctas").asInt() <= 0 ||
+            c.at("warps_per_cta").asInt() <= 0 ||
+            c.at("iters").asInt() <= 0)
+            return fail(where + " has non-positive geometry");
+        const Json &cfg = c.at("config");
+        if (cfg.type() != Json::Type::Object)
+            return fail(where + " \"config\" is not an object");
+        // The cell configuration must be self-describing and agree
+        // with the cell's own axis coordinates.
+        for (const char *k : {"exec_mode", "watchdog_cycles",
+                              "scheduler", "bows_enabled",
+                              "spin_detect"}) {
+            if (!cfg.has(k))
+                return fail(where + " config lacks \"" + k + "\"");
+        }
+        if (cfg.at("exec_mode").asString() != mode)
+            return fail(where + " config exec_mode disagrees with the "
+                        "document header");
+        if (cfg.at("scheduler").asString() !=
+            c.at("scheduler").asString())
+            return fail(where + " config scheduler disagrees with the "
+                        "cell's scheduler");
+        if (cfg.at("bows_enabled").asBool() != c.at("bows").asBool())
+            return fail(where + " config bows_enabled disagrees with "
+                        "the cell's bows flag");
+        if (c.at("stats").type() != Json::Type::Object)
+            return fail(where + " \"stats\" is not an object");
+        std::string key = c.at("primitive").asString() + "/" +
+                          c.at("scheduler").asString() + "/" +
+                          (c.at("bows").asBool() ? "bows" : "base") +
+                          "/" + c.at("occupancy").asString();
+        if (++seen[key] > 1)
+            return fail("duplicate cell " + key);
+    }
+    for (std::size_t pi = 0; pi < prims.size(); ++pi)
+        for (std::size_t si = 0; si < scheds.size(); ++si)
+            for (std::size_t bi = 0; bi < bows.size(); ++bi)
+                for (std::size_t oi = 0; oi < occs.size(); ++oi) {
+                    std::string key =
+                        prims.at(pi).asString() + "/" +
+                        scheds.at(si).asString() + "/" +
+                        (bows.at(bi).asBool() ? "bows" : "base") + "/" +
+                        occs.at(oi).asString();
+                    if (seen.find(key) == seen.end())
+                        return fail("matrix is missing cell " + key);
+                }
+
+    std::ostringstream os;
+    os << "OK (litmus, " << cells.size() << " cells";
+    for (const auto &[name, count] : outcome_counts)
+        os << ", " << count << " " << name;
     os << ")";
     CheckResult r;
     r.message = os.str();

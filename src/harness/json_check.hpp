@@ -62,6 +62,22 @@ CheckResult checkChromeTrace(const Json &doc);
 CheckResult checkMetricsSeries(const Json &doc,
                                const Json *stats = nullptr);
 
+/**
+ * Validates a litmus outcome-matrix document (docs/SYNC.md):
+ *  - the header records bench, exec_mode (legal value), a positive
+ *    watchdog_cycles, threads_per_cta and iters;
+ *  - the axis lists (primitives, schedulers, bows, occupancies) are
+ *    non-empty and name known primitives/occupancy levels;
+ *  - "cells" covers the full axis cross-product exactly once, and each
+ *    cell carries its coordinates, geometry, a legal outcome, a
+ *    self-describing config (exec_mode agreeing with the header,
+ *    scheduler/bows_enabled agreeing with the cell), and a stats
+ *    object.
+ * @p expected_cells additionally pins the cell count when >= 0.
+ */
+CheckResult checkLitmusMatrix(const Json &doc,
+                              std::int64_t expected_cells = -1);
+
 }  // namespace bowsim::harness
 
 #endif  // BOWSIM_HARNESS_JSON_CHECK_HPP

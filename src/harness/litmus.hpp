@@ -1,0 +1,178 @@
+#ifndef BOWSIM_HARNESS_LITMUS_HPP
+#define BOWSIM_HARNESS_LITMUS_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/harness/json.hpp"
+#include "src/stats/stats.hpp"
+#include "src/sync/primitives.hpp"
+
+namespace bowsim {
+class Gpu;
+struct LaunchAbort;
+}
+
+/**
+ * @file
+ * Synchronization litmus harness (docs/SYNC.md). A litmus matrix runs
+ * every generated primitive (src/sync) under every combination of
+ * baseline scheduler, BOWS on/off, and occupancy level, with a short
+ * watchdog and DDOS spin detection, and classifies each cell's outcome:
+ *
+ *  - completed: the kernel finished and validated against src/cpuref.
+ *  - livelocked: the watchdog fired while warps were still actively
+ *    issuing a spin-dominated instruction stream (forward progress
+ *    starved, not blocked) — e.g. pure GTO starving a lock holder, or
+ *    an over-subscribed inter-CTA barrier spinning on CTAs that can
+ *    never become resident.
+ *  - deadlocked: no warp had issued for a long tail of the run
+ *    (everything blocked, e.g. divergent bar.sync), or functional
+ *    mode's zero-progress check fired.
+ *  - watchdog_killed: the watchdog fired but the stream was still
+ *    making non-spin progress — the budget was simply too small.
+ *
+ * Classification consumes Gpu::lastAbort(), which is deterministic
+ * across --sm-threads and idle-skip, so a litmus artifact is
+ * byte-identical across those execution knobs (they are deliberately
+ * not recorded in the document).
+ */
+
+namespace bowsim::harness {
+
+/** Classified result of one litmus cell. */
+enum class SyncOutcome {
+    Completed,
+    Livelocked,
+    Deadlocked,
+    WatchdogKilled,
+};
+
+/** "completed", "livelocked", "deadlocked", "watchdog_killed". */
+const char *toString(SyncOutcome o);
+
+/** Parses the toString() identifiers; false on anything else. */
+bool parseSyncOutcome(const std::string &text, SyncOutcome *out);
+
+/** Grid size relative to the configuration's resident-CTA capacity. */
+enum class OccupancyLevel {
+    Under,  ///< half the resident capacity (at least one CTA)
+    Exact,  ///< exactly the resident capacity
+    Over,   ///< twice the resident capacity
+};
+
+/** "under", "exact", "over". */
+const char *toString(OccupancyLevel level);
+
+/** Parses the toString() identifiers; false on anything else. */
+bool parseOccupancy(const std::string &text, OccupancyLevel *out);
+
+/** All occupancy levels, in a fixed canonical order. */
+const std::vector<OccupancyLevel> &allOccupancyLevels();
+
+/** Spin-dominance threshold for the livelock classification: a cell
+ *  whose aborted run spent at least this fraction of its warp
+ *  instructions on (predicted or ground-truth) spin-inducing branches
+ *  counts as livelocked rather than merely out of budget. */
+inline constexpr double kLivelockSibFraction = 0.05;
+
+/** Issue-recency threshold for the deadlock classification: an abort
+ *  with no instruction issued in the trailing quarter of the watchdog
+ *  budget counts as deadlocked (blocked), not livelocked (spinning). */
+inline constexpr double kDeadlockIdleFraction = 0.25;
+
+/** One cell of the litmus matrix. */
+struct LitmusCell {
+    /** "tas/GTO/bows/over" — primitive/scheduler/bows/occupancy. */
+    std::string id;
+    sync::Primitive primitive;
+    SchedulerKind scheduler;
+    bool bows = false;
+    OccupancyLevel occupancy;
+    sync::SyncGeometry geometry;
+    /** Complete configuration the cell runs under. */
+    GpuConfig cfg;
+};
+
+/** Outcome of one executed cell. */
+struct LitmusCellResult {
+    SyncOutcome outcome = SyncOutcome::WatchdogKilled;
+    /** Final stats (completed) or the abort snapshot (everything else). */
+    KernelStats stats;
+    /** The SimError message for non-completed outcomes; empty else. */
+    std::string detail;
+};
+
+/** The matrix to run: axis lists plus the shared base configuration. */
+struct LitmusOptions {
+    /** Base configuration every cell derives from
+     *  (defaultLitmusConfig()); scheduler and bows.enabled are
+     *  overwritten per cell. */
+    GpuConfig base;
+    std::vector<sync::Primitive> primitives;
+    std::vector<SchedulerKind> schedulers;
+    /** BOWS off/on; "base" and "bows" in cell ids. */
+    std::vector<bool> bowsModes;
+    std::vector<OccupancyLevel> occupancies;
+    unsigned threadsPerCta = 64;
+    /** Lock rounds per warp / barrier rounds. */
+    unsigned iters = 16;
+    /** BackoffLock clock()-delay base (SyncGeometry::delayFactor). */
+    unsigned delayFactor = 64;
+};
+
+/**
+ * Litmus base configuration: one SM, a litmus-sized watchdog, DDOS
+ * spin detection, spin-cycle attribution on, and — crucially — GTO age
+ * rotation disabled, so the pure-GTO starvation the rotation exists to
+ * paper over is observable as a livelock.
+ */
+GpuConfig defaultLitmusConfig();
+
+/** Full default matrix: all primitives x {LRR, GTO, CAWA} x
+ *  {base, bows} x {under, exact, over}. */
+LitmusOptions defaultLitmusOptions();
+
+/**
+ * Expands @p opts into concrete cells (primitive-major, then
+ * scheduler, BOWS mode, occupancy). Occupancy geometry derives from
+ * maxResidentCtasFor() on the assembled primitive at
+ * opts.threadsPerCta, scaled by base.numCores.
+ */
+std::vector<LitmusCell> buildLitmusCells(const LitmusOptions &opts);
+
+/**
+ * Runs @p cell's kernel on @p gpu (constructed from cell.cfg, possibly
+ * with execution-knob overrides) and classifies the outcome. Watchdog
+ * SimErrors are absorbed into the classification; validation failures
+ * and non-watchdog SimErrors propagate — they signal harness bugs, not
+ * synchronization pathologies.
+ */
+LitmusCellResult runLitmusCell(const LitmusCell &cell, Gpu &gpu);
+
+/**
+ * Classifies a watchdog abort from the Gpu's abort record (see the
+ * file comment for the taxonomy). @p message is the SimError text;
+ * functional-mode zero-progress aborts classify as Deadlocked from it.
+ */
+SyncOutcome classifySyncAbort(const LaunchAbort &abort,
+                              const GpuConfig &cfg,
+                              const std::string &message);
+
+/**
+ * Builds the litmus artifact: { "bench", "exec_mode",
+ * "watchdog_cycles", "threads_per_cta", "iters", "primitives",
+ * "schedulers", "bows", "occupancies", "cells": [...] }. Execution
+ * knobs that cannot affect results (--jobs, --sm-threads, idle-skip,
+ * metrics interval) are deliberately omitted so artifacts are
+ * byte-identical across them.
+ */
+Json litmusToJson(const std::string &bench_name,
+                  const LitmusOptions &opts,
+                  const std::vector<LitmusCell> &cells,
+                  const std::vector<LitmusCellResult> &results);
+
+}  // namespace bowsim::harness
+
+#endif  // BOWSIM_HARNESS_LITMUS_HPP

@@ -190,6 +190,10 @@ statsToJson(const KernelStats &s)
     Json sched = Json::object();
     sched.set("resident_warp_cycles", s.residentWarpCycles);
     sched.set("backed_off_warp_cycles", s.backedOffWarpCycles);
+    // Gated counter (GpuConfig::collectSpinCycles): emitted only when
+    // collected so artifacts from runs without it stay byte-stable.
+    if (s.spinningWarpCycles != 0)
+        sched.set("spinning_warp_cycles", s.spinningWarpCycles);
     sched.set("delay_limit_cycle_sum", s.delayLimitCycleSum);
     sched.set("sm_cycles", s.smCycles);
     sched.set("avg_delay_limit", s.avgDelayLimit());

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
 
 #include "src/common/log.hpp"
 #include "src/kernels/atm.hpp"
@@ -12,6 +15,7 @@
 #include "src/kernels/nw.hpp"
 #include "src/kernels/syncfree.hpp"
 #include "src/kernels/tsp.hpp"
+#include "src/sync/sync_kernels.hpp"
 
 namespace bowsim {
 
@@ -33,6 +37,55 @@ nextPow2(unsigned v)
     return p;
 }
 
+/**
+ * Programmatically registered benchmark variants. Registration and
+ * lookup happen from sweep worker threads, so every access holds the
+ * registry mutex; factories themselves run outside the lock.
+ */
+std::mutex &
+registryMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::map<std::string, BenchmarkFactory> &
+variantRegistry()
+{
+    static std::map<std::string, BenchmarkFactory> registry;
+    return registry;
+}
+
+bool
+isBuiltinName(const std::string &name)
+{
+    const auto &sync = syncKernelNames();
+    const auto &free = syncFreeKernelNames();
+    return std::find(sync.begin(), sync.end(), name) != sync.end() ||
+           std::find(free.begin(), free.end(), name) != free.end();
+}
+
+/**
+ * The default sync-primitive variants register lazily on first lookup:
+ * static self-registration objects in a static library are silently
+ * dropped by the linker, so the registry pulls them in explicitly.
+ * Re-entrant by design (not std::call_once): registerSyncKernelVariants
+ * registers through registerBenchmark, which calls back here so that
+ * user registrations clash-check against the defaults regardless of
+ * call order. Other threads block until registration completes.
+ */
+void
+ensureDefaultVariants()
+{
+    static std::recursive_mutex mu;
+    static bool done = false;
+    std::lock_guard<std::recursive_mutex> lock(mu);
+    if (done)
+        return;
+    done = true;  // before registering: re-entrant calls no-op
+    sync::registerSyncKernelVariants();
+}
+
 }  // namespace
 
 const std::vector<std::string> &
@@ -48,6 +101,47 @@ syncFreeKernelNames()
 {
     static const std::vector<std::string> names = {"VEC", "KM",  "MS",
                                                    "HL",  "RED", "STEN"};
+    return names;
+}
+
+void
+registerBenchmark(const std::string &name, BenchmarkFactory factory)
+{
+    if (name.empty())
+        fatal("registerBenchmark: empty benchmark name");
+    if (!factory)
+        fatal("registerBenchmark: null factory for '", name, "'");
+    if (isBuiltinName(name))
+        fatal("registerBenchmark: '", name,
+              "' clashes with a built-in suite kernel");
+    // Defaults first, so a user registration clash-checks against them
+    // no matter which registry call happens first in the process.
+    ensureDefaultVariants();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    if (!variantRegistry().emplace(name, std::move(factory)).second)
+        fatal("registerBenchmark: duplicate registration of '", name, "'");
+}
+
+bool
+hasBenchmark(const std::string &name)
+{
+    if (isBuiltinName(name))
+        return true;
+    ensureDefaultVariants();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return variantRegistry().count(name) != 0;
+}
+
+std::vector<std::string>
+allBenchmarkNames()
+{
+    std::vector<std::string> names = syncKernelNames();
+    const auto &free = syncFreeKernelNames();
+    names.insert(names.end(), free.begin(), free.end());
+    ensureDefaultVariants();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (const auto &[name, factory] : variantRegistry())
+        names.push_back(name);
     return names;
 }
 
@@ -117,7 +211,23 @@ makeBenchmark(const std::string &name, double scale)
         return makeReduction(sf);
     if (name == "STEN")
         return makeStencil(sf);
-    fatal("unknown benchmark '", name, "'");
+    // Not in the fixed suite: consult the dynamic variant registry. The
+    // factory is copied out so it runs without holding the lock (it may
+    // itself resolve other benchmarks).
+    ensureDefaultVariants();
+    BenchmarkFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = variantRegistry().find(name);
+        if (it != variantRegistry().end())
+            factory = it->second;
+    }
+    if (factory)
+        return factory(scale);
+    std::ostringstream known;
+    for (const std::string &n : allBenchmarkNames())
+        known << (known.tellp() > 0 ? " " : "") << n;
+    fatal("unknown benchmark '", name, "' (known: ", known.str(), ")");
 }
 
 }  // namespace bowsim

@@ -1,6 +1,7 @@
 #ifndef BOWSIM_KERNELS_REGISTRY_HPP
 #define BOWSIM_KERNELS_REGISTRY_HPP
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,11 @@
  *
  *   sync kernels: TB, ST, DS, ATM, HT, TSP, NW1, NW2
  *   sync-free:    VEC, KM, MS, HL, RED, STEN
+ *
+ * Beyond that fixed suite, parameterized kernel variants (e.g. the
+ * src/sync primitive x geometry instantiations) register themselves
+ * programmatically via registerBenchmark(); makeBenchmark() resolves
+ * both kinds, so harness code never assumes a fixed name set.
  */
 
 namespace bowsim {
@@ -24,6 +30,30 @@ const std::vector<std::string> &syncKernelNames();
 
 /** The synchronization-free control kernels. */
 const std::vector<std::string> &syncFreeKernelNames();
+
+/**
+ * Factory for one programmatically registered benchmark variant. The
+ * scale argument has the same meaning as makeBenchmark()'s: it
+ * multiplies the variant's default problem size (1.0 = default).
+ */
+using BenchmarkFactory =
+    std::function<std::unique_ptr<KernelHarness>(double scale)>;
+
+/**
+ * Registers @p factory under @p name. Fatal on an empty name, a
+ * duplicate registration, or a clash with a built-in suite name.
+ * Thread-safe (sweep workers resolve benchmarks concurrently).
+ */
+void registerBenchmark(const std::string &name, BenchmarkFactory factory);
+
+/** True when @p name resolves — built-in suite or registered variant. */
+bool hasBenchmark(const std::string &name);
+
+/**
+ * Every resolvable benchmark name: the built-in suite in its canonical
+ * order, then the registered variants sorted lexicographically.
+ */
+std::vector<std::string> allBenchmarkNames();
 
 /**
  * Creates the named benchmark with its default (scaled) inputs.

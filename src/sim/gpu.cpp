@@ -43,6 +43,7 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
     if (block.count() == 0 || grid.count() == 0)
         fatal("launch with an empty grid or block");
 
+    abort_ = LaunchAbort{};
     switch (cfg_.execMode) {
       case ExecMode::Functional:
         return launchFunctional(prog, grid, block, params);
@@ -135,6 +136,7 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
                               : cfg_.watchdogCycles + 1;
 
     Cycle now = 0;
+    Cycle last_issue = 0;
     std::uint64_t idle_cores = 0;
     std::uint64_t idle_delay_sum = 0;
 
@@ -187,6 +189,24 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
         }
     };
 
+    // A launch that dies (watchdog, or a SimError out of a core) stashes
+    // its partial statistics first, so callers like the litmus harness
+    // can classify the abort. At the watchdog trip the throw happens at
+    // the top of the loop on fully settled end-of-cycle state, so the
+    // stash is byte-identical across --sm-threads and idle-skip.
+    auto stash_abort = [&](Cycle at) {
+        abort_.valid = true;
+        KernelStats snap = launch.stats;
+        for (const auto &shard : shards)
+            snap += *shard;
+        snap.cycles = at;
+        snap.mem = memsys.stats();
+        abort_.stats = std::move(snap);
+        abort_.atCycle = at;
+        abort_.lastIssueCycle = last_issue;
+    };
+
+    try {
     do {
         ++now;
         if (now > cfg_.watchdogCycles)
@@ -211,6 +231,8 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
             for (SmCore *core : active)
                 core->commit(now);
         }
+        if (issued)
+            last_issue = now;
         for (std::size_t i = 0; i < active.size();) {
             if (active[i]->busy()) {
                 ++i;
@@ -262,6 +284,10 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
             metricsNext = metrics_->nextSampleCycle();
         }
     } while (!active.empty());
+    } catch (...) {
+        stash_abort(now > 0 ? now - 1 : 0);
+        throw;
+    }
 
     // The final cycle of the launch is recorded even when it falls off
     // the sample grid, so the series' last row matches the returned
@@ -311,7 +337,18 @@ Gpu::launchFunctional(const Program &prog, Dim3 grid, Dim3 block,
     launch.spinDetect = cfg_.spinDetect;
     launch.stats.kernel = prog.name;
     FunctionalExecutor fx(cfg_, launch);
-    fx.run();
+    try {
+        fx.run();
+    } catch (...) {
+        // Functional aborts (instruction watchdog, zero-progress check)
+        // stash the partial stats like the cycle loop; there is no
+        // cycle clock, so the issue-recency signal stays zero.
+        abort_.valid = true;
+        abort_.stats = launch.stats;
+        abort_.atCycle = 0;
+        abort_.lastIssueCycle = 0;
+        throw;
+    }
     return launch.stats;
 }
 

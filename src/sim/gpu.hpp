@@ -34,6 +34,27 @@ class MetricsSampler;
 
 struct GpuSnapshot;
 
+/**
+ * Partial statistics captured when a launch dies on a SimError (the
+ * cycle watchdog, or functional mode's progress checks). The litmus
+ * harness (src/harness/litmus.*) classifies the abort from these:
+ * whether warps were still issuing, and how spin-dominated the
+ * instruction stream was. Deterministic across --sm-threads and
+ * idle-skip: the watchdog fires at the top of the cycle loop on fully
+ * settled state, and the stats are exact by the phase-split and
+ * fast-forward contracts (docs/PERF.md).
+ */
+struct LaunchAbort {
+    bool valid = false;
+    /** Stats at the abort point (per-SM shards merged in SM-id order,
+     *  memory-system counters included). */
+    KernelStats stats;
+    /** Cycle of the last settled simulated cycle (0 in functional). */
+    Cycle atCycle = 0;
+    /** Last cycle on which any SM issued an instruction. */
+    Cycle lastIssueCycle = 0;
+};
+
 class Gpu {
   public:
     explicit Gpu(GpuConfig cfg);
@@ -90,6 +111,14 @@ class Gpu {
 
     const GpuConfig &config() const { return cfg_; }
 
+    /**
+     * The abort record of the most recent launch that threw a SimError
+     * (valid == false after a successful launch). The stats snapshot is
+     * what KernelStats would have reported had the launch ended at the
+     * abort cycle.
+     */
+    const LaunchAbort &lastAbort() const { return abort_; }
+
   private:
     KernelStats launchCycle(const Program &prog, Dim3 grid, Dim3 block,
                             const std::vector<Word> &params);
@@ -119,6 +148,8 @@ class Gpu {
     /** Compute-phase worker pool (cfg_.smThreads > 1); persistent so
      *  repeated launches reuse the same threads. */
     std::unique_ptr<WorkerPool> pool_;
+    /** Abort record of the most recent failed launch (lastAbort()). */
+    LaunchAbort abort_;
 };
 
 }  // namespace bowsim

@@ -327,6 +327,8 @@ class SmCore : private IssueGate {
     trace::Tracer tracer_;
     /** Per-cycle stall attribution into stats.stallCounts (gated). */
     bool stallAccounting_ = false;
+    /** Per-cycle spinning-warp attribution (GpuConfig::collectSpinCycles). */
+    bool spinAccounting_ = false;
 };
 
 }  // namespace bowsim

@@ -1,0 +1,359 @@
+#include "src/sync/primitives.hpp"
+
+#include <sstream>
+
+#include "src/common/log.hpp"
+
+namespace bowsim::sync {
+
+const std::vector<Primitive> &
+allPrimitives()
+{
+    static const std::vector<Primitive> all = {
+        Primitive::TasLock, Primitive::BackoffLock, Primitive::TicketLock,
+        Primitive::ArrayLock, Primitive::GlobalBarrier};
+    return all;
+}
+
+const char *
+toString(Primitive p)
+{
+    switch (p) {
+      case Primitive::TasLock: return "tas";
+      case Primitive::BackoffLock: return "backoff";
+      case Primitive::TicketLock: return "ticket";
+      case Primitive::ArrayLock: return "array";
+      case Primitive::GlobalBarrier: return "barrier";
+    }
+    return "?";
+}
+
+bool
+parsePrimitive(const std::string &text, Primitive *out)
+{
+    for (Primitive p : allPrimitives()) {
+        if (text == toString(p)) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+primitiveKernelName(Primitive p, const SyncGeometry &g)
+{
+    std::ostringstream os;
+    os << "sync_" << toString(p) << "_" << g.ctas << "x"
+       << g.threadsPerCta;
+    return os.str();
+}
+
+namespace {
+
+/**
+ * Shared lock-kernel prologue: retire lanes 1..31 (lock work is
+ * warp-granular), load the 7-parameter layout, and compute the global
+ * warp id in %r3. Leaves %r27/%r28/%r30 as the acquisition, overlap-
+ * error and round counters.
+ */
+void
+emitLockPrologue(std::ostringstream &os, const std::string &name)
+{
+    os << ".kernel " << name << "\n";
+    os << R"(.param 7
+  mov %r1, %laneid;
+  setp.ne.s64 %p0, %r1, 0;
+  @%p0 exit;                     // lock work is warp-granular: lane 0 only
+  ld.param.u64 %r10, [0];        // lock block
+  ld.param.u64 %r11, [8];        // counter
+  ld.param.u64 %r12, [16];       // slots[]
+  ld.param.u64 %r13, [24];       // owner
+  ld.param.u64 %r14, [32];       // errors[]
+  ld.param.u64 %r15, [40];       // iters
+  ld.param.u64 %r16, [48];       // extra (backoff delay / array slots)
+  mov %r2, %ctaid;
+  mov %r4, %ntid;
+  shr %r4, %r4, 5;               // warps per CTA
+  mov %r5, %warpid;
+  mad %r3, %r2, %r4, %r5;        // global warp id
+  mov %r27, 0;                   // acquisitions
+  mov %r28, 0;                   // CS-overlap errors
+  mov %r30, 0;                   // round
+)";
+}
+
+/**
+ * Critical section shared by every lock: a non-atomic counter
+ * increment bracketed by an owner-witness overlap check. Any
+ * mutual-exclusion violation shows up as a lost counter update or a
+ * nonzero per-warp error count.
+ */
+void
+emitCriticalSection(std::ostringstream &os)
+{
+    os << R"(  membar;
+  st.global.u64 [%r13], %r3;     // owner = gw
+  ld.global.u64 %r7, [%r11];
+  add %r7, %r7, 1;
+  st.global.u64 [%r11], %r7;     // counter++ (non-atomic on purpose)
+  ld.global.u64 %r8, [%r13];     // owner still us?
+  setp.ne.s64 %p3, %r8, %r3;
+  selp %r9, 1, 0, %p3;
+  add %r28, %r28, %r9;
+  add %r27, %r27, 1;
+  membar;
+)";
+}
+
+/** Round loop head/tail and the per-warp result stores. */
+void
+emitRoundHead(std::ostringstream &os)
+{
+    os << R"(ROUND:
+  setp.ge.s64 %p1, %r30, %r15;
+  @%p1 bra DONE;
+)";
+}
+
+void
+emitRoundTailAndEpilogue(std::ostringstream &os)
+{
+    os << R"(  add %r30, %r30, 1;
+  bra.uni ROUND;
+DONE:
+  shl %r9, %r3, 3;
+  add %r6, %r12, %r9;
+  st.global.u64 [%r6], %r27;     // slots[gw] = acquisitions
+  add %r6, %r14, %r9;
+  st.global.u64 [%r6], %r28;     // errors[gw] = overlap errors
+  exit;
+)";
+}
+
+std::string
+tasLockSource(const std::string &name)
+{
+    std::ostringstream os;
+    emitLockPrologue(os, name);
+    emitRoundHead(os);
+    os << R"(.annot sync_begin
+ACQ:
+  .annot acquire
+  atom.global.cas.b64 %r6, [%r10], 0, 1;
+  setp.ne.s64 %p2, %r6, 0;
+  .annot spin
+  @%p2 bra ACQ;
+.annot sync_end
+)";
+    emitCriticalSection(os);
+    os << R"(.annot sync_begin
+  atom.global.exch.b64 %r6, [%r10], 0;
+.annot sync_end
+)";
+    emitRoundTailAndEpilogue(os);
+    return os.str();
+}
+
+std::string
+backoffLockSource(const std::string &name)
+{
+    std::ostringstream os;
+    emitLockPrologue(os, name);
+    // Per-warp back-off threshold: delayFactor * ((gw % 8) + 1), the
+    // Fig. 3a software-delay recipe staggered across warps.
+    os << R"(  rem %r17, %r3, 8;
+  add %r17, %r17, 1;
+  mul %r17, %r17, %r16;          // threshold = factor * ((gw % 8) + 1)
+)";
+    emitRoundHead(os);
+    os << R"(.annot sync_begin
+ACQ:
+  .annot acquire
+  atom.global.cas.b64 %r6, [%r10], 0, 1;
+  setp.eq.s64 %p2, %r6, 0;
+  @%p2 bra GOT;
+  clock %r18;                    // failed: back off before retrying
+DELAY:
+  clock %r19;
+  sub %r19, %r19, %r18;
+  setp.lt.s64 %p4, %r19, %r17;
+  @%p4 bra DELAY;
+  .annot spin
+  bra.uni ACQ;
+GOT:
+.annot sync_end
+)";
+    emitCriticalSection(os);
+    os << R"(.annot sync_begin
+  atom.global.exch.b64 %r6, [%r10], 0;
+.annot sync_end
+)";
+    emitRoundTailAndEpilogue(os);
+    return os.str();
+}
+
+std::string
+ticketLockSource(const std::string &name)
+{
+    std::ostringstream os;
+    emitLockPrologue(os, name);
+    os << R"(  add %r18, %r10, 8;             // &now_serving
+)";
+    emitRoundHead(os);
+    os << R"(.annot sync_begin
+  atom.global.add.b64 %r6, [%r10], 1;  // my ticket = fetch-add(next)
+WAIT:
+  ld.volatile.global.u64 %r7, [%r18];
+  .annot wait
+  setp.eq.s64 %p2, %r7, %r6;     // my turn?
+  .annot spin
+  @!%p2 bra WAIT;
+.annot sync_end
+)";
+    emitCriticalSection(os);
+    os << R"(.annot sync_begin
+  add %r7, %r6, 1;
+  st.global.u64 [%r18], %r7;     // now_serving = ticket + 1
+.annot sync_end
+)";
+    emitRoundTailAndEpilogue(os);
+    return os.str();
+}
+
+std::string
+arrayLockSource(const std::string &name)
+{
+    std::ostringstream os;
+    emitLockPrologue(os, name);
+    emitRoundHead(os);
+    os << R"(.annot sync_begin
+  atom.global.add.b64 %r6, [%r10], 1;  // ticket = fetch-add(tail)
+  rem %r7, %r6, %r16;                  // my flag slot
+  shl %r7, %r7, 3;
+  add %r18, %r10, %r7;
+  add %r18, %r18, 8;                   // &flags[slot]
+WAIT:
+  ld.volatile.global.u64 %r7, [%r18];
+  .annot wait
+  setp.ne.s64 %p2, %r7, 0;       // slot open?
+  .annot spin
+  @!%p2 bra WAIT;
+.annot sync_end
+)";
+    emitCriticalSection(os);
+    os << R"(.annot sync_begin
+  mov %r7, 0;
+  st.global.u64 [%r18], %r7;           // clear own flag
+  add %r7, %r6, 1;
+  rem %r7, %r7, %r16;
+  shl %r7, %r7, 3;
+  add %r7, %r10, %r7;
+  add %r7, %r7, 8;
+  mov %r8, 1;
+  st.global.u64 [%r7], %r8;            // wake the next slot
+.annot sync_end
+)";
+    emitRoundTailAndEpilogue(os);
+    return os.str();
+}
+
+std::string
+globalBarrierSource(const std::string &name)
+{
+    std::ostringstream os;
+    os << ".kernel " << name << "\n";
+    // All lanes stay alive: every warp of the CTA participates in the
+    // intra-CTA bar.sync each round, while warp 0 lane 0 drives the
+    // centralized global arrive/release. The release spin depends only
+    // on another CTA's lane (cross-warp producer -> consumer), which is
+    // SIMT-safe per docs/ISA.md. The data[] check uses >= rather than
+    // ==: a faster CTA may already have published the next round, but a
+    // value *below* round+1 proves the barrier let this CTA through
+    // before its neighbor arrived.
+    os << R"(.param 5
+  ld.param.u64 %r10, [0];        // &count
+  ld.param.u64 %r11, [8];        // &release
+  ld.param.u64 %r12, [16];       // data[] (one word per CTA)
+  ld.param.u64 %r13, [24];       // errors[] (one word per CTA)
+  ld.param.u64 %r14, [32];       // iters
+  mov %r2, %ctaid;
+  mov %r15, %nctaid;
+  mov %r3, %warpid;
+  mov %r4, %laneid;
+  or %r5, %r3, %r4;              // zero only for warp 0 lane 0
+  mov %r28, 0;                   // cross-CTA check errors
+  mov %r30, 0;                   // round
+ROUND:
+  setp.ge.s64 %p0, %r30, %r14;
+  @%p0 bra DONE;
+  setp.ne.s64 %p1, %r5, 0;
+  @%p1 bra SKIP;                 // only warp 0 lane 0 runs the global phase
+  add %r6, %r30, 1;
+  shl %r7, %r2, 3;
+  add %r7, %r12, %r7;
+  st.global.u64 [%r7], %r6;      // publish data[ctaid] = round + 1
+  membar;
+.annot sync_begin
+  atom.global.add.b64 %r8, [%r10], 1;  // arrive
+  add %r9, %r8, 1;
+  setp.lt.s64 %p2, %r9, %r15;    // not the last arriver?
+  @%p2 bra WAITREL;
+  mov %r9, 0;
+  st.global.u64 [%r10], %r9;     // last arriver: reset the count...
+  membar;
+  st.global.u64 [%r11], %r6;     // ...and open release = round + 1
+  bra.uni RELDONE;
+WAITREL:
+  ld.volatile.global.u64 %r9, [%r11];
+  .annot wait
+  setp.ge.s64 %p3, %r9, %r6;     // release round open?
+  .annot spin
+  @!%p3 bra WAITREL;
+RELDONE:
+.annot sync_end
+  add %r7, %r2, 1;
+  rem %r7, %r7, %r15;
+  shl %r7, %r7, 3;
+  add %r7, %r12, %r7;
+  ld.global.u64 %r9, [%r7];      // neighbor's data must have arrived
+  setp.lt.s64 %p4, %r9, %r6;
+  selp %r7, 1, 0, %p4;
+  add %r28, %r28, %r7;
+SKIP:
+  bar.sync;
+  add %r30, %r30, 1;
+  bra.uni ROUND;
+DONE:
+  setp.ne.s64 %p1, %r5, 0;
+  @%p1 exit;
+  shl %r7, %r2, 3;
+  add %r7, %r13, %r7;
+  st.global.u64 [%r7], %r28;     // errors[ctaid]
+  exit;
+)";
+    return os.str();
+}
+
+}  // namespace
+
+std::string
+primitiveSource(Primitive p, const SyncGeometry &g)
+{
+    if (g.threadsPerCta == 0 || g.threadsPerCta % kWarpSize != 0)
+        fatal("sync primitive: threadsPerCta (", g.threadsPerCta,
+              ") must be a positive multiple of ", kWarpSize);
+    if (g.ctas == 0 || g.iters == 0)
+        fatal("sync primitive: ctas and iters must be positive");
+    const std::string name = primitiveKernelName(p, g);
+    switch (p) {
+      case Primitive::TasLock: return tasLockSource(name);
+      case Primitive::BackoffLock: return backoffLockSource(name);
+      case Primitive::TicketLock: return ticketLockSource(name);
+      case Primitive::ArrayLock: return arrayLockSource(name);
+      case Primitive::GlobalBarrier: return globalBarrierSource(name);
+    }
+    fatal("sync primitive: unknown primitive");
+}
+
+}  // namespace bowsim::sync

@@ -1,0 +1,98 @@
+#ifndef BOWSIM_SYNC_PRIMITIVES_HPP
+#define BOWSIM_SYNC_PRIMITIVES_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+/**
+ * @file
+ * Synchronization-primitive library (docs/SYNC.md): parameterizable
+ * ISA-source generators for the classic GPU lock and barrier designs of
+ * Stuart & Owens, "Efficient Synchronization Primitives for GPUs" —
+ * test-and-set spin lock, spin-with-backoff, ticket lock, array queue
+ * lock, and a software global (inter-CTA) sense-style barrier.
+ *
+ * Locks operate at warp granularity: lane 0 of every warp takes the
+ * lock while lanes 1..31 exit immediately, which sidesteps the
+ * SIMT-induced intra-warp deadlocks of per-lane fair locks
+ * (docs/ISA.md, "Deadlock rules"). The barrier keeps all lanes alive
+ * and combines an intra-CTA bar.sync with a centralized global arrive/
+ * release protocol driven by warp 0 lane 0 of each CTA.
+ *
+ * Every generator emits geometry-independent source — CTA count, CTA
+ * size and round count arrive through special registers and kernel
+ * parameters — so one primitive can be instantiated at any geometry.
+ */
+
+namespace bowsim::sync {
+
+/** The five generated primitives. */
+enum class Primitive {
+    TasLock,       ///< test-and-set (CAS) spin lock
+    BackoffLock,   ///< TAS lock + software clock()-delay back-off
+    TicketLock,    ///< fetch-add ticket / now-serving FIFO lock
+    ArrayLock,     ///< array queue lock (one flag slot per waiter)
+    GlobalBarrier, ///< software inter-CTA sense barrier
+};
+
+/** All primitives, in a fixed canonical order. */
+const std::vector<Primitive> &allPrimitives();
+
+/** Short lower-case identifier: "tas", "backoff", "ticket", ... */
+const char *toString(Primitive p);
+
+/** Parses the toString() identifiers; false on anything else. */
+bool parsePrimitive(const std::string &text, Primitive *out);
+
+/** Geometry of one primitive instantiation. */
+struct SyncGeometry {
+    /** CTAs in the grid. */
+    unsigned ctas = 4;
+    /** Threads per CTA; must be a multiple of the warp size. */
+    unsigned threadsPerCta = 64;
+    /** Lock acquire/release rounds per warp, or barrier rounds. */
+    unsigned iters = 16;
+    /**
+     * BackoffLock only: base clock()-delay in cycles; each warp waits
+     * delayFactor * ((warp % 8) + 1) cycles after a failed acquire.
+     */
+    unsigned delayFactor = 64;
+
+    unsigned warpsPerCta() const { return threadsPerCta / kWarpSize; }
+    unsigned totalWarps() const { return ctas * warpsPerCta(); }
+    /** Total lock acquisitions across the launch (lock primitives). */
+    std::uint64_t totalAcquisitions() const
+    {
+        return static_cast<std::uint64_t>(totalWarps()) * iters;
+    }
+};
+
+/**
+ * Emits the ISA source of @p p. The source itself is geometry-
+ * independent; @p g only selects the kernel name (so programs from
+ * different instantiations stay distinguishable in stats and traces)
+ * and, for BackoffLock, documents the delay parameter. Lock kernels
+ * take 7 parameters:
+ *
+ *   [0]  lock block   (TAS/backoff: 1 word; ticket: next,serving;
+ *                      array: tail then one flag word per slot)
+ *   [8]  counter      1 word, incremented non-atomically in the CS
+ *   [16] slots[]      per-warp acquisition counts (totalWarps words)
+ *   [24] owner        1 word, mutual-exclusion witness
+ *   [32] errors[]     per-warp CS-overlap counts (totalWarps words)
+ *   [40] iters        rounds per warp
+ *   [48] extra        backoff: delay factor; array: flag-slot count
+ *
+ * The barrier takes 5: count, release, data[] (one word per CTA),
+ * errors[] (one word per CTA), iters.
+ */
+std::string primitiveSource(Primitive p, const SyncGeometry &g);
+
+/** Kernel name embedded in the generated source, e.g. "sync_tas_4x64". */
+std::string primitiveKernelName(Primitive p, const SyncGeometry &g);
+
+}  // namespace bowsim::sync
+
+#endif  // BOWSIM_SYNC_PRIMITIVES_HPP

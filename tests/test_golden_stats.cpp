@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "src/harness/litmus.hpp"
 #include "src/kernels/registry.hpp"
 #include "src/sim/gpu.hpp"
 
@@ -78,6 +82,89 @@ TEST(GoldenStats, BowsReducesAtmSpinOverhead)
     EXPECT_LT(bows.interWarpFail, base.interWarpFail);
     EXPECT_LT(bows.cycles, base.cycles);
 }
+
+// --- litmus cells (docs/SYNC.md) --------------------------------------
+
+/** One pinned litmus-matrix cell, run at the default litmus config. */
+struct LitmusGolden {
+    const char *name;  // test suffix
+    sync::Primitive primitive;
+    SchedulerKind scheduler;
+    bool bows;
+    harness::OccupancyLevel occupancy;
+    harness::SyncOutcome outcome;
+    Cycle cycles;
+    std::uint64_t warpInstructions;
+    std::uint64_t lockSuccess;
+    std::uint64_t interWarpFail;
+    std::uint64_t waitExitSuccess;
+    std::uint64_t waitExitFail;
+    std::uint64_t sibInstructions;
+};
+
+const LitmusGolden kLitmusGolden[] = {
+    // The known-livelocking cell: over-subscribed TAS under pure GTO
+    // with scarce atomic bandwidth — the spinners' CAS storm starves
+    // the release; the watchdog kills a spin-dominated stream.
+    {"tas_gto_base_over", sync::Primitive::TasLock, SchedulerKind::GTO,
+     false, harness::OccupancyLevel::Over,
+     harness::SyncOutcome::Livelocked, 3'000'000, 22829, 347, 5182, 0,
+     0, 5065},
+    // The same cell with BOWS enabled (only change): completes.
+    {"tas_gto_bows_over", sync::Primitive::TasLock, SchedulerKind::GTO,
+     true, harness::OccupancyLevel::Over,
+     harness::SyncOutcome::Completed, 2'246'556, 20562, 512, 3334, 0,
+     0, 3231},
+    // A known-safe FIFO cell: every acquisition exits its wait exactly
+    // once, the rest of the wait checks are counted spin retries.
+    {"ticket_lrr_base_exact", sync::Primitive::TicketLock,
+     SchedulerKind::LRR, false, harness::OccupancyLevel::Exact,
+     harness::SyncOutcome::Completed, 206'073, 28263, 0, 0, 256, 7485,
+     7241},
+};
+
+class LitmusGoldenStats
+    : public ::testing::TestWithParam<LitmusGolden> {};
+
+TEST_P(LitmusGoldenStats, PinnedOutcomeAndCounters)
+{
+    const LitmusGolden &g = GetParam();
+    harness::LitmusOptions opts = harness::defaultLitmusOptions();
+    opts.primitives = {g.primitive};
+    opts.schedulers = {g.scheduler};
+    opts.bowsModes = {g.bows};
+    opts.occupancies = {g.occupancy};
+    const std::vector<harness::LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    ASSERT_EQ(cells.size(), 1u);
+    // The classification consumes the abort record, which is
+    // deterministic across the idle-skip fast-forward by contract.
+    for (bool idle_skip : {true, false}) {
+        GpuConfig cfg = cells[0].cfg;
+        cfg.idleSkip = idle_skip;
+        Gpu gpu(cfg);
+        const harness::LitmusCellResult r =
+            harness::runLitmusCell(cells[0], gpu);
+        const char *mode = idle_skip ? "idleSkip=on" : "idleSkip=off";
+        EXPECT_EQ(r.outcome, g.outcome) << mode;
+        EXPECT_EQ(r.stats.cycles, g.cycles) << mode;
+        EXPECT_EQ(r.stats.warpInstructions, g.warpInstructions) << mode;
+        EXPECT_EQ(r.stats.outcomes.lockSuccess, g.lockSuccess) << mode;
+        EXPECT_EQ(r.stats.outcomes.interWarpFail, g.interWarpFail)
+            << mode;
+        EXPECT_EQ(r.stats.outcomes.waitExitSuccess, g.waitExitSuccess)
+            << mode;
+        EXPECT_EQ(r.stats.outcomes.waitExitFail, g.waitExitFail)
+            << mode;
+        EXPECT_EQ(r.stats.sibInstructions, g.sibInstructions) << mode;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LitmusCells, LitmusGoldenStats,
+                         ::testing::ValuesIn(kLitmusGolden),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
 
 }  // namespace
 }  // namespace bowsim

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "src/common/log.hpp"
 #include "src/harness/json.hpp"
+#include "src/harness/json_check.hpp"
+#include "src/harness/litmus.hpp"
 
 /**
  * @file
@@ -75,6 +78,107 @@ TEST(Json, MissingKeyThrows)
 {
     const Json doc = Json::parse(R"({"a":1})");
     EXPECT_THROW(doc.at("b"), FatalError);
+}
+
+// --- json_check --litmus ----------------------------------------------
+
+/** A small but complete litmus document: tas x LRR x {base,bows} x
+ *  under, every cell marked completed. */
+Json
+litmusDoc()
+{
+    harness::LitmusOptions opts = harness::defaultLitmusOptions();
+    opts.primitives = {sync::Primitive::TasLock};
+    opts.schedulers = {SchedulerKind::LRR};
+    opts.bowsModes = {false, true};
+    opts.occupancies = {harness::OccupancyLevel::Under};
+    const std::vector<harness::LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    std::vector<harness::LitmusCellResult> results(cells.size());
+    for (harness::LitmusCellResult &r : results)
+        r.outcome = harness::SyncOutcome::Completed;
+    return harness::litmusToJson("litmus", opts, cells, results);
+}
+
+/** First-occurrence textual surgery for building broken documents. */
+Json
+mutated(const Json &doc, const std::string &from, const std::string &to)
+{
+    std::string text = doc.dump();
+    const std::size_t pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    text.replace(pos, from.size(), to);
+    return Json::parse(text);
+}
+
+TEST(JsonCheckLitmus, ValidMatrixPasses)
+{
+    const harness::CheckResult r =
+        harness::checkLitmusMatrix(litmusDoc(), 2);
+    EXPECT_TRUE(r.ok) << r.message;
+    EXPECT_NE(r.message.find("2 cells"), std::string::npos);
+    EXPECT_NE(r.message.find("completed"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, ExpectedCellCountMismatchFails)
+{
+    const harness::CheckResult r =
+        harness::checkLitmusMatrix(litmusDoc(), 90);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("expected 90"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, MissingHeaderFieldFails)
+{
+    // Strip the header's watchdog budget (the cell configs keep
+    // theirs; only the first occurrence is the header's).
+    const Json doc = mutated(litmusDoc(), "\"watchdog_cycles\":3000000,",
+                             "");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("watchdog_cycles"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, IllegalOutcomeFails)
+{
+    const Json doc = mutated(litmusDoc(), "\"outcome\":\"completed\"",
+                             "\"outcome\":\"exploded\"");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("exploded"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, ExecModeDisagreementFails)
+{
+    // Flip the header's exec_mode; every cell config now disagrees.
+    const Json doc = mutated(litmusDoc(), "\"exec_mode\":\"cycle\"",
+                             "\"exec_mode\":\"functional\"");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("exec_mode"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, DuplicateCellFails)
+{
+    // Rewrite the base cell into a second bows cell (flag and config
+    // kept consistent so the duplicate check is what fires).
+    Json doc = mutated(litmusDoc(), "\"bows\":false",
+                       "\"bows\":true");
+    doc = mutated(doc, "\"bows_enabled\":false",
+                  "\"bows_enabled\":true");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("duplicate"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, ConfigBowsMismatchFails)
+{
+    // Flag flipped but config left alone: self-description broken.
+    const Json doc = mutated(litmusDoc(), "\"bows\":false",
+                             "\"bows\":true");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("bows_enabled"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/common/log.hpp"
+#include "src/harness/json_check.hpp"
+#include "src/harness/litmus.hpp"
+#include "src/sim/gpu.hpp"
+#include "src/sync/sync_kernels.hpp"
+
+/**
+ * @file
+ * The synchronization litmus harness (docs/SYNC.md): outcome
+ * classification from abort records, matrix construction, artifact
+ * structure, and live golden cells — including the matrix's headline
+ * result, a base-scheduler livelock that enabling BOWS resolves.
+ */
+
+namespace bowsim {
+namespace {
+
+using harness::LitmusCell;
+using harness::LitmusCellResult;
+using harness::LitmusOptions;
+using harness::OccupancyLevel;
+using harness::SyncOutcome;
+
+TEST(Litmus, OutcomeNamesRoundTrip)
+{
+    for (SyncOutcome o :
+         {SyncOutcome::Completed, SyncOutcome::Livelocked,
+          SyncOutcome::Deadlocked, SyncOutcome::WatchdogKilled}) {
+        SyncOutcome back;
+        ASSERT_TRUE(harness::parseSyncOutcome(harness::toString(o), &back));
+        EXPECT_EQ(back, o);
+    }
+    SyncOutcome out;
+    EXPECT_FALSE(harness::parseSyncOutcome("hung", &out));
+    EXPECT_FALSE(harness::parseSyncOutcome("", &out));
+}
+
+TEST(Litmus, OccupancyNamesRoundTrip)
+{
+    for (OccupancyLevel level : harness::allOccupancyLevels()) {
+        OccupancyLevel back;
+        ASSERT_TRUE(
+            harness::parseOccupancy(harness::toString(level), &back));
+        EXPECT_EQ(back, level);
+    }
+    OccupancyLevel out;
+    EXPECT_FALSE(harness::parseOccupancy("full", &out));
+}
+
+// --- classification ---------------------------------------------------
+
+GpuConfig
+classifierConfig()
+{
+    GpuConfig cfg = harness::defaultLitmusConfig();
+    cfg.watchdogCycles = 1'000'000;
+    return cfg;
+}
+
+/** Functional mode's zero-progress abort is a direct deadlock witness,
+ *  whatever the counters say. */
+TEST(Litmus, ClassifiesFunctionalNoProgressAsDeadlock)
+{
+    LaunchAbort abort;
+    abort.valid = true;
+    abort.stats.warpInstructions = 1000;
+    abort.stats.sibInstructions = 900;  // would otherwise be livelock
+    EXPECT_EQ(harness::classifySyncAbort(
+                  abort, classifierConfig(),
+                  "kernel made no progress in functional mode"),
+              SyncOutcome::Deadlocked);
+}
+
+/** Nothing issued for the trailing quarter of the budget: blocked. */
+TEST(Litmus, ClassifiesLongIdleTailAsDeadlock)
+{
+    LaunchAbort abort;
+    abort.valid = true;
+    abort.atCycle = 1'000'000;
+    abort.lastIssueCycle = 700'000;  // idle 300k >= 250k threshold
+    abort.stats.warpInstructions = 1000;
+    abort.stats.sibInstructions = 900;
+    EXPECT_EQ(harness::classifySyncAbort(abort, classifierConfig(),
+                                         "watchdog (deadlock?)"),
+              SyncOutcome::Deadlocked);
+}
+
+/** Still issuing, spin-dominated stream: livelocked. */
+TEST(Litmus, ClassifiesSpinDominatedStreamAsLivelock)
+{
+    LaunchAbort abort;
+    abort.valid = true;
+    abort.atCycle = 1'000'000;
+    abort.lastIssueCycle = 999'999;
+    abort.stats.warpInstructions = 1000;
+    abort.stats.sibInstructions = 50;  // exactly the 5% threshold
+    EXPECT_EQ(harness::classifySyncAbort(abort, classifierConfig(),
+                                         "watchdog (deadlock?)"),
+              SyncOutcome::Livelocked);
+}
+
+/** Still issuing, below the spin threshold: the budget was too small. */
+TEST(Litmus, ClassifiesBusyStreamAsWatchdogKilled)
+{
+    LaunchAbort abort;
+    abort.valid = true;
+    abort.atCycle = 1'000'000;
+    abort.lastIssueCycle = 999'999;
+    abort.stats.warpInstructions = 1000;
+    abort.stats.sibInstructions = 49;  // just below 5%
+    EXPECT_EQ(harness::classifySyncAbort(abort, classifierConfig(),
+                                         "watchdog (deadlock?)"),
+              SyncOutcome::WatchdogKilled);
+    abort.stats.sibInstructions = 0;
+    EXPECT_EQ(harness::classifySyncAbort(abort, classifierConfig(),
+                                         "watchdog (deadlock?)"),
+              SyncOutcome::WatchdogKilled);
+}
+
+// --- matrix construction ----------------------------------------------
+
+TEST(Litmus, DefaultMatrixSpansEveryAxisCombination)
+{
+    const LitmusOptions opts = harness::defaultLitmusOptions();
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    EXPECT_EQ(cells.size(), 5u * 3u * 2u * 3u);
+    std::set<std::string> ids;
+    for (const LitmusCell &cell : cells) {
+        ids.insert(cell.id);
+        // Per-cell configuration reflects the cell's coordinates.
+        EXPECT_EQ(cell.cfg.scheduler, cell.scheduler) << cell.id;
+        EXPECT_EQ(cell.cfg.bows.enabled, cell.bows) << cell.id;
+        EXPECT_GT(cell.geometry.ctas, 0u) << cell.id;
+    }
+    EXPECT_EQ(ids.size(), cells.size());  // ids are unique
+    EXPECT_EQ(cells.front().id, "tas/LRR/base/under");
+    EXPECT_TRUE(ids.count("barrier/CAWA/bows/over"));
+}
+
+TEST(Litmus, OccupancyLevelsScaleTheGrid)
+{
+    LitmusOptions opts = harness::defaultLitmusOptions();
+    opts.primitives = {sync::Primitive::TasLock};
+    opts.schedulers = {SchedulerKind::GTO};
+    opts.bowsModes = {false};
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    ASSERT_EQ(cells.size(), 3u);  // under, exact, over
+    const unsigned under = cells[0].geometry.ctas;
+    const unsigned exact = cells[1].geometry.ctas;
+    const unsigned over = cells[2].geometry.ctas;
+    EXPECT_LT(under, exact);
+    EXPECT_EQ(over, exact * 2);
+    EXPECT_EQ(under, exact / 2);
+}
+
+// --- live golden cells ------------------------------------------------
+
+LitmusOptions
+singleCellOptions(sync::Primitive p, SchedulerKind sched, bool bows,
+                  OccupancyLevel level)
+{
+    LitmusOptions opts = harness::defaultLitmusOptions();
+    opts.primitives = {p};
+    opts.schedulers = {sched};
+    opts.bowsModes = {bows};
+    opts.occupancies = {level};
+    return opts;
+}
+
+LitmusCellResult
+runSingleCell(const LitmusOptions &opts)
+{
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    EXPECT_EQ(cells.size(), 1u);
+    Gpu gpu(cells[0].cfg);
+    return harness::runLitmusCell(cells[0], gpu);
+}
+
+/** An uncontended under-subscribed cell completes and validates. */
+TEST(Litmus, UnderSubscribedTasCompletes)
+{
+    const LitmusCellResult r = runSingleCell(singleCellOptions(
+        sync::Primitive::TasLock, SchedulerKind::LRR, false,
+        OccupancyLevel::Under));
+    EXPECT_EQ(r.outcome, SyncOutcome::Completed);
+    EXPECT_TRUE(r.detail.empty());
+    EXPECT_GT(r.stats.outcomes.lockSuccess, 0u);
+}
+
+/**
+ * The matrix's headline golden cell (docs/SYNC.md): with scarce atomic
+ * bandwidth, an over-subscribed TAS lock under pure GTO livelocks —
+ * the spinners' CAS storm starves the holder's release — and enabling
+ * BOWS (only change) resolves it. Pinned as outcomes, not cycle
+ * counts, so the pin survives timing-model tuning that does not change
+ * the story.
+ */
+TEST(Litmus, GoldenOverSubscribedTasGtoLivelocksAndBowsResolves)
+{
+    const LitmusCellResult base = runSingleCell(singleCellOptions(
+        sync::Primitive::TasLock, SchedulerKind::GTO, false,
+        OccupancyLevel::Over));
+    EXPECT_EQ(base.outcome, SyncOutcome::Livelocked);
+    EXPECT_FALSE(base.detail.empty());
+    // The abort snapshot is spin-dominated, the livelock witness.
+    ASSERT_GT(base.stats.warpInstructions, 0u);
+    EXPECT_GE(static_cast<double>(base.stats.sibInstructions) /
+                  static_cast<double>(base.stats.warpInstructions),
+              harness::kLivelockSibFraction);
+
+    const LitmusCellResult bows = runSingleCell(singleCellOptions(
+        sync::Primitive::TasLock, SchedulerKind::GTO, true,
+        OccupancyLevel::Over));
+    EXPECT_EQ(bows.outcome, SyncOutcome::Completed);
+}
+
+/** The software global barrier needs every CTA co-resident: at twice
+ *  the resident capacity it can never complete, BOWS or not. */
+TEST(Litmus, GoldenOverSubscribedBarrierLivelocksEvenWithBows)
+{
+    const LitmusCellResult r = runSingleCell(singleCellOptions(
+        sync::Primitive::GlobalBarrier, SchedulerKind::LRR, true,
+        OccupancyLevel::Over));
+    EXPECT_EQ(r.outcome, SyncOutcome::Livelocked);
+}
+
+// --- artifact ---------------------------------------------------------
+
+TEST(Litmus, JsonArtifactIsSelfDescribingAndValidates)
+{
+    LitmusOptions opts = singleCellOptions(sync::Primitive::TasLock,
+                                           SchedulerKind::LRR, false,
+                                           OccupancyLevel::Under);
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    std::vector<LitmusCellResult> results(1);
+    results[0].outcome = SyncOutcome::Completed;
+    results[0].stats.kernel = "sync_tas";
+
+    const harness::Json doc =
+        harness::litmusToJson("litmus", opts, cells, results);
+    EXPECT_EQ(doc.at("bench").asString(), "litmus");
+    EXPECT_EQ(doc.at("exec_mode").asString(), "cycle");
+    EXPECT_EQ(doc.at("watchdog_cycles").asInt(), 3'000'000);
+    ASSERT_EQ(doc.at("cells").size(), 1u);
+    const harness::Json &cell = doc.at("cells").at(0);
+    EXPECT_EQ(cell.at("id").asString(), "tas/LRR/base/under");
+    EXPECT_EQ(cell.at("outcome").asString(), "completed");
+    EXPECT_FALSE(cell.has("detail"));  // empty detail is omitted
+    // Execution knobs must not leak into the artifact: it is
+    // byte-identical across --sm-threads / idle-skip by contract.
+    EXPECT_FALSE(cell.at("config").has("sm_threads"));
+    EXPECT_FALSE(cell.at("config").has("idle_skip"));
+    EXPECT_TRUE(cell.at("config").has("atomic_service_period"));
+
+    const harness::CheckResult check =
+        harness::checkLitmusMatrix(doc, 1);
+    EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(Litmus, JsonArtifactRecordsAbortDetail)
+{
+    LitmusOptions opts = singleCellOptions(sync::Primitive::TasLock,
+                                           SchedulerKind::GTO, false,
+                                           OccupancyLevel::Over);
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    std::vector<LitmusCellResult> results(1);
+    results[0].outcome = SyncOutcome::Livelocked;
+    results[0].detail = "hit 3000000-cycle watchdog (deadlock?)";
+    const harness::Json doc =
+        harness::litmusToJson("litmus", opts, cells, results);
+    const harness::Json &cell = doc.at("cells").at(0);
+    EXPECT_EQ(cell.at("outcome").asString(), "livelocked");
+    EXPECT_EQ(cell.at("detail").asString(),
+              "hit 3000000-cycle watchdog (deadlock?)");
+}
+
+TEST(Litmus, MismatchedResultVectorPanics)
+{
+    const LitmusOptions opts = singleCellOptions(
+        sync::Primitive::TasLock, SchedulerKind::LRR, false,
+        OccupancyLevel::Under);
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    const std::vector<LitmusCellResult> results;  // wrong size
+    EXPECT_THROW(harness::litmusToJson("litmus", opts, cells, results),
+                 PanicError);
+}
+
+}  // namespace
+}  // namespace bowsim

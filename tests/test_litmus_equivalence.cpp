@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/litmus.hpp"
+#include "src/sim/gpu.hpp"
+#include "src/sync/sync_kernels.hpp"
+
+/**
+ * @file
+ * Litmus differential suite (labeled `slow`): the outcome-matrix
+ * artifact is a *result*, so it must be byte-identical across every
+ * execution knob (per-simulation SM worker pool, idle-skip), and the
+ * primitives' final memory must be schedule-invariant — functional
+ * mode, which rotates warps with bounded fairness and no timing, must
+ * land on the exact cycle-mode memory image for every completing cell.
+ */
+
+namespace bowsim {
+namespace {
+
+using harness::LitmusCell;
+using harness::LitmusCellResult;
+using harness::LitmusOptions;
+using harness::OccupancyLevel;
+using harness::SyncOutcome;
+using sync::Primitive;
+
+/** Runs every cell sequentially under the given execution knobs and
+ *  returns the dumped artifact. */
+std::string
+runMatrixDump(const LitmusOptions &opts, unsigned sm_threads,
+              bool idle_skip)
+{
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    std::vector<LitmusCellResult> results(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        GpuConfig cfg = cells[i].cfg;
+        cfg.smThreads = sm_threads;
+        cfg.idleSkip = idle_skip;
+        Gpu gpu(cfg);
+        results[i] = harness::runLitmusCell(cells[i], gpu);
+    }
+    return harness::litmusToJson("litmus", opts, cells, results).dump();
+}
+
+/**
+ * A reduced matrix that still contains every outcome story: a base
+ * livelock that BOWS resolves (tas/over), a BOWS-induced livelock
+ * (ticket/GTO/bows/over), and the barrier's co-residency livelock.
+ * Two cores so the SM worker pool has real work to parallelize.
+ */
+LitmusOptions
+reducedOptions()
+{
+    LitmusOptions opts = harness::defaultLitmusOptions();
+    opts.base.numCores = 2;
+    opts.primitives = {Primitive::TasLock, Primitive::TicketLock,
+                      Primitive::GlobalBarrier};
+    opts.schedulers = {SchedulerKind::GTO};
+    return opts;  // 3 x 1 x 2 x 3 = 18 cells
+}
+
+TEST(LitmusEquivalence, ArtifactBytesInvariantAcrossExecutionKnobs)
+{
+    const LitmusOptions opts = reducedOptions();
+    const std::string reference = runMatrixDump(opts, 1, true);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_EQ(runMatrixDump(opts, 1, false), reference)
+        << "idle-skip off diverged";
+    EXPECT_EQ(runMatrixDump(opts, 4, true), reference)
+        << "sm-threads=4 diverged";
+    EXPECT_EQ(runMatrixDump(opts, 4, false), reference)
+        << "sm-threads=4 + idle-skip off diverged";
+}
+
+/**
+ * Cycle vs functional execution: for every cell that completes, the
+ * final device memory must match byte for byte (FNV digest) — lock
+ * counters, slots, error arrays, and lock words are all
+ * schedule-invariant by construction.
+ */
+TEST(LitmusEquivalence, FunctionalModeMatchesCycleDigests)
+{
+    LitmusOptions opts = harness::defaultLitmusOptions();
+    opts.schedulers = {SchedulerKind::GTO};
+    // under + exact: every cell completes in both modes (over-
+    // subscription livelocks differ by design: timing-dependent).
+    opts.occupancies = {OccupancyLevel::Under, OccupancyLevel::Exact};
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    ASSERT_EQ(cells.size(), 5u * 1u * 2u * 2u);
+    for (const LitmusCell &cell : cells) {
+        Gpu cycle_gpu(cell.cfg);
+        const LitmusCellResult rc =
+            harness::runLitmusCell(cell, cycle_gpu);
+        ASSERT_EQ(rc.outcome, SyncOutcome::Completed) << cell.id;
+
+        GpuConfig fcfg = cell.cfg;
+        fcfg.execMode = ExecMode::Functional;
+        Gpu func_gpu(fcfg);
+        const LitmusCellResult rf =
+            harness::runLitmusCell(cell, func_gpu);
+        ASSERT_EQ(rf.outcome, SyncOutcome::Completed) << cell.id;
+
+        EXPECT_EQ(cycle_gpu.mem().digest(), func_gpu.mem().digest())
+            << cell.id;
+    }
+}
+
+}  // namespace
+}  // namespace bowsim
