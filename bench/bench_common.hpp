@@ -7,10 +7,12 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/harness/result_cache.hpp"
 #include "src/harness/sweep.hpp"
 #include "src/kernels/registry.hpp"
 #include "src/metrics/kernel_profile.hpp"
@@ -116,6 +118,23 @@ struct BenchOptions {
     /** Sampled-mode fast-forward distance in warp instructions
      *  (--sample-period / BOWSIM_SAMPLE_PERIOD); 0 leaves the default. */
     std::uint64_t samplePeriod = 0;
+    /**
+     * Persistent result cache (--cache=off|ro|rw / BOWSIM_CACHE; see
+     * docs/BENCH.md, "Result cache & resume"). Off by default: caching
+     * is opt-in so a default invocation always re-simulates.
+     */
+    harness::CacheMode cacheMode = harness::CacheMode::Off;
+    /** Cache directory (--cache-dir= / BOWSIM_CACHE_DIR); defaults to
+     *  .bowsim-cache in the working directory. */
+    std::string cacheDir = ".bowsim-cache";
+    /**
+     * Resume an interrupted sweep from its journal (--resume /
+     * BOWSIM_RESUME): journaled points are served without simulation,
+     * everything else runs. Requires the cache to be on (the journal
+     * lives in the cache directory); --cache=off with --resume is a
+     * usage error.
+     */
+    bool resume = false;
 };
 
 /** Sanitizes a point id into a filename fragment (slashes etc. -> '_'). */
@@ -151,7 +170,8 @@ tracePathFor(const std::string &base, const std::string &id)
 /**
  * Parses --scale= / --cores= / --jobs= / --sm-threads= / --json= /
  * --trace= / --no-skip / --metrics= / --metrics-interval= / --profile /
- * --progress / --exec-mode= / --sample-window= / --sample-period=
+ * --progress / --exec-mode= / --sample-window= / --sample-period= /
+ * --cache= / --cache-dir= / --resume
  * plus the corresponding
  * BOWSIM_* environment variables (flags win over the environment, the
  * environment wins over the bench's defaults). Unknown arguments are
@@ -198,6 +218,21 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         o.sampleWindow = static_cast<Cycle>(std::atoll(env));
     if (const char *env = std::getenv("BOWSIM_SAMPLE_PERIOD"))
         o.samplePeriod = static_cast<std::uint64_t>(std::atoll(env));
+    auto setCacheMode = [&o](const char *text) {
+        if (!harness::parseCacheMode(text, &o.cacheMode)) {
+            std::fprintf(stderr,
+                         "error: unknown cache mode '%s' (expected "
+                         "off, ro or rw)\n",
+                         text);
+            std::exit(2);
+        }
+    };
+    if (const char *env = std::getenv("BOWSIM_CACHE"))
+        setCacheMode(env);
+    if (const char *env = std::getenv("BOWSIM_CACHE_DIR"))
+        o.cacheDir = env;
+    if (const char *env = std::getenv("BOWSIM_RESUME"))
+        o.resume = env[0] != '\0' && env[0] != '0';
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--scale=", 8) == 0)
             o.scale = std::atof(argv[i] + 8);
@@ -228,6 +263,18 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         else if (std::strncmp(argv[i], "--sample-period=", 16) == 0)
             o.samplePeriod =
                 static_cast<std::uint64_t>(std::atoll(argv[i] + 16));
+        else if (std::strncmp(argv[i], "--cache=", 8) == 0)
+            setCacheMode(argv[i] + 8);
+        else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0)
+            o.cacheDir = argv[i] + 12;
+        else if (std::strcmp(argv[i], "--resume") == 0)
+            o.resume = true;
+    }
+    if (o.resume && o.cacheMode == harness::CacheMode::Off) {
+        std::fprintf(stderr,
+                     "error: --resume requires --cache=ro or rw (the "
+                     "resume journal lives in the cache directory)\n");
+        std::exit(2);
     }
     return o;
 }
@@ -275,15 +322,22 @@ struct Sweep {
      * Adds a custom point that runs on a runner-provided Gpu. Prefer
      * this over the body overload: the runner owns Gpu construction, so
      * --trace/--metrics/--no-skip/--sm-threads/--profile all apply.
+     * @p cache_salt opts the point into the result cache: it must cover
+     * everything the closure's behavior depends on beyond the config —
+     * at minimum fingerprintPrograms() of the harness it runs plus all
+     * baked-in parameters (see SweepPoint::cacheSalt). Empty (the
+     * default) keeps the point uncacheable.
      */
     size_t
     add(std::string id, GpuConfig cfg,
-        std::function<KernelStats(Gpu &)> gpu_body)
+        std::function<KernelStats(Gpu &)> gpu_body,
+        std::string cache_salt = std::string())
     {
         SweepPoint p;
         p.id = std::move(id);
         p.cfg = cfg;
         p.gpuBody = std::move(gpu_body);
+        p.cacheSalt = std::move(cache_salt);
         points.push_back(std::move(p));
         return points.size() - 1;
     }
@@ -350,12 +404,30 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                 p.cfg.samplePeriod = opts.samplePeriod;
         }
     }
+    // Result cache & resume (docs/BENCH.md): the runner serves
+    // fingerprint hits and journal replays without dispatching to a
+    // worker. Both objects must outlive runner.run().
+    std::unique_ptr<harness::ResultCache> cache;
+    std::unique_ptr<harness::ResumeJournal> journal;
+    if (opts.cacheMode != harness::CacheMode::Off) {
+        cache = std::make_unique<harness::ResultCache>(opts.cacheDir,
+                                                       opts.cacheMode);
+        journal = std::make_unique<harness::ResumeJournal>(
+            cache->journalPath(sweep.name), opts.resume,
+            opts.cacheMode == harness::CacheMode::ReadWrite);
+        runner.setCache(cache.get());
+        runner.setJournal(journal.get());
+    }
     metrics::ProgressMeter meter;
     if (opts.progress) {
         meter.start(sweep.name, points.size());
+        if (cache)
+            meter.enableCacheDisplay();
         runner.setPointCallback(
             [&meter](std::size_t, const SweepResult &r) {
-                meter.pointDone(r.stats.cycles);
+                meter.pointDone(r.stats.cycles,
+                                r.source !=
+                                    SweepResult::Source::Simulated);
             });
     }
     std::vector<SweepResult> results = runner.run(points);
@@ -369,7 +441,7 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
             std::exit(1);
         }
         out << harness::sweepToJson(sweep.name, runner.jobs(), points,
-                                    results)
+                                    results, cache.get())
                    .dump()
             << "\n";
     }

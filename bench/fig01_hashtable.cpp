@@ -11,6 +11,7 @@
  *      conflicts cause the drop).
  */
 #include "bench/bench_common.hpp"
+#include "bench/ht_salt.hpp"
 
 #include "src/cpuref/hashtable_cpu.hpp"
 #include "src/kernels/hashtable.hpp"
@@ -63,14 +64,16 @@ main(int argc, char **argv)
         applyCores(opts, fermi);
         GpuConfig pascal = makeGtx1080TiConfig();
         applyCores(opts, pascal);
-        sweep.add("HT/fermi/" + std::to_string(b), fermi, htBody(p));
-        sweep.add("HT/pascal/" + std::to_string(b), pascal, htBody(p));
+        sweep.add("HT/fermi/" + std::to_string(b), fermi, htBody(p),
+                  htSalt(p));
+        sweep.add("HT/pascal/" + std::to_string(b), pascal, htBody(p),
+                  htSalt(p));
         HashtableParams single = p;
         single.ctas = 1;
         single.threadsPerCta = 32;
         single.insertions = 2048;
         sweep.add("HT/single/" + std::to_string(b), fermi,
-                  htBody(single));
+                  htBody(single), htSalt(single));
     }
 
     const std::vector<SweepResult> results = runSweep(opts, sweep);

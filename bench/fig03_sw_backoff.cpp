@@ -5,6 +5,7 @@
  * issue slots, so it only pays off at very high contention, if at all.
  */
 #include "bench/bench_common.hpp"
+#include "bench/ht_salt.hpp"
 
 #include "src/kernels/hashtable.hpp"
 
@@ -44,7 +45,8 @@ main(int argc, char **argv)
                       std::function<KernelStats(Gpu &)>([p](Gpu &gpu) {
                           auto h = makeHashtable(p);
                           return h->run(gpu);
-                      }));
+                      }),
+                      htSalt(p));
         }
     }
 

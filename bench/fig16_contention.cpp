@@ -7,6 +7,7 @@
  * The gap between BOWS and ideal-blocking shrinks as buckets grow.
  */
 #include "bench/bench_common.hpp"
+#include "bench/ht_salt.hpp"
 
 #include "src/kernels/hashtable.hpp"
 
@@ -43,7 +44,8 @@ main(int argc, char **argv)
                       std::function<KernelStats(Gpu &)>([p](Gpu &gpu) {
                           auto h = makeHashtable(p);
                           return h->run(gpu);
-                      }));
+                      }),
+                      htSalt(p));
         }
     }
 

@@ -1,0 +1,32 @@
+#ifndef BOWSIM_BENCH_HT_SALT_HPP
+#define BOWSIM_BENCH_HT_SALT_HPP
+
+#include <string>
+
+#include "src/harness/fingerprint.hpp"
+#include "src/kernels/hashtable.hpp"
+
+namespace bowsim::bench {
+
+/**
+ * Cache salt for a hashtable gpuBody sweep point
+ * (SweepPoint::cacheSalt): the assembled ISA of the parameterized
+ * kernel plus every HashtableParams field the closure bakes in.
+ * Editing the hashtable kernel source or any parameter changes the
+ * salt and invalidates the cached result. Shared by every bench that
+ * sweeps makeHashtable closures (fig01, fig03, fig16).
+ */
+inline std::string
+htSalt(const HashtableParams &p)
+{
+    return harness::fingerprintPrograms(*makeHashtable(p)) + "/i" +
+           std::to_string(p.insertions) + "/b" +
+           std::to_string(p.buckets) + "/c" + std::to_string(p.ctas) +
+           "/t" + std::to_string(p.threadsPerCta) + "/d" +
+           std::to_string(p.delayFactor) + "/s" +
+           std::to_string(p.seed);
+}
+
+}  // namespace bowsim::bench
+
+#endif  // BOWSIM_BENCH_HT_SALT_HPP

@@ -1,7 +1,17 @@
 /**
  * Validates bench artifacts (used by the bench_smoke ctest targets):
  *
- *   json_check FILE [EXPECTED_POINT_COUNT]    BENCH_*.json sweep artifact
+ *   json_check FILE [EXPECTED_POINT_COUNT [EXPECTED_CACHE_HITS]]
+ *                                             BENCH_*.json sweep artifact;
+ *                                             the third argument asserts
+ *                                             the cache block reports
+ *                                             exactly that many hits
+ *                                             (CI warm-run gate)
+ *   json_check --compare-points A B           two sweep artifacts whose
+ *                                             "points" arrays must be
+ *                                             byte-identical (cache
+ *                                             determinism gate; only the
+ *                                             "cache" blocks may differ)
  *   json_check --trace FILE                   Chrome trace_event document
  *   json_check --metrics FILE [SWEEP POINT]   metrics time series; with a
  *                                             sweep artifact and point id,
@@ -37,11 +47,13 @@ int
 usage(const char *prog)
 {
     std::fprintf(stderr,
-                 "usage: %s FILE [EXPECTED_POINT_COUNT]\n"
+                 "usage: %s FILE [EXPECTED_POINT_COUNT "
+                 "[EXPECTED_CACHE_HITS]]\n"
+                 "       %s --compare-points A B\n"
                  "       %s --trace FILE\n"
                  "       %s --metrics FILE [SWEEP_JSON POINT_ID]\n"
                  "       %s --litmus FILE [EXPECTED_CELLS]\n",
-                 prog, prog, prog, prog);
+                 prog, prog, prog, prog, prog);
     return 2;
 }
 
@@ -73,7 +85,10 @@ main(int argc, char **argv)
         argc >= 2 && std::strcmp(argv[1], "--metrics") == 0;
     bool litmus_mode =
         argc >= 2 && std::strcmp(argv[1], "--litmus") == 0;
-    int first_file = trace_mode || metrics_mode || litmus_mode ? 2 : 1;
+    bool compare_mode =
+        argc >= 2 && std::strcmp(argv[1], "--compare-points") == 0;
+    int first_file =
+        trace_mode || metrics_mode || litmus_mode || compare_mode ? 2 : 1;
     bool args_ok;
     if (trace_mode)
         args_ok = argc == 3;
@@ -81,8 +96,10 @@ main(int argc, char **argv)
         args_ok = argc == 3 || argc == 5;
     else if (litmus_mode)
         args_ok = argc == 3 || argc == 4;
+    else if (compare_mode)
+        args_ok = argc == 4;
     else
-        args_ok = argc == 2 || argc == 3;
+        args_ok = argc == 2 || argc == 3 || argc == 4;
     if (!args_ok)
         return usage(argv[0]);
     const char *path = argv[first_file];
@@ -92,6 +109,9 @@ main(int argc, char **argv)
         CheckResult res;
         if (trace_mode) {
             res = bowsim::harness::checkChromeTrace(doc);
+        } else if (compare_mode) {
+            const Json other = bowsim::harness::loadJsonFile(argv[3]);
+            res = bowsim::harness::compareSweepPoints(doc, other);
         } else if (litmus_mode) {
             std::int64_t expected = -1;
             if (argc == 4)
@@ -107,9 +127,13 @@ main(int argc, char **argv)
             res = bowsim::harness::checkMetricsSeries(doc, stats);
         } else {
             std::int64_t expected = -1;
-            if (argc == 3)
+            std::int64_t expected_hits = -1;
+            if (argc >= 3)
                 expected = std::strtol(argv[2], nullptr, 10);
-            res = bowsim::harness::checkSweepArtifact(doc, expected);
+            if (argc == 4)
+                expected_hits = std::strtol(argv[3], nullptr, 10);
+            res = bowsim::harness::checkSweepArtifact(doc, expected,
+                                                      expected_hits);
         }
         if (!res.ok) {
             std::fprintf(stderr, "json_check: %s: %s\n", path,

@@ -29,10 +29,25 @@ Json loadJsonFile(const std::string &path);
  * Validates a BENCH_*.json sweep artifact: a "points" array of
  * @p expected_points entries (any size when negative) in which every
  * point reports ok == true and carries a "config" object recording at
- * least the idle_skip setting.
+ * least the idle_skip setting. When the artifact carries a "cache"
+ * block (the sweep ran with --cache, docs/BENCH.md) its mode and
+ * counters are validated: hits + misses + bypassed + resumed must
+ * equal the point count and stored may not exceed misses. A
+ * non-negative @p expected_cache_hits additionally requires the block
+ * to be present and report exactly that many hits (the CI warm-run
+ * all-hits gate).
  */
 CheckResult checkSweepArtifact(const Json &doc,
-                               std::int64_t expected_points = -1);
+                               std::int64_t expected_points = -1,
+                               std::int64_t expected_cache_hits = -1);
+
+/**
+ * Compares the "points" arrays of two sweep artifacts byte-for-byte
+ * (serialized form), plus the bench names. Cold and warm cached runs
+ * must agree exactly here — only their "cache" blocks may differ —
+ * which is what makes a cache hit indistinguishable from a simulation.
+ */
+CheckResult compareSweepPoints(const Json &a, const Json &b);
 
 /**
  * Validates a Chrome trace_event document (docs/TRACING.md):

@@ -1,11 +1,14 @@
 #include "src/harness/sweep.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 
 #include "src/common/log.hpp"
+#include "src/harness/fingerprint.hpp"
+#include "src/harness/result_cache.hpp"
 #include "src/kernels/registry.hpp"
 #include "src/metrics/sampler.hpp"
 #include "src/sim/gpu.hpp"
@@ -97,6 +100,72 @@ runPoint(const SweepPoint &point)
 
 }  // namespace
 
+SweepResult
+SweepRunner::execPoint(const SweepPoint &point) const
+{
+    if (!cache_ && !journal_)
+        return runPoint(point);
+
+    // A cache hit would not regenerate side-output files, so points
+    // with a trace or metrics path always simulate.
+    if (!point.tracePath.empty() || !point.metricsPath.empty()) {
+        if (cache_)
+            cache_->countBypassed();
+        return runPoint(point);
+    }
+
+    const PointKey key = fingerprintPoint(point);
+    // Points the fingerprinter cannot content-address still get a weak
+    // per-sweep resume key (config + id + scale). That is enough for
+    // journal replay — a resumed sweep re-runs the same sweep
+    // definition, so a matching (id, config) names the same work — but
+    // deliberately too weak for the shared object store, where keys
+    // must survive source edits.
+    std::string journal_key;
+    if (key.cacheable) {
+        journal_key = key.hash;
+    } else {
+        FingerprintHasher weak;
+        hashConfig(weak, point.cfg);
+        weak.add("weak_id", point.id);
+        weak.add("scale", point.scale);
+        journal_key = weak.hex();
+    }
+
+    SweepResult r;
+    if (journal_ && journal_->lookup(point.id, journal_key, &r.stats)) {
+        r.ok = true;
+        r.source = SweepResult::Source::Resumed;
+        if (cache_)
+            cache_->countResumed();
+        return r;
+    }
+    if (cache_ && key.cacheable && cache_->lookup(key.hash, &r.stats)) {
+        r.ok = true;
+        r.source = SweepResult::Source::CacheHit;
+        cache_->countHit();
+        // Journal the hit too, so resuming an interrupted warm run
+        // replays it without even touching the object store.
+        if (journal_)
+            journal_->record(point.id, journal_key, r.stats);
+        return r;
+    }
+    if (cache_) {
+        if (key.cacheable)
+            cache_->countMiss();
+        else
+            cache_->countBypassed();
+    }
+    r = runPoint(point);
+    if (r.ok) {
+        if (cache_ && key.cacheable)
+            cache_->store(key.hash, point.id, r.stats);
+        if (journal_)
+            journal_->record(point.id, journal_key, r.stats);
+    }
+    return r;
+}
+
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<SweepPoint> &points) const
 {
@@ -107,7 +176,7 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < points.size(); ++i) {
-            results[i] = runPoint(points[i]);
+            results[i] = execPoint(points[i]);
             if (callback_)
                 callback_(i, results[i]);
         }
@@ -125,7 +194,7 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
-            results[i] = runPoint(points[i]);
+            results[i] = execPoint(points[i]);
             if (callback_) {
                 std::lock_guard<std::mutex> lock(cb_mu);
                 callback_(i, results[i]);
@@ -141,6 +210,23 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
     return results;
 }
 
+namespace {
+
+/**
+ * Double checked for NaN/Inf before emission: both serialize to tokens
+ * no JSON parser accepts, so a record containing one would read back as
+ * corrupt — and a non-finite statistic is a simulator bug anyway.
+ */
+double
+finite(const char *key, double v)
+{
+    if (!std::isfinite(v))
+        fatal("statsToJson: non-finite value for \"", key, "\"");
+    return v;
+}
+
+}  // namespace
+
 Json
 statsToJson(const KernelStats &s)
 {
@@ -152,14 +238,14 @@ statsToJson(const KernelStats &s)
     j.set("sync_thread_instructions", s.syncThreadInstructions);
     j.set("sib_instructions", s.sibInstructions);
     j.set("active_lane_sum", s.activeLaneSum);
-    j.set("simd_efficiency", s.simdEfficiency());
-    j.set("ipc", s.ipc());
+    j.set("simd_efficiency", finite("simd_efficiency", s.simdEfficiency()));
+    j.set("ipc", finite("ipc", s.ipc()));
     // Sampled-mode estimator fields appear only when an estimate was
     // actually produced; cycle-mode artifacts never carry them
     // (json_check enforces this).
     if (s.hasSampledIpc()) {
-        j.set("ipc_est", s.ipcEst);
-        j.set("ipc_ci95", s.ipcCi95);
+        j.set("ipc_est", finite("ipc_est", s.ipcEst));
+        j.set("ipc_ci95", finite("ipc_ci95", s.ipcCi95));
         j.set("sampled_windows", s.sampledWindows);
     }
 
@@ -196,14 +282,32 @@ statsToJson(const KernelStats &s)
         sched.set("spinning_warp_cycles", s.spinningWarpCycles);
     sched.set("delay_limit_cycle_sum", s.delayLimitCycleSum);
     sched.set("sm_cycles", s.smCycles);
-    sched.set("avg_delay_limit", s.avgDelayLimit());
+    // Per-SM peak residency (empty for custom-body points, which build
+    // their stats by hand).
+    if (!s.peakResidentPerSm.empty()) {
+        Json peaks = Json::array();
+        for (std::uint64_t p : s.peakResidentPerSm)
+            peaks.push(p);
+        sched.set("peak_resident_per_sm", std::move(peaks));
+    }
+    sched.set("avg_delay_limit",
+              finite("avg_delay_limit", s.avgDelayLimit()));
     j.set("sched", std::move(sched));
 
+    // Derived rates for humans/plots, raw counters for statsFromJson
+    // (the rates are recomputed on parse).
     Json ddos = Json::object();
-    ddos.set("tsdr", s.ddos.tsdr());
-    ddos.set("fsdr", s.ddos.fsdr());
-    ddos.set("dpr_true", s.ddos.dprTrue());
-    ddos.set("dpr_false", s.ddos.dprFalse());
+    ddos.set("tsdr", finite("tsdr", s.ddos.tsdr()));
+    ddos.set("fsdr", finite("fsdr", s.ddos.fsdr()));
+    ddos.set("dpr_true", finite("dpr_true", s.ddos.dprTrue()));
+    ddos.set("dpr_false", finite("dpr_false", s.ddos.dprFalse()));
+    ddos.set("true_branches", s.ddos.trueBranches);
+    ddos.set("true_detected", s.ddos.trueDetected);
+    ddos.set("false_branches", s.ddos.falseBranches);
+    ddos.set("false_detected", s.ddos.falseDetected);
+    ddos.set("dpr_true_sum", finite("dpr_true_sum", s.ddos.dprTrueSum));
+    ddos.set("dpr_false_sum",
+             finite("dpr_false_sum", s.ddos.dprFalseSum));
     j.set("ddos", std::move(ddos));
 
     // Only present when collected (trace sink attached or
@@ -216,11 +320,163 @@ statsToJson(const KernelStats &s)
                       totals[c]);
         }
         j.set("stall", std::move(stall));
+        // The full per-warp table (the "stall" block above is its
+        // per-cause projection, recomputed on parse).
+        Json table = Json::object();
+        table.set("warps_per_sm", s.stallWarpsPerSm);
+        Json counts = Json::array();
+        for (std::uint64_t c : s.stallCounts)
+            counts.push(c);
+        table.set("counts", std::move(counts));
+        j.set("stall_table", std::move(table));
+    }
+    if (!s.unitIssues.empty()) {
+        Json units = Json::object();
+        units.set("units_per_sm", s.unitsPerSm);
+        Json counts = Json::array();
+        for (std::uint64_t c : s.unitIssues)
+            counts.push(c);
+        units.set("counts", std::move(counts));
+        j.set("unit_issues", std::move(units));
     }
 
-    j.set("energy_nj", s.energyNj);
-    j.set("static_energy_nj", s.staticEnergyNj);
+    Json ev = Json::object();
+    ev.set("warp_instructions", s.energy.warpInstructions);
+    ev.set("lane_alu_ops", s.energy.laneAluOps);
+    ev.set("rf_read_lanes", s.energy.rfReadLanes);
+    ev.set("rf_write_lanes", s.energy.rfWriteLanes);
+    ev.set("shared_accesses", s.energy.sharedAccesses);
+    ev.set("l1_accesses", s.energy.l1Accesses);
+    ev.set("l2_accesses", s.energy.l2Accesses);
+    ev.set("dram_accesses", s.energy.dramAccesses);
+    ev.set("icnt_packets", s.energy.icntPackets);
+    ev.set("atomic_ops", s.energy.atomicOps);
+    j.set("energy_events", std::move(ev));
+
+    j.set("energy_nj", finite("energy_nj", s.energyNj));
+    j.set("static_energy_nj",
+          finite("static_energy_nj", s.staticEnergyNj));
     return j;
+}
+
+namespace {
+
+std::uint64_t
+getU64(const Json &obj, const char *key)
+{
+    return static_cast<std::uint64_t>(obj.at(key).asInt());
+}
+
+}  // namespace
+
+KernelStats
+statsFromJson(const Json &j)
+{
+    KernelStats s;
+    s.kernel = j.at("kernel").asString();
+    s.cycles = getU64(j, "cycles");
+    s.warpInstructions = getU64(j, "warp_instructions");
+    s.threadInstructions = getU64(j, "thread_instructions");
+    s.syncThreadInstructions = getU64(j, "sync_thread_instructions");
+    s.sibInstructions = getU64(j, "sib_instructions");
+    s.activeLaneSum = getU64(j, "active_lane_sum");
+    // simd_efficiency and ipc are derived; recomputed from the raws.
+    if (j.has("sampled_windows")) {
+        s.ipcEst = j.at("ipc_est").asDouble();
+        s.ipcCi95 = j.at("ipc_ci95").asDouble();
+        s.sampledWindows = getU64(j, "sampled_windows");
+        if (!s.hasSampledIpc())
+            fatal("statsFromJson: sampled_windows == 0 in a sampled "
+                  "record");
+    }
+
+    const Json &mem = j.at("mem");
+    s.l1Accesses = getU64(mem, "l1_accesses");
+    s.l1Hits = getU64(mem, "l1_hits");
+    s.l1Misses = getU64(mem, "l1_misses");
+    s.sharedAccesses = getU64(mem, "shared_accesses");
+    s.syncMemTransactions = getU64(mem, "sync_mem_transactions");
+    s.mem.l2Accesses = getU64(mem, "l2_accesses");
+    s.mem.l2Hits = getU64(mem, "l2_hits");
+    s.mem.l2Misses = getU64(mem, "l2_misses");
+    s.mem.dramAccesses = getU64(mem, "dram_accesses");
+    s.mem.dramRowActivations = getU64(mem, "dram_row_activations");
+    s.mem.atomics = getU64(mem, "atomics");
+    s.mem.atomicWaitCycles = getU64(mem, "atomic_wait_cycles");
+    s.mem.icntPackets = getU64(mem, "icnt_packets");
+
+    const Json &out = j.at("outcomes");
+    s.outcomes.lockSuccess = getU64(out, "lock_success");
+    s.outcomes.interWarpFail = getU64(out, "inter_warp_fail");
+    s.outcomes.intraWarpFail = getU64(out, "intra_warp_fail");
+    s.outcomes.waitExitSuccess = getU64(out, "wait_exit_success");
+    s.outcomes.waitExitFail = getU64(out, "wait_exit_fail");
+
+    const Json &sched = j.at("sched");
+    s.residentWarpCycles = getU64(sched, "resident_warp_cycles");
+    s.backedOffWarpCycles = getU64(sched, "backed_off_warp_cycles");
+    if (sched.has("spinning_warp_cycles")) {
+        s.spinningWarpCycles = getU64(sched, "spinning_warp_cycles");
+        if (s.spinningWarpCycles == 0)
+            fatal("statsFromJson: explicit zero spinning_warp_cycles");
+    }
+    s.delayLimitCycleSum = getU64(sched, "delay_limit_cycle_sum");
+    s.smCycles = getU64(sched, "sm_cycles");
+    if (sched.has("peak_resident_per_sm")) {
+        const Json &peaks = sched.at("peak_resident_per_sm");
+        for (const Json &p : peaks.items())
+            s.peakResidentPerSm.push_back(
+                static_cast<std::uint64_t>(p.asInt()));
+    }
+
+    const Json &ddos = j.at("ddos");
+    s.ddos.trueBranches =
+        static_cast<unsigned>(getU64(ddos, "true_branches"));
+    s.ddos.trueDetected =
+        static_cast<unsigned>(getU64(ddos, "true_detected"));
+    s.ddos.falseBranches =
+        static_cast<unsigned>(getU64(ddos, "false_branches"));
+    s.ddos.falseDetected =
+        static_cast<unsigned>(getU64(ddos, "false_detected"));
+    s.ddos.dprTrueSum = ddos.at("dpr_true_sum").asDouble();
+    s.ddos.dprFalseSum = ddos.at("dpr_false_sum").asDouble();
+
+    if (j.has("stall_table")) {
+        const Json &table = j.at("stall_table");
+        s.stallWarpsPerSm =
+            static_cast<unsigned>(getU64(table, "warps_per_sm"));
+        for (const Json &c : table.at("counts").items())
+            s.stallCounts.push_back(
+                static_cast<std::uint64_t>(c.asInt()));
+        if (s.stallCounts.empty())
+            fatal("statsFromJson: empty stall_table counts");
+    }
+    if (j.has("unit_issues")) {
+        const Json &units = j.at("unit_issues");
+        s.unitsPerSm =
+            static_cast<unsigned>(getU64(units, "units_per_sm"));
+        for (const Json &c : units.at("counts").items())
+            s.unitIssues.push_back(
+                static_cast<std::uint64_t>(c.asInt()));
+        if (s.unitIssues.empty())
+            fatal("statsFromJson: empty unit_issues counts");
+    }
+
+    const Json &ev = j.at("energy_events");
+    s.energy.warpInstructions = getU64(ev, "warp_instructions");
+    s.energy.laneAluOps = getU64(ev, "lane_alu_ops");
+    s.energy.rfReadLanes = getU64(ev, "rf_read_lanes");
+    s.energy.rfWriteLanes = getU64(ev, "rf_write_lanes");
+    s.energy.sharedAccesses = getU64(ev, "shared_accesses");
+    s.energy.l1Accesses = getU64(ev, "l1_accesses");
+    s.energy.l2Accesses = getU64(ev, "l2_accesses");
+    s.energy.dramAccesses = getU64(ev, "dram_accesses");
+    s.energy.icntPackets = getU64(ev, "icnt_packets");
+    s.energy.atomicOps = getU64(ev, "atomic_ops");
+
+    s.energyNj = j.at("energy_nj").asDouble();
+    s.staticEnergyNj = j.at("static_energy_nj").asDouble();
+    return s;
 }
 
 Json
@@ -257,13 +513,25 @@ configToJson(const GpuConfig &cfg)
 Json
 sweepToJson(const std::string &bench_name, unsigned jobs,
             const std::vector<SweepPoint> &points,
-            const std::vector<SweepResult> &results)
+            const std::vector<SweepResult> &results,
+            const ResultCache *cache)
 {
     if (points.size() != results.size())
         panic("sweepToJson: points/results size mismatch");
     Json doc = Json::object();
     doc.set("bench", bench_name);
     doc.set("jobs", jobs);
+    if (cache) {
+        const CacheCounters c = cache->counters();
+        Json cj = Json::object();
+        cj.set("mode", toString(cache->mode()));
+        cj.set("hits", c.hits);
+        cj.set("misses", c.misses);
+        cj.set("stored", c.stored);
+        cj.set("bypassed", c.bypassed);
+        cj.set("resumed", c.resumed);
+        doc.set("cache", std::move(cj));
+    }
     Json arr = Json::array();
     for (std::size_t i = 0; i < points.size(); ++i) {
         Json p = Json::object();

@@ -26,6 +26,9 @@ class Gpu;
 
 namespace bowsim::harness {
 
+class ResultCache;
+class ResumeJournal;
+
 /** One independent simulation in a sweep. */
 struct SweepPoint {
     /** Unique label for output/JSON rows, e.g. "HT/B500". */
@@ -68,14 +71,29 @@ struct SweepPoint {
      * points; `gpuBody` points sample fine.
      */
     std::string metricsPath;
+    /**
+     * Opt-in content key for `gpuBody` points (ignored otherwise). The
+     * runner cannot see inside a gpuBody closure, so such a point is
+     * only cacheable when the bench declares a salt covering everything
+     * the closure's behavior depends on — at minimum
+     * fingerprintPrograms() of the harness it runs plus every
+     * parameter baked into the closure. An empty salt (the default)
+     * keeps the point safely uncacheable. See docs/BENCH.md.
+     */
+    std::string cacheSalt;
 };
 
 /** Outcome of one sweep point. */
 struct SweepResult {
+    /** How the result was obtained (sweep artifacts do not record
+     *  this — cold and warm runs must emit identical points). */
+    enum class Source { Simulated, CacheHit, Resumed };
+
     bool ok = false;
     KernelStats stats;
     /** Exception message when !ok. */
     std::string error;
+    Source source = Source::Simulated;
 };
 
 /**
@@ -102,29 +120,73 @@ class SweepRunner {
     void setPointCallback(PointCallback cb) { callback_ = std::move(cb); }
 
     /**
+     * Attaches a persistent result cache (docs/BENCH.md, "Result cache
+     * & resume"): before dispatching a point to a worker the runner
+     * consults the cache and serves a fingerprint hit without
+     * simulating; misses simulate and (rw mode) store their result.
+     * Points with side outputs (tracePath/metricsPath) and points the
+     * fingerprinter cannot key bypass the cache and are counted as
+     * such. @p cache must outlive run(); nullptr detaches.
+     */
+    void setCache(ResultCache *cache) { cache_ = cache; }
+
+    /**
+     * Attaches a resume journal: every completed (ok) point is
+     * journaled, and points already journaled under a matching key are
+     * served without simulation (--resume). @p journal must outlive
+     * run(); nullptr detaches.
+     */
+    void setJournal(ResumeJournal *journal) { journal_ = journal; }
+
+    /**
      * Runs every point and returns results in submission order. With
      * jobs() == 1 everything runs on the calling thread.
      */
     std::vector<SweepResult> run(const std::vector<SweepPoint> &points) const;
 
   private:
+    SweepResult execPoint(const SweepPoint &point) const;
+
     unsigned jobs_;
     PointCallback callback_;
+    ResultCache *cache_ = nullptr;
+    ResumeJournal *journal_ = nullptr;
 };
 
-/** Serializes the interesting fields of @p s (deterministic order). */
+/**
+ * Serializes the interesting fields of @p s (deterministic order).
+ * Fatal on NaN/Inf in any floating-point field — such a value is a
+ * simulator bug, and emitting it would produce invalid JSON that a
+ * cache read would then silently treat as a corrupt record.
+ */
 Json statsToJson(const KernelStats &s);
+
+/**
+ * Inverse of statsToJson: rebuilds a KernelStats from its JSON form.
+ * Raw counters are read back exactly; derived fields (ipc,
+ * simd_efficiency, avg_delay_limit, the ddos rates, the per-cause
+ * stall totals) are recomputed from the raws, so
+ * statsToJson(statsFromJson(j)) == j byte-for-byte. Throws FatalError
+ * on missing or ill-typed fields (the result cache maps that to a
+ * miss).
+ */
+KernelStats statsFromJson(const Json &j);
 
 /** Serializes the sweep-relevant fields of @p cfg. */
 Json configToJson(const GpuConfig &cfg);
 
 /**
  * Builds the BENCH_*.json artifact document for one finished sweep:
- * { "bench", "jobs", "points": [ {id, kernel, ok, config, stats|error} ] }.
+ * { "bench", "jobs", ["cache"], "points": [ {id, kernel, ok, config,
+ * stats|error} ] }. When @p cache is non-null a "cache" block records
+ * its mode and hit/miss/stored/bypassed/resumed counters (validated by
+ * json_check); the "points" array is identical either way, so cold and
+ * warm runs differ only in that block.
  */
 Json sweepToJson(const std::string &bench_name, unsigned jobs,
                  const std::vector<SweepPoint> &points,
-                 const std::vector<SweepResult> &results);
+                 const std::vector<SweepResult> &results,
+                 const ResultCache *cache = nullptr);
 
 }  // namespace bowsim::harness
 

@@ -181,5 +181,148 @@ TEST(JsonCheckLitmus, ConfigBowsMismatchFails)
     EXPECT_NE(r.message.find("bows_enabled"), std::string::npos);
 }
 
+// --- json_check: sweep cache blocks ------------------------------------
+
+/** A minimal valid sweep artifact with a "cache" block. */
+Json
+cachedSweepDoc(const char *mode, int hits, int misses, int stored,
+               int bypassed, int resumed)
+{
+    Json cfg = Json::object();
+    cfg.set("idle_skip", true);
+    cfg.set("sm_threads", 1);
+    cfg.set("atomic_service_period", 1);
+    cfg.set("metrics_interval", 0);
+    cfg.set("exec_mode", "cycle");
+    Json stats = Json::object();
+    stats.set("cycles", 100);
+    Json p = Json::object();
+    p.set("id", "p0");
+    p.set("ok", true);
+    p.set("config", std::move(cfg));
+    p.set("stats", std::move(stats));
+    Json arr = Json::array();
+    arr.push(std::move(p));
+    Json cache = Json::object();
+    cache.set("mode", mode);
+    cache.set("hits", hits);
+    cache.set("misses", misses);
+    cache.set("stored", stored);
+    cache.set("bypassed", bypassed);
+    cache.set("resumed", resumed);
+    Json d = Json::object();
+    d.set("bench", "unit");
+    d.set("jobs", 1);
+    d.set("cache", std::move(cache));
+    d.set("points", std::move(arr));
+    return d;
+}
+
+TEST(JsonCheckCache, ValidBlockPassesAndIsReported)
+{
+    const harness::CheckResult hit =
+        harness::checkSweepArtifact(cachedSweepDoc("rw", 1, 0, 0, 0, 0),
+                                    1, 1);
+    EXPECT_TRUE(hit.ok) << hit.message;
+    EXPECT_NE(hit.message.find("1 hit"), std::string::npos) << hit.message;
+
+    const harness::CheckResult miss =
+        harness::checkSweepArtifact(cachedSweepDoc("rw", 0, 1, 1, 0, 0));
+    EXPECT_TRUE(miss.ok) << miss.message;
+}
+
+TEST(JsonCheckCache, ExpectedHitsRequireABlock)
+{
+    // A sweep run without --cache emits no block; asking the checker to
+    // assert a hit count against it must fail loudly (the CI warm-run
+    // gate depends on this).
+    Json doc = cachedSweepDoc("rw", 1, 0, 0, 0, 0);
+    doc = mutated(doc, "\"cache\":", "\"cache_disabled\":");
+    EXPECT_TRUE(harness::checkSweepArtifact(doc, 1).ok);
+    const harness::CheckResult r = harness::checkSweepArtifact(doc, 1, 1);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("--cache"), std::string::npos) << r.message;
+}
+
+TEST(JsonCheckCache, HitCountMismatchFails)
+{
+    const harness::CheckResult r =
+        harness::checkSweepArtifact(cachedSweepDoc("rw", 0, 1, 1, 0, 0),
+                                    1, 1);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("expected 1"), std::string::npos)
+        << r.message;
+}
+
+TEST(JsonCheckCache, CounterInvariantsAreEnforced)
+{
+    // hits + misses + bypassed + resumed must equal the point count.
+    const harness::CheckResult sum =
+        harness::checkSweepArtifact(cachedSweepDoc("rw", 1, 1, 0, 0, 0));
+    EXPECT_FALSE(sum.ok);
+    EXPECT_NE(sum.message.find("sum"), std::string::npos) << sum.message;
+
+    // stored is a subset of misses.
+    const harness::CheckResult stored =
+        harness::checkSweepArtifact(cachedSweepDoc("rw", 0, 1, 2, 0, 0));
+    EXPECT_FALSE(stored.ok);
+    EXPECT_NE(stored.message.find("stored"), std::string::npos)
+        << stored.message;
+
+    // A read-only cache cannot have written records.
+    const harness::CheckResult ro =
+        harness::checkSweepArtifact(cachedSweepDoc("ro", 0, 1, 1, 0, 0));
+    EXPECT_FALSE(ro.ok);
+    EXPECT_NE(ro.message.find("read-only"), std::string::npos)
+        << ro.message;
+
+    // "off" never emits a block, so a block claiming it is malformed.
+    const harness::CheckResult off =
+        harness::checkSweepArtifact(cachedSweepDoc("off", 0, 1, 0, 0, 0));
+    EXPECT_FALSE(off.ok);
+    EXPECT_NE(off.message.find("mode"), std::string::npos) << off.message;
+
+    // Negative and missing counters are malformed.
+    const harness::CheckResult neg =
+        harness::checkSweepArtifact(cachedSweepDoc("rw", -1, 2, 0, 0, 0));
+    EXPECT_FALSE(neg.ok);
+    const Json dropped = mutated(cachedSweepDoc("rw", 1, 0, 0, 0, 0),
+                                 "\"resumed\":0", "\"resumed\":null");
+    const harness::CheckResult miss =
+        harness::checkSweepArtifact(dropped);
+    EXPECT_FALSE(miss.ok);
+    EXPECT_NE(miss.message.find("resumed"), std::string::npos)
+        << miss.message;
+}
+
+TEST(JsonCheckCache, ComparePointsAcceptsOnlyByteIdenticalArrays)
+{
+    // Cold (all misses) vs warm (all hits): cache blocks differ, the
+    // points arrays must not.
+    const Json cold = cachedSweepDoc("rw", 0, 1, 1, 0, 0);
+    const Json warm = cachedSweepDoc("rw", 1, 0, 0, 0, 0);
+    const harness::CheckResult same =
+        harness::compareSweepPoints(cold, warm);
+    EXPECT_TRUE(same.ok) << same.message;
+    EXPECT_NE(same.message.find("byte-identical"), std::string::npos);
+
+    // A single diverging stat is caught and named.
+    const Json drifted =
+        mutated(warm, "\"cycles\":100", "\"cycles\":101");
+    const harness::CheckResult diff =
+        harness::compareSweepPoints(cold, drifted);
+    EXPECT_FALSE(diff.ok);
+    EXPECT_NE(diff.message.find("p0"), std::string::npos) << diff.message;
+
+    // Different benches must not be compared at all.
+    const Json other = mutated(warm, "\"bench\":\"unit\"",
+                               "\"bench\":\"other\"");
+    const harness::CheckResult bench =
+        harness::compareSweepPoints(cold, other);
+    EXPECT_FALSE(bench.ok);
+    EXPECT_NE(bench.message.find("bench"), std::string::npos)
+        << bench.message;
+}
+
 }  // namespace
 }  // namespace bowsim
