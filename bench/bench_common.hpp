@@ -45,6 +45,14 @@ struct BenchOptions {
     /** Simulated core count override; 0 leaves each config untouched
      *  (--cores / BOWSIM_CORES). */
     unsigned cores = 0;
+    /**
+     * Simulated device (GPU) count override; 0 leaves each config
+     * untouched (--devices / BOWSIM_DEVICES). Values above 1 shard the
+     * launch across that many devices joined by the modeled
+     * inter-device link (docs/PERF.md, "Device sharding"). Recorded per
+     * point as config.num_devices when it differs from 1.
+     */
+    unsigned devices = 0;
     /** Sweep worker threads; 0 resolves via BOWSIM_JOBS, then the
      *  hardware concurrency (--jobs / BOWSIM_JOBS). */
     unsigned jobs = 0;
@@ -168,7 +176,7 @@ tracePathFor(const std::string &base, const std::string &id)
 }
 
 /**
- * Parses --scale= / --cores= / --jobs= / --sm-threads= / --json= /
+ * Parses --scale= / --cores= / --devices= / --jobs= / --sm-threads= / --json= /
  * --trace= / --no-skip / --metrics= / --metrics-interval= / --profile /
  * --progress / --exec-mode= / --sample-window= / --sample-period= /
  * --cache= / --cache-dir= / --resume
@@ -188,6 +196,8 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         o.scale = std::atof(env);
     if (const char *env = std::getenv("BOWSIM_CORES"))
         o.cores = static_cast<unsigned>(std::atoi(env));
+    if (const char *env = std::getenv("BOWSIM_DEVICES"))
+        o.devices = static_cast<unsigned>(std::atoi(env));
     if (const char *env = std::getenv("BOWSIM_TRACE"))
         o.tracePath = env;
     if (const char *env = std::getenv("BOWSIM_NO_SKIP"))
@@ -238,6 +248,8 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
             o.scale = std::atof(argv[i] + 8);
         else if (std::strncmp(argv[i], "--cores=", 8) == 0)
             o.cores = static_cast<unsigned>(std::atoi(argv[i] + 8));
+        else if (std::strncmp(argv[i], "--devices=", 10) == 0)
+            o.devices = static_cast<unsigned>(std::atoi(argv[i] + 10));
         else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
             o.jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
         else if (std::strncmp(argv[i], "--json=", 7) == 0)
@@ -358,9 +370,9 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
     // a copy; the artifact then records the configs that actually ran.
     std::vector<SweepPoint> points = sweep.points;
     if (!opts.tracePath.empty() || opts.noSkip || opts.smThreads != 0 ||
-        !opts.metricsPath.empty() || opts.metricsInterval != 0 ||
-        opts.profile || opts.hasExecMode || opts.sampleWindow != 0 ||
-        opts.samplePeriod != 0) {
+        opts.devices != 0 || !opts.metricsPath.empty() ||
+        opts.metricsInterval != 0 || opts.profile || opts.hasExecMode ||
+        opts.sampleWindow != 0 || opts.samplePeriod != 0) {
         for (SweepPoint &p : points) {
             if (p.body) {
                 // Custom bodies construct their own Gpu from a config
@@ -372,6 +384,7 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                              p.id.c_str(),
                              opts.noSkip        ? "--no-skip"
                              : opts.smThreads   ? "--sm-threads"
+                             : opts.devices     ? "--devices"
                              : opts.profile     ? "--profile"
                              : opts.hasExecMode ? "--exec-mode"
                              : !opts.metricsPath.empty()
@@ -385,6 +398,8 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                 p.cfg.idleSkip = false;
             if (opts.smThreads != 0)
                 p.cfg.smThreads = opts.smThreads;
+            if (opts.devices != 0)
+                p.cfg.numDevices = opts.devices;
             if (!opts.tracePath.empty())
                 p.tracePath = tracePathFor(opts.tracePath, p.id);
             if (opts.metricsInterval != 0)

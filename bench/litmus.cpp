@@ -7,10 +7,11 @@
  * runs:
  *
  *   --primitives=tas,ticket,...   subset of tas,backoff,ticket,array,
- *                                 barrier (default: all)
- *   --schedulers=LRR,GTO,CAWA     subset (default: all three)
+ *                                 barrier,system-barrier (default: all)
+ *   --schedulers=LRR,GTO,CAWA,TwoLevel  subset (default: all four)
  *   --occupancies=under,exact,over  subset (default: all three)
  *   --bows=base|bows|both         BOWS axis (default: both)
+ *   --devices=1,2                 device-count axis (default: 1,2)
  *   --iters=N                     rounds per warp / barrier rounds
  *   --watchdog=N                  watchdog budget in cycles
  *
@@ -118,6 +119,14 @@ main(int argc, char **argv)
                     badFlag("--occupancies", name);
                 lo.occupancies.push_back(level);
             }
+        } else if (std::strncmp(argv[i], "--devices=", 10) == 0) {
+            lo.devices.clear();
+            for (const std::string &name : splitList(argv[i] + 10)) {
+                const int dev = std::atoi(name.c_str());
+                if (dev <= 0)
+                    badFlag("--devices", name);
+                lo.devices.push_back(static_cast<unsigned>(dev));
+            }
         } else if (std::strncmp(argv[i], "--bows=", 7) == 0) {
             const std::string value = argv[i] + 7;
             if (value == "base")
@@ -169,9 +178,12 @@ main(int argc, char **argv)
                       }));
     }
     // runSweep would emit the generic sweep artifact; the litmus
-    // document replaces it, so keep the path for ourselves.
+    // document replaces it, so keep the path for ourselves. --devices
+    // is a matrix axis here, not a per-point override: each cell's
+    // device count is already baked into its config.
     BenchOptions run_opts = opts;
     run_opts.jsonPath.clear();
+    run_opts.devices = 0;
     runSweep(run_opts, sweep);
 
     if (!opts.jsonPath.empty()) {
@@ -198,20 +210,25 @@ main(int argc, char **argv)
     std::map<std::string, unsigned> totals;
     for (sync::Primitive p : lo.primitives) {
         for (OccupancyLevel level : lo.occupancies) {
-            std::printf("%s/%s", sync::toString(p),
-                        harness::toString(level));
-            for (SchedulerKind sched : lo.schedulers) {
-                for (bool bows : lo.bowsModes) {
-                    std::string id = std::string(sync::toString(p)) +
-                                     "/" + toString(sched) + "/" +
-                                     (bows ? "bows" : "base") + "/" +
-                                     harness::toString(level);
-                    const LitmusCellResult *r = by_id.at(id);
-                    std::printf("\t%s", harness::toString(r->outcome));
-                    ++totals[harness::toString(r->outcome)];
+            for (unsigned dev : lo.devices) {
+                std::printf("%s/%s/d%u", sync::toString(p),
+                            harness::toString(level), dev);
+                for (SchedulerKind sched : lo.schedulers) {
+                    for (bool bows : lo.bowsModes) {
+                        std::string id =
+                            std::string(sync::toString(p)) + "/" +
+                            toString(sched) + "/" +
+                            (bows ? "bows" : "base") + "/" +
+                            harness::toString(level) + "/d" +
+                            std::to_string(dev);
+                        const LitmusCellResult *r = by_id.at(id);
+                        std::printf("\t%s",
+                                    harness::toString(r->outcome));
+                        ++totals[harness::toString(r->outcome)];
+                    }
                 }
+                std::printf("\n");
             }
-            std::printf("\n");
         }
     }
     std::printf("#");

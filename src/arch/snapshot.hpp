@@ -45,8 +45,11 @@ struct SmSnapshot {
 };
 
 /** Whole-device architectural checkpoint (memory is snapshotted
- *  separately — MemorySpace is itself copyable). */
+ *  separately — MemorySpace is itself copyable). Sampled mode is gated
+ *  to single-device runs, so a snapshot always covers one device. */
 struct GpuSnapshot {
+    /** Device the checkpoint was taken on (0 on single-device runs). */
+    unsigned device = 0;
     unsigned nextCta = 0;
     std::uint64_t warpAgeCounter = 0;
     std::vector<SmSnapshot> sms;

@@ -269,9 +269,55 @@ struct GpuConfig {
      */
     std::uint64_t samplePeriod = 10000;
 
+    // --- Device/system split (docs/PERF.md, "Device sharding") -----------
+    /**
+     * Number of devices in the simulated system (--devices /
+     * BOWSIM_DEVICES on the bench binaries). Each device replicates the
+     * full core/L2/DRAM geometry above; CTAs of a launch are chunked
+     * contiguously across devices and global memory is homed on devices
+     * by static line-address interleave. 1 (the default) is the
+     * single-GPU model and is byte-identical to the pre-split simulator.
+     */
+    unsigned numDevices = 1;
+
+    /**
+     * Inter-device link traversal latency in cycles (one direction,
+     * switch excluded). Only consulted when numDevices > 1.
+     */
+    unsigned linkLatency = 700;
+
+    /**
+     * Minimum cycles between packets on one device's link egress (and,
+     * symmetrically, ingress) port — the link serialization delay.
+     */
+    unsigned linkServicePeriod = 4;
+
+    /** System-level switch hop latency between link ports, in cycles. */
+    unsigned switchLatency = 100;
+
     /** Warps per core implied by the thread budget. */
     unsigned maxWarpsPerCore() const { return maxThreadsPerCore / kWarpSize; }
+
+    /** Total SM count across all devices of the system. */
+    unsigned totalCores() const
+    {
+        return numCores * (numDevices > 0 ? numDevices : 1);
+    }
 };
+
+/**
+ * Home device of a byte address under the static line-interleave policy:
+ * consecutive cache lines rotate across devices. With one device this is
+ * always device 0 (no remote traffic exists).
+ */
+inline unsigned
+homeDeviceOf(Addr addr, unsigned num_devices)
+{
+    if (num_devices <= 1)
+        return 0;
+    return static_cast<unsigned>((lineBase(addr) / kLineBytes) %
+                                 num_devices);
+}
 
 /** Table II GTX480 (Fermi) baseline. */
 GpuConfig makeGtx480Config();

@@ -32,7 +32,8 @@ lockReference(sync::Primitive p, const sync::SyncGeometry &g)
         break;
       }
       case sync::Primitive::GlobalBarrier:
-        fatal("lockReference: GlobalBarrier is not a lock primitive");
+      case sync::Primitive::SystemBarrier:
+        fatal("lockReference: barriers are not lock primitives");
     }
     return r;
 }

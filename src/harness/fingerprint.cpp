@@ -242,7 +242,7 @@ FingerprintHasher::hex()
  * the exclusion must be explicit and the size below still updated.
  */
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(GpuConfig) == 344 && sizeof(BowsConfig) == 72 &&
+static_assert(sizeof(GpuConfig) == 360 && sizeof(BowsConfig) == 72 &&
                   sizeof(DdosConfig) == 40 && sizeof(CacheConfig) == 24,
               "GpuConfig layout changed: update hashConfig() and "
               "configToJson() for any new result-relevant field, then "
@@ -318,6 +318,16 @@ hashConfig(FingerprintHasher &h, const GpuConfig &cfg)
     h.add("core_clock_mhz", cfg.coreClockMhz);
     h.add("watchdog_cycles", cfg.watchdogCycles);
 
+    // Device/system split: the device count changes CTA placement and
+    // address homing; the link parameters change remote-access timing.
+    // All four are hashed even though a single-device run never consults
+    // the link — a numDevices=1 record must not be served to a
+    // numDevices=2 request and vice versa.
+    h.add("num_devices", cfg.numDevices);
+    h.add("link_latency", cfg.linkLatency);
+    h.add("link_service_period", cfg.linkServicePeriod);
+    h.add("switch_latency", cfg.switchLatency);
+
     // Stats-collection gates change what statsToJson emits (stall
     // tables, spin-cycle gauge), so they are result-relevant even
     // though they never alter timing.
@@ -379,6 +389,7 @@ hashProgram(FingerprintHasher &h, const Program &prog)
         h.add("cmp", static_cast<std::uint64_t>(inst.cmp));
         h.add("space", static_cast<std::uint64_t>(inst.space));
         h.add("atom", static_cast<std::uint64_t>(inst.atom));
+        h.add("scope", static_cast<std::uint64_t>(inst.scope));
         h.add("size", inst.size);
         h.add("guard", static_cast<std::int64_t>(inst.guard));
         h.add("guard_neg", inst.guardNegate);

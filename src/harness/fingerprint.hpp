@@ -45,7 +45,7 @@ struct SweepPoint;
  * GpuConfig field (a scheduler fix, a latency model change, a stats
  * field addition), and the entire cache goes cold instead of stale.
  */
-constexpr std::uint32_t kResultSchemaVersion = 1;
+constexpr std::uint32_t kResultSchemaVersion = 2;
 
 /**
  * Incremental SHA-256 with tagged, self-delimiting field encoding: every

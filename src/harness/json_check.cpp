@@ -152,6 +152,57 @@ checkSweepArtifact(const Json &doc, std::int64_t expected_points,
                             "estimator fields");
             }
         }
+        // Multi-device points are self-describing: the device count,
+        // the link parameters, and one per-device stats shard per
+        // device. Single-device points omit all of them (the artifact
+        // stays byte-identical to the pre-device-split schema).
+        if (p.at("config").has("num_devices")) {
+            const std::int64_t nd =
+                p.at("config").at("num_devices").asInt();
+            if (nd < 2) {
+                return fail("point " + std::to_string(i) + " records "
+                            "num_devices=" + std::to_string(nd) +
+                            " (single-device points omit the key)");
+            }
+            for (const char *k : {"link_latency", "link_service_period",
+                                  "switch_latency"}) {
+                if (!p.at("config").has(k)) {
+                    return fail("point " + std::to_string(i) +
+                                " is multi-device but its config lacks "
+                                "\"" + std::string(k) + "\"");
+                }
+            }
+            if (p.has("stats")) {
+                const Json &stats = p.at("stats");
+                if (!stats.has("devices") ||
+                    stats.at("devices").type() != Json::Type::Array ||
+                    stats.at("devices").size() !=
+                        static_cast<std::size_t>(nd)) {
+                    return fail("point " + std::to_string(i) +
+                                " is multi-device but its stats lack a "
+                                "\"devices\" array with one shard per "
+                                "device");
+                }
+                for (std::size_t d = 0; d < stats.at("devices").size();
+                     ++d) {
+                    const Json &shard = stats.at("devices").at(d);
+                    if (shard.type() != Json::Type::Object)
+                        return fail("point " + std::to_string(i) +
+                                    " device shard " +
+                                    std::to_string(d) +
+                                    " is not an object");
+                    if (shard.has("devices"))
+                        return fail("point " + std::to_string(i) +
+                                    " device shard " +
+                                    std::to_string(d) +
+                                    " nests a \"devices\" block");
+                }
+            }
+        } else if (p.has("stats") && p.at("stats").has("devices")) {
+            return fail("point " + std::to_string(i) + " carries a "
+                        "per-device stats block without "
+                        "config.num_devices");
+        }
         if (!p.has("ok") || !p.at("ok").asBool()) {
             std::ostringstream os;
             os << "point " << (p.has("id") ? p.at("id").asString()
@@ -495,7 +546,7 @@ checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
 
     // --- axis lists ---------------------------------------------------
     for (const char *k : {"primitives", "schedulers", "bows",
-                          "occupancies", "cells"}) {
+                          "occupancies", "devices", "cells"}) {
         if (!doc.has(k) || doc.at(k).type() != Json::Type::Array)
             return fail(std::string("litmus document lacks \"") + k +
                         "\" array");
@@ -518,11 +569,17 @@ checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
     }
     const Json &scheds = doc.at("schedulers");
     const Json &bows = doc.at("bows");
+    const Json &devs = doc.at("devices");
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+        if (devs.at(i).asInt() <= 0)
+            return fail("devices axis entries must be positive");
+    }
 
     // --- cells: schema, legality, and exact axis coverage -------------
     const Json &cells = doc.at("cells");
-    const std::size_t expected_product =
-        prims.size() * scheds.size() * bows.size() * occs.size();
+    const std::size_t expected_product = prims.size() * scheds.size() *
+                                         bows.size() * occs.size() *
+                                         devs.size();
     if (expected_cells >= 0 &&
         cells.size() != static_cast<std::size_t>(expected_cells)) {
         std::ostringstream os;
@@ -542,8 +599,9 @@ checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
         const Json &c = cells.at(i);
         const std::string where = "cell " + std::to_string(i);
         for (const char *k : {"id", "primitive", "scheduler", "bows",
-                              "occupancy", "ctas", "warps_per_cta",
-                              "iters", "outcome", "config", "stats"}) {
+                              "occupancy", "devices", "ctas",
+                              "warps_per_cta", "iters", "outcome",
+                              "config", "stats"}) {
             if (!c.has(k))
                 return fail(where + " lacks \"" + k + "\"");
         }
@@ -554,7 +612,7 @@ checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
         ++outcome_counts[c.at("outcome").asString()];
         if (c.at("ctas").asInt() <= 0 ||
             c.at("warps_per_cta").asInt() <= 0 ||
-            c.at("iters").asInt() <= 0)
+            c.at("iters").asInt() <= 0 || c.at("devices").asInt() <= 0)
             return fail(where + " has non-positive geometry");
         const Json &cfg = c.at("config");
         if (cfg.type() != Json::Type::Object)
@@ -577,27 +635,36 @@ checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
         if (cfg.at("bows_enabled").asBool() != c.at("bows").asBool())
             return fail(where + " config bows_enabled disagrees with "
                         "the cell's bows flag");
+        if (cfg.has("devices") &&
+            cfg.at("devices").asInt() != c.at("devices").asInt())
+            return fail(where + " config devices disagrees with the "
+                        "cell's device count");
         if (c.at("stats").type() != Json::Type::Object)
             return fail(where + " \"stats\" is not an object");
-        std::string key = c.at("primitive").asString() + "/" +
-                          c.at("scheduler").asString() + "/" +
-                          (c.at("bows").asBool() ? "bows" : "base") +
-                          "/" + c.at("occupancy").asString();
+        std::string key =
+            c.at("primitive").asString() + "/" +
+            c.at("scheduler").asString() + "/" +
+            (c.at("bows").asBool() ? "bows" : "base") + "/" +
+            c.at("occupancy").asString() + "/d" +
+            std::to_string(c.at("devices").asInt());
         if (++seen[key] > 1)
             return fail("duplicate cell " + key);
     }
     for (std::size_t pi = 0; pi < prims.size(); ++pi)
         for (std::size_t si = 0; si < scheds.size(); ++si)
             for (std::size_t bi = 0; bi < bows.size(); ++bi)
-                for (std::size_t oi = 0; oi < occs.size(); ++oi) {
-                    std::string key =
-                        prims.at(pi).asString() + "/" +
-                        scheds.at(si).asString() + "/" +
-                        (bows.at(bi).asBool() ? "bows" : "base") + "/" +
-                        occs.at(oi).asString();
-                    if (seen.find(key) == seen.end())
-                        return fail("matrix is missing cell " + key);
-                }
+                for (std::size_t oi = 0; oi < occs.size(); ++oi)
+                    for (std::size_t di = 0; di < devs.size(); ++di) {
+                        std::string key =
+                            prims.at(pi).asString() + "/" +
+                            scheds.at(si).asString() + "/" +
+                            (bows.at(bi).asBool() ? "bows" : "base") +
+                            "/" + occs.at(oi).asString() + "/d" +
+                            std::to_string(devs.at(di).asInt());
+                        if (seen.find(key) == seen.end())
+                            return fail("matrix is missing cell " +
+                                        key);
+                    }
 
     std::ostringstream os;
     os << "OK (litmus, " << cells.size() << " cells";

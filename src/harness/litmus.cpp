@@ -112,9 +112,10 @@ defaultLitmusOptions()
     opts.base = defaultLitmusConfig();
     opts.primitives = sync::allPrimitives();
     opts.schedulers = {SchedulerKind::LRR, SchedulerKind::GTO,
-                       SchedulerKind::CAWA};
+                       SchedulerKind::CAWA, SchedulerKind::TwoLevel};
     opts.bowsModes = {false, true};
     opts.occupancies = allOccupancyLevels();
+    opts.devices = {1, 2};
     return opts;
 }
 
@@ -151,21 +152,32 @@ buildLitmusCells(const LitmusOptions &opts)
         for (SchedulerKind sched : opts.schedulers) {
             for (bool bows : opts.bowsModes) {
                 for (OccupancyLevel level : opts.occupancies) {
-                    LitmusCell cell;
-                    cell.primitive = p;
-                    cell.scheduler = sched;
-                    cell.bows = bows;
-                    cell.occupancy = level;
-                    cell.geometry = probe;
-                    cell.geometry.ctas = ctasForOccupancy(level, capacity);
-                    cell.cfg = opts.base;
-                    cell.cfg.scheduler = sched;
-                    cell.cfg.bows.enabled = bows;
-                    cell.id = std::string(sync::toString(p)) + "/" +
-                              bowsim::toString(sched) + "/" +
-                              (bows ? "bows" : "base") + "/" +
-                              toString(level);
-                    cells.push_back(std::move(cell));
+                    for (unsigned dev : opts.devices) {
+                        if (dev == 0)
+                            fatal("buildLitmusCells: zero devices");
+                        LitmusCell cell;
+                        cell.primitive = p;
+                        cell.scheduler = sched;
+                        cell.bows = bows;
+                        cell.occupancy = level;
+                        cell.numDevices = dev;
+                        cell.geometry = probe;
+                        // CTAs chunk evenly across devices, so the
+                        // occupancy levels scale against the
+                        // system-wide resident capacity.
+                        cell.geometry.ctas =
+                            ctasForOccupancy(level, capacity * dev);
+                        cell.cfg = opts.base;
+                        cell.cfg.scheduler = sched;
+                        cell.cfg.bows.enabled = bows;
+                        cell.cfg.numDevices = dev;
+                        cell.id = std::string(sync::toString(p)) + "/" +
+                                  bowsim::toString(sched) + "/" +
+                                  (bows ? "bows" : "base") + "/" +
+                                  toString(level) + "/d" +
+                                  std::to_string(dev);
+                        cells.push_back(std::move(cell));
+                    }
                 }
             }
         }
@@ -240,6 +252,12 @@ litmusConfigToJson(const GpuConfig &cfg)
     Json j = Json::object();
     j.set("name", cfg.name);
     j.set("cores", cfg.numCores);
+    j.set("devices", cfg.numDevices);
+    if (cfg.numDevices != 1) {
+        j.set("link_latency", cfg.linkLatency);
+        j.set("link_service_period", cfg.linkServicePeriod);
+        j.set("switch_latency", cfg.switchLatency);
+    }
     j.set("exec_mode", toString(cfg.execMode));
     j.set("watchdog_cycles", cfg.watchdogCycles);
     j.set("scheduler", toString(cfg.scheduler));
@@ -288,6 +306,10 @@ litmusToJson(const std::string &bench_name, const LitmusOptions &opts,
     for (OccupancyLevel level : opts.occupancies)
         occs.push(Json(std::string(toString(level))));
     doc.set("occupancies", std::move(occs));
+    Json devs = Json::array();
+    for (unsigned dev : opts.devices)
+        devs.push(Json(static_cast<std::int64_t>(dev)));
+    doc.set("devices", std::move(devs));
     Json arr = Json::array();
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const LitmusCell &cell = cells[i];
@@ -298,6 +320,7 @@ litmusToJson(const std::string &bench_name, const LitmusOptions &opts,
         c.set("scheduler", std::string(toString(cell.scheduler)));
         c.set("bows", cell.bows);
         c.set("occupancy", std::string(toString(cell.occupancy)));
+        c.set("devices", cell.numDevices);
         c.set("ctas", cell.geometry.ctas);
         c.set("warps_per_cta", cell.geometry.warpsPerCta());
         c.set("iters", cell.geometry.iters);

@@ -10,7 +10,8 @@
 #include "src/sync/primitives.hpp"
 
 namespace bowsim {
-class Gpu;
+class GpuSystem;
+using Gpu = GpuSystem;
 struct LaunchAbort;
 }
 
@@ -18,7 +19,9 @@ struct LaunchAbort;
  * @file
  * Synchronization litmus harness (docs/SYNC.md). A litmus matrix runs
  * every generated primitive (src/sync) under every combination of
- * baseline scheduler, BOWS on/off, and occupancy level, with a short
+ * baseline scheduler, BOWS on/off, occupancy level, and device count
+ * (single-GPU and 2-GPU with the modeled inter-device link), with a
+ * short
  * watchdog and DDOS spin detection, and classifies each cell's outcome:
  *
  *  - completed: the kernel finished and validated against src/cpuref.
@@ -84,12 +87,15 @@ inline constexpr double kDeadlockIdleFraction = 0.25;
 
 /** One cell of the litmus matrix. */
 struct LitmusCell {
-    /** "tas/GTO/bows/over" — primitive/scheduler/bows/occupancy. */
+    /** "tas/GTO/bows/over/d2" —
+     *  primitive/scheduler/bows/occupancy/devices. */
     std::string id;
     sync::Primitive primitive;
     SchedulerKind scheduler;
     bool bows = false;
     OccupancyLevel occupancy;
+    /** Devices the cell runs across (cfg.numDevices). */
+    unsigned numDevices = 1;
     sync::SyncGeometry geometry;
     /** Complete configuration the cell runs under. */
     GpuConfig cfg;
@@ -115,6 +121,10 @@ struct LitmusOptions {
     /** BOWS off/on; "base" and "bows" in cell ids. */
     std::vector<bool> bowsModes;
     std::vector<OccupancyLevel> occupancies;
+    /** Device counts (GpuConfig::numDevices); "d1", "d2" in cell ids.
+     *  Occupancy geometry scales with the device count so "exact"
+     *  always means the whole grid is co-resident system-wide. */
+    std::vector<unsigned> devices = {1};
     unsigned threadsPerCta = 64;
     /** Lock rounds per warp / barrier rounds. */
     unsigned iters = 16;
@@ -130,15 +140,17 @@ struct LitmusOptions {
  */
 GpuConfig defaultLitmusConfig();
 
-/** Full default matrix: all primitives x {LRR, GTO, CAWA} x
- *  {base, bows} x {under, exact, over}. */
+/** Full default matrix: all primitives x {LRR, GTO, CAWA, TwoLevel} x
+ *  {base, bows} x {under, exact, over} x {1, 2} devices. */
 LitmusOptions defaultLitmusOptions();
 
 /**
  * Expands @p opts into concrete cells (primitive-major, then
- * scheduler, BOWS mode, occupancy). Occupancy geometry derives from
- * maxResidentCtasFor() on the assembled primitive at
- * opts.threadsPerCta, scaled by base.numCores.
+ * scheduler, BOWS mode, occupancy, device count). Occupancy geometry
+ * derives from maxResidentCtasFor() on the assembled primitive at
+ * opts.threadsPerCta, scaled by base.numCores and the cell's device
+ * count (CTAs are chunked evenly across devices, so the system-wide
+ * capacity is the per-device capacity times the device count).
  */
 std::vector<LitmusCell> buildLitmusCells(const LitmusOptions &opts);
 
@@ -163,7 +175,8 @@ SyncOutcome classifySyncAbort(const LaunchAbort &abort,
 /**
  * Builds the litmus artifact: { "bench", "exec_mode",
  * "watchdog_cycles", "threads_per_cta", "iters", "primitives",
- * "schedulers", "bows", "occupancies", "cells": [...] }. Execution
+ * "schedulers", "bows", "occupancies", "devices", "cells": [...] }.
+ * Execution
  * knobs that cannot affect results (--jobs, --sm-threads, idle-skip,
  * metrics interval) are deliberately omitted so artifacts are
  * byte-identical across them.

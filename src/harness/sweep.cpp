@@ -263,6 +263,10 @@ statsToJson(const KernelStats &s)
     mem.set("atomics", s.mem.atomics);
     mem.set("atomic_wait_cycles", s.mem.atomicWaitCycles);
     mem.set("icnt_packets", s.mem.icntPackets);
+    // Inter-device link traffic is only possible on multi-device runs;
+    // single-device artifacts stay byte-stable by omission.
+    if (s.mem.linkPackets != 0)
+        mem.set("link_packets", s.mem.linkPackets);
     j.set("mem", std::move(mem));
 
     Json out = Json::object();
@@ -356,6 +360,16 @@ statsToJson(const KernelStats &s)
     j.set("energy_nj", finite("energy_nj", s.energyNj));
     j.set("static_energy_nj",
           finite("static_energy_nj", s.staticEnergyNj));
+
+    // Per-device stat shards (numDevices > 1 only), in device-id order.
+    // Shards never nest — their own perDevice is empty — so the
+    // recursion terminates after one level.
+    if (!s.perDevice.empty()) {
+        Json devs = Json::array();
+        for (const KernelStats &d : s.perDevice)
+            devs.push(statsToJson(d));
+        j.set("devices", std::move(devs));
+    }
     return j;
 }
 
@@ -404,6 +418,11 @@ statsFromJson(const Json &j)
     s.mem.atomics = getU64(mem, "atomics");
     s.mem.atomicWaitCycles = getU64(mem, "atomic_wait_cycles");
     s.mem.icntPackets = getU64(mem, "icnt_packets");
+    if (mem.has("link_packets")) {
+        s.mem.linkPackets = getU64(mem, "link_packets");
+        if (s.mem.linkPackets == 0)
+            fatal("statsFromJson: explicit zero link_packets");
+    }
 
     const Json &out = j.at("outcomes");
     s.outcomes.lockSuccess = getU64(out, "lock_success");
@@ -476,6 +495,16 @@ statsFromJson(const Json &j)
 
     s.energyNj = j.at("energy_nj").asDouble();
     s.staticEnergyNj = j.at("static_energy_nj").asDouble();
+
+    if (j.has("devices")) {
+        for (const Json &d : j.at("devices").items()) {
+            s.perDevice.push_back(statsFromJson(d));
+            if (!s.perDevice.back().perDevice.empty())
+                fatal("statsFromJson: nested device shards");
+        }
+        if (s.perDevice.empty())
+            fatal("statsFromJson: empty devices block");
+    }
     return s;
 }
 
@@ -485,6 +514,14 @@ configToJson(const GpuConfig &cfg)
     Json j = Json::object();
     j.set("name", cfg.name);
     j.set("cores", cfg.numCores);
+    // Device/link knobs appear only on multi-device points, keeping
+    // single-device artifacts byte-identical to the pre-split format.
+    if (cfg.numDevices != 1) {
+        j.set("num_devices", cfg.numDevices);
+        j.set("link_latency", cfg.linkLatency);
+        j.set("link_service_period", cfg.linkServicePeriod);
+        j.set("switch_latency", cfg.switchLatency);
+    }
     j.set("idle_skip", cfg.idleSkip);
     j.set("sm_threads", cfg.smThreads);
     j.set("metrics_interval", cfg.metricsInterval);

@@ -10,7 +10,8 @@
 #include "src/stats/stats.hpp"
 
 namespace bowsim {
-class Gpu;
+class GpuSystem;
+using Gpu = GpuSystem;
 }
 
 /**

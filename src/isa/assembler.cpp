@@ -264,6 +264,8 @@ class Parser {
                 (void)parseOperand();
         } else if (base == "membar") {
             inst.op = Opcode::Membar;
+            if (parts.size() > 1)
+                inst.scope = parseScope(parts[1]);
         } else if (base == "nop") {
             inst.op = Opcode::Nop;
         } else if (base == "ld" || base == "st") {
@@ -295,7 +297,16 @@ class Parser {
             inst.space = parseSpace(parts[1]);
             if (inst.space != MemSpace::Global)
                 fatal("line ", line_, ": only global atomics are supported");
-            inst.atom = parseAtomOp(parts[2]);
+            // Optional scope between the space and the op
+            // (atom.global.sys.cas.b64); device scope is the default.
+            unsigned op_idx = 2;
+            if (parts[2] == "sys" || parts[2] == "gpu") {
+                inst.scope = parseScope(parts[2]);
+                if (parts.size() < 4)
+                    fatal("line ", line_, ": atom needs an op suffix");
+                op_idx = 3;
+            }
+            inst.atom = parseAtomOp(parts[op_idx]);
             inst.size = parseWidth(parts);
             inst.dst = parseOperand();
             parseMemRef(inst);
@@ -373,6 +384,14 @@ class Parser {
         if (s == "shared") return MemSpace::Shared;
         if (s == "param") return MemSpace::Param;
         fatal("line ", line_, ": unknown memory space '", s, "'");
+    }
+
+    MemScope
+    parseScope(const std::string &s)
+    {
+        if (s == "sys") return MemScope::System;
+        if (s == "gpu") return MemScope::Device;
+        fatal("line ", line_, ": unknown memory scope '", s, "'");
     }
 
     AtomOp

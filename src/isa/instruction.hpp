@@ -59,6 +59,15 @@ enum class MemSpace : std::uint8_t { Global, Shared, Param };
 
 enum class AtomOp : std::uint8_t { Cas, Exch, Add, Min, Max };
 
+/**
+ * Memory scope of an atomic or fence (`atom.global.sys.*` /
+ * `membar.sys`). Device (the default, and the only behavior before the
+ * device/system split) resolves at the issuing device's L2; System
+ * routes to the address's home device over the inter-device link, so
+ * the operation is ordered against every device's accesses.
+ */
+enum class MemScope : std::uint8_t { Device, System };
+
 /** Special (read-only, per-thread) registers. */
 enum class SpecialReg : std::uint8_t {
     TidX,     ///< thread index within CTA
@@ -99,6 +108,8 @@ struct Instruction {
     CmpOp cmp = CmpOp::Eq;
     MemSpace space = MemSpace::Global;
     AtomOp atom = AtomOp::Cas;
+    /** Scope of an Atom/Membar (ignored by every other opcode). */
+    MemScope scope = MemScope::Device;
     /** Memory access size in bytes (4 or 8). */
     unsigned size = 8;
 

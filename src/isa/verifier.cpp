@@ -128,6 +128,11 @@ verify(const Program &prog)
             inst.size != 8) {
             issues.push_back({pc, "bad memory access size"});
         }
+        if (inst.scope != MemScope::Device && inst.op != Opcode::Atom &&
+            inst.op != Opcode::Membar) {
+            issues.push_back(
+                {pc, "memory scope on a non-atomic, non-fence opcode"});
+        }
     }
 
     // Annotation consistency.
@@ -260,7 +265,8 @@ disassemble(const Program &prog)
                               : inst.atom == AtomOp::Add  ? "add"
                               : inst.atom == AtomOp::Min  ? "min"
                                                           : "max";
-            os << "atom.global." << aop
+            os << "atom.global."
+               << (inst.scope == MemScope::System ? "sys." : "") << aop
                << (inst.size == 8 ? ".b64" : ".b32") << " "
                << operand(inst.dst) << ", " << memref(inst) << ", "
                << operand(inst.src[1]);
@@ -268,6 +274,10 @@ disassemble(const Program &prog)
                 os << ", " << operand(inst.src[2]);
             break;
           }
+          case Opcode::Membar:
+            os << "membar"
+               << (inst.scope == MemScope::System ? ".sys" : "");
+            break;
           case Opcode::Setp:
             os << "setp." << toString(inst.cmp) << ".s64 "
                << operand(inst.dst) << ", " << operand(inst.src[0])

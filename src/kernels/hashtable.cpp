@@ -1,5 +1,6 @@
 #include "src/kernels/hashtable.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 #include <vector>
 
@@ -160,7 +161,52 @@ class HashtableHarness : public KernelHarness {
         locksAddr_ = gpu.malloc(p_.buckets * 8);
         headsAddr_ = gpu.malloc(p_.buckets * 8);
         nodesAddr_ = gpu.malloc(std::uint64_t{p_.insertions} * 16);
+        if (gpu.config().numDevices > 1)
+            shardKeysByHome(gpu.config().numDevices);
         gpu.memcpyToDevice(keysAddr_, keys_.data(), p_.insertions * 8);
+    }
+
+    /**
+     * Multi-device layout (docs/PERF.md, "Device sharding"): reorders
+     * the key array so each position is consumed by a thread on the
+     * device that homes its bucket (the heads line — the bucket's lock
+     * atomics are device-scope and resolve locally regardless). The
+     * key multiset is unchanged — validate() is order-blind — only the
+     * work-to-device assignment moves, which keeps the bucket-chain
+     * traffic device-local instead of paying the inter-device link on
+     * nearly every insert.
+     */
+    void
+    shardKeysByHome(unsigned n)
+    {
+        const unsigned total_threads = p_.ctas * p_.threadsPerCta;
+        const unsigned chunk = (p_.ctas + n - 1) / n;
+        std::vector<std::vector<Word>> pools(n);
+        for (Word k : keys_) {
+            const auto bucket =
+                static_cast<Addr>(static_cast<std::uint64_t>(k) %
+                                  p_.buckets);
+            pools[homeDeviceOf(headsAddr_ + 8 * bucket, n)].push_back(k);
+        }
+        // Refill positions in order, each from its owner's pool (FIFO,
+        // so the shuffle is deterministic). Key index i is processed
+        // by global thread i % total_threads (the kernel strides), and
+        // that thread's CTA belongs to device cta / chunk.
+        std::vector<std::size_t> next(n, 0);
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            const unsigned cta =
+                static_cast<unsigned>(i % total_threads) /
+                p_.threadsPerCta;
+            unsigned d =
+                std::min(static_cast<unsigned>(cta / chunk), n - 1);
+            if (next[d] == pools[d].size()) {
+                // This device's pool ran dry; steal from the first
+                // device that still has keys (the imbalance is
+                // bounded by the hash skew).
+                for (d = 0; next[d] == pools[d].size(); ++d) {}
+            }
+            keys_[i] = pools[d][next[d]++];
+        }
     }
 
     std::vector<LaunchSpec>

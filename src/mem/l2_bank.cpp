@@ -49,6 +49,20 @@ MemorySystem::MemorySystem(const GpuConfig &cfg)
 Cycle
 MemorySystem::request(const MemPacket &pkt, Cycle now)
 {
+    // Home routing (static line-address interleave): device-scope
+    // atomics resolve at the local L2 regardless of the address's home;
+    // everything else belongs to its home device. On a single-device
+    // system home is always this device, so the link path is never
+    // taken and the pre-split timing is preserved byte for byte.
+    const bool device_scope_atomic =
+        pkt.type == MemPacket::Type::Atomic &&
+        pkt.scope == MemScope::Device;
+    const unsigned home = device_scope_atomic
+                              ? deviceId_
+                              : homeDeviceOf(pkt.line, numDevices_);
+    if (home != deviceId_)
+        return remoteRequest(pkt, now, home);
+
     Cycle arrival = toMem_.inject(pkt.smId, now);
     unsigned bank = static_cast<unsigned>(
         (lineBase(pkt.line) / kLineBytes) % banks_.size());
@@ -73,6 +87,40 @@ MemorySystem::request(const MemPacket &pkt, Cycle now)
     return toSm_.inject(bank, bank_done);
 }
 
+Cycle
+MemorySystem::remoteRequest(const MemPacket &pkt, Cycle now,
+                            unsigned home)
+{
+    // The request leaves through the memory-side switch: it serializes
+    // on the link's egress/ingress ports instead of the SM/L2 crossbars,
+    // and its bank access accrues on the home device's counters. Trace
+    // events are emitted by the requesting device's tracer so per-device
+    // streams stay timestamp-ordered.
+    MemorySystem &h = *peers_[home];
+    const Cycle arrival = link_->traverse(deviceId_, home, now);
+    ++linkPackets_;
+    Cycle bank_done;
+    if (!tracer_.enabled()) {
+        bank_done = h.bankAccess(pkt, arrival);
+    } else {
+        L2Bank::AccessInfo info;
+        bank_done = h.bankAccess(pkt, arrival, &info);
+        if (pkt.type == MemPacket::Type::Atomic) {
+            tracer_.emit(now, pkt.smId, -1,
+                         trace::EventKind::AtomicSerialize, pkt.line,
+                         info.waited);
+        }
+        if (info.miss) {
+            tracer_.emit(now, pkt.smId, -1, trace::EventKind::L2Miss,
+                         lineBase(pkt.line));
+        }
+    }
+    if (pkt.type == MemPacket::Type::Write)
+        return 0;
+    ++linkPackets_;
+    return link_->traverse(home, deviceId_, bank_done);
+}
+
 MemSystemStats
 MemorySystem::stats() const
 {
@@ -87,6 +135,7 @@ MemorySystem::stats() const
         s.atomicWaitCycles += b.atomicWaitCycles();
     }
     s.icntPackets = toMem_.packets() + toSm_.packets();
+    s.linkPackets = linkPackets_;
     return s;
 }
 

@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "src/common/config.hpp"
+#include "src/isa/instruction.hpp"
 #include "src/mem/cache.hpp"
 #include "src/mem/dram.hpp"
 #include "src/mem/interconnect.hpp"
+#include "src/mem/system_link.hpp"
 #include "src/trace/trace.hpp"
 
 /**
@@ -28,6 +30,12 @@ struct MemPacket {
     Addr line = 0;
     Type type = Type::Read;
     unsigned smId = 0;
+    /**
+     * Memory scope (atomics only): a Device-scope atomic resolves at the
+     * issuing device's L2 regardless of the address's home; System-scope
+     * atomics — like all plain reads/writes — route to the home device.
+     */
+    MemScope scope = MemScope::Device;
     /** Opaque transaction id, returned with the reply. */
     std::uint64_t token = 0;
 };
@@ -86,6 +94,24 @@ struct MemSystemStats {
     std::uint64_t atomics = 0;
     std::uint64_t atomicWaitCycles = 0;
     std::uint64_t icntPackets = 0;
+    /** Inter-device link packets this device originated (requests and
+     *  replies). Always 0 on a single-device system. */
+    std::uint64_t linkPackets = 0;
+
+    MemSystemStats &
+    operator+=(const MemSystemStats &o)
+    {
+        l2Accesses += o.l2Accesses;
+        l2Hits += o.l2Hits;
+        l2Misses += o.l2Misses;
+        dramAccesses += o.dramAccesses;
+        dramRowActivations += o.dramRowActivations;
+        atomics += o.atomics;
+        atomicWaitCycles += o.atomicWaitCycles;
+        icntPackets += o.icntPackets;
+        linkPackets += o.linkPackets;
+        return *this;
+    }
 };
 
 /**
@@ -113,12 +139,50 @@ class MemorySystem {
      */
     void setTrace(trace::Tracer t) { tracer_ = t; }
 
+    /**
+     * Wires this device's memory system into a multi-device system:
+     * @p link is the shared inter-device fabric, @p peers the per-device
+     * memory systems indexed by device id (including this one at
+     * @p device_id). Without this call the system is single-device and
+     * request() never consults the link.
+     */
+    void
+    setSystem(SystemLink *link, MemorySystem *const *peers,
+              unsigned device_id, unsigned num_devices)
+    {
+        link_ = link;
+        peers_ = peers;
+        deviceId_ = device_id;
+        numDevices_ = num_devices;
+    }
+
+    /**
+     * Direct bank access for remote requests arriving over the link:
+     * the link attaches at the memory-side switch, so remote traffic
+     * bypasses this device's SM/L2 crossbars. Serialized-order only.
+     */
+    Cycle
+    bankAccess(const MemPacket &pkt, Cycle arrival,
+               L2Bank::AccessInfo *info = nullptr)
+    {
+        unsigned bank = static_cast<unsigned>(
+            (lineBase(pkt.line) / kLineBytes) % banks_.size());
+        return banks_[bank].access(pkt, arrival, info);
+    }
+
   private:
+    Cycle remoteRequest(const MemPacket &pkt, Cycle now, unsigned home);
+
     GpuConfig cfg_;
     std::vector<L2Bank> banks_;
     Interconnect toMem_;
     Interconnect toSm_;
     trace::Tracer tracer_;
+    SystemLink *link_ = nullptr;
+    MemorySystem *const *peers_ = nullptr;
+    unsigned deviceId_ = 0;
+    unsigned numDevices_ = 1;
+    std::uint64_t linkPackets_ = 0;
 };
 
 }  // namespace bowsim

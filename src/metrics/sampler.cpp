@@ -64,13 +64,14 @@ enum SmCol : std::size_t {
     kNumSmCols,
 };
 
-std::size_t
-smColBase(unsigned sm)
-{
-    return kNumAggCols + static_cast<std::size_t>(sm) * kNumSmCols;
-}
-
 }  // namespace
+
+std::size_t
+MetricsSampler::smColBase(unsigned sm) const
+{
+    return kNumAggCols + extraCols_ +
+           static_cast<std::size_t>(sm) * kNumSmCols;
+}
 
 MetricsSampler::MetricsSampler(Cycle interval, std::string path)
     : interval_(interval), path_(std::move(path))
@@ -81,7 +82,7 @@ MetricsSampler::MetricsSampler(Cycle interval, std::string path)
 }
 
 void
-MetricsSampler::defineColumns(unsigned num_cores)
+MetricsSampler::defineColumns(unsigned num_cores, unsigned num_devices)
 {
     reg_.define("cycle", Kind::Counter);
     reg_.define("launch", Kind::Counter);
@@ -114,8 +115,22 @@ MetricsSampler::defineColumns(unsigned num_cores)
     reg_.define("backed_off_warps", Kind::Gauge);
     reg_.define("mshr_occupancy", Kind::Gauge);
     reg_.define("sib_occupancy", Kind::Gauge);
+    // Multi-device link traffic; absent from single-device schemas so
+    // those stay byte-identical to the pre-device-split layout.
+    if (num_devices > 1) {
+        reg_.define("link_packets", Kind::Counter);
+        for (unsigned d = 0; d < num_devices; ++d) {
+            reg_.define("d" + std::to_string(d) + ".link_packets",
+                        Kind::Counter);
+        }
+    }
+    const unsigned per_device = num_cores / num_devices;
     for (unsigned sm = 0; sm < num_cores; ++sm) {
-        const std::string p = "sm" + std::to_string(sm) + ".";
+        std::string p;
+        if (num_devices > 1)
+            p = "d" + std::to_string(sm / per_device) + ".";
+        p += "sm" + std::to_string(num_devices > 1 ? sm % per_device : sm) +
+             ".";
         reg_.define(p + "warp_instructions", Kind::Counter);
         reg_.define(p + "ipc", Kind::Rate);
         reg_.define(p + "resident_warps", Kind::Gauge);
@@ -130,14 +145,20 @@ MetricsSampler::defineColumns(unsigned num_cores)
 }
 
 void
-MetricsSampler::beginLaunch(const std::string &kernel, unsigned num_cores)
+MetricsSampler::beginLaunch(const std::string &kernel, unsigned num_cores,
+                            unsigned num_devices)
 {
+    if (num_devices == 0)
+        num_devices = 1;
     if (reg_.size() == 0) {
         numCores_ = num_cores;
-        defineColumns(num_cores);
-    } else if (num_cores != numCores_) {
+        numDevices_ = num_devices;
+        extraCols_ = num_devices > 1 ? 1 + num_devices : 0;
+        defineColumns(num_cores, num_devices);
+    } else if (num_cores != numCores_ || num_devices != numDevices_) {
         fatal("metrics sampler reused across launches with ", num_cores,
-              " cores (schema built for ", numCores_, ")");
+              " cores / ", num_devices, " devices (schema built for ",
+              numCores_, " / ", numDevices_, ")");
     }
     kernels_.push_back(kernel);
 }
@@ -148,11 +169,14 @@ MetricsSampler::collectLocal(Cycle now, const SampleSources &src) const
     (void)now;
     std::vector<double> local(reg_.size(), 0.0);
 
-    // Launch-wide counters: the launch aggregate plus every SM shard,
-    // summed in SM-id order (exact integer adds — identical to the
-    // inline-mode running totals by the phase-split stat contract).
+    // Launch-wide counters: every device's launch aggregate plus every
+    // SM shard, summed in device/SM-id order (exact integer adds —
+    // identical to the inline-mode running totals by the phase-split
+    // stat contract).
     auto fold = [&](auto &&get) {
-        std::uint64_t v = get(*src.launchStats);
+        std::uint64_t v = 0;
+        for (const KernelStats *ls : src.launchStats)
+            v += get(*ls);
         for (const auto &s : *src.shards)
             v += get(*s);
         return static_cast<double>(v);
@@ -182,7 +206,13 @@ MetricsSampler::collectLocal(Cycle now, const SampleSources &src) const
     local[kDelayLimitCycleSum] =
         fold([](const KernelStats &s) { return s.delayLimitCycleSum; });
 
-    const MemSystemStats mem = src.memsys->stats();
+    MemSystemStats mem;
+    std::vector<MemSystemStats> per_dev_mem;
+    per_dev_mem.reserve(src.memsys.size());
+    for (const MemorySystem *ms : src.memsys) {
+        per_dev_mem.push_back(ms->stats());
+        mem += per_dev_mem.back();
+    }
     local[kL2Accesses] = static_cast<double>(mem.l2Accesses);
     local[kL2Misses] = static_cast<double>(mem.l2Misses);
     local[kDramAccesses] = static_cast<double>(mem.dramAccesses);
@@ -191,12 +221,22 @@ MetricsSampler::collectLocal(Cycle now, const SampleSources &src) const
     local[kIcntPackets] = static_cast<double>(mem.icntPackets);
     local[kAtomics] = static_cast<double>(mem.atomics);
     local[kAtomicWaitCycles] = static_cast<double>(mem.atomicWaitCycles);
+    if (extraCols_ != 0) {
+        local[kNumAggCols] = static_cast<double>(mem.linkPackets);
+        for (std::size_t d = 0; d < per_dev_mem.size(); ++d) {
+            local[kNumAggCols + 1 + d] =
+                static_cast<double>(per_dev_mem[d].linkPackets);
+        }
+    }
 
     // Per-SM state: all SM-private and settled at the commit barrier.
+    // Cores are indexed by flat (device-major) position — SmCore::id()
+    // is device-local and repeats across devices.
     std::uint64_t resident = 0, eligible = 0, spinning = 0, backed = 0;
     std::uint64_t mshr = 0, sib_occ = 0, confirms = 0, evicts = 0;
-    for (const auto &core : *src.cores) {
-        const std::size_t b = smColBase(core->id());
+    for (std::size_t flat = 0; flat < src.cores->size(); ++flat) {
+        const auto &core = (*src.cores)[flat];
+        const std::size_t b = smColBase(static_cast<unsigned>(flat));
         const std::uint64_t r = core->residentWarps();
         const std::uint64_t e = core->eligibleWarpCount();
         const std::uint64_t sp = core->spinningWarpCount();

@@ -36,16 +36,20 @@ struct KernelStats;
 
 namespace bowsim::metrics {
 
-/** Where sample() reads from; everything is owned by Gpu::launch. */
+/** Where sample() reads from; everything is owned by Gpu::launch.
+ *  Multi-device runs list one launch aggregate and one memory system
+ *  per device (device-id order); `cores` and `shards` are flat,
+ *  device-major vectors covering every SM in the system. */
 struct SampleSources {
     const std::vector<std::unique_ptr<SmCore>> *cores = nullptr;
-    /** Launch-wide aggregate (inline-mode counters + retired-SM idle
-     *  accounting applied by the coordinator). */
-    const KernelStats *launchStats = nullptr;
+    /** Per-device launch aggregates (inline-mode counters + retired-SM
+     *  idle accounting applied by the coordinator). */
+    std::vector<const KernelStats *> launchStats;
     /** Per-SM stat shards (phase-split mode; empty when inline). Counter
      *  columns fold launchStats + all shards, which covers both modes. */
     const std::vector<std::unique_ptr<KernelStats>> *shards = nullptr;
-    const MemorySystem *memsys = nullptr;
+    /** Per-device memory systems (device-id order). */
+    std::vector<const MemorySystem *> memsys;
 };
 
 class MetricsSampler {
@@ -59,10 +63,15 @@ class MetricsSampler {
 
     /**
      * Starts a launch: defines the column schema on the first call (the
-     * per-SM column block needs @p num_cores, which must not change
-     * between launches of one sampler).
+     * per-SM column block needs @p num_cores — the *system-wide* SM
+     * count — and @p num_devices; neither may change between launches
+     * of one sampler). Multi-device schemas insert link-traffic columns
+     * after the aggregate block and prefix per-SM blocks with the
+     * device, e.g. "d1.sm0."; single-device schemas are byte-identical
+     * to the pre-device-split layout.
      */
-    void beginLaunch(const std::string &kernel, unsigned num_cores);
+    void beginLaunch(const std::string &kernel, unsigned num_cores,
+                     unsigned num_devices = 1);
 
     /**
      * Launch-local cycle of the next due sample (the global grid point
@@ -98,13 +107,20 @@ class MetricsSampler {
     std::vector<double> collectLocal(Cycle now,
                                      const SampleSources &src) const;
     void emitRow(Cycle now, const std::vector<double> &local);
-    void defineColumns(unsigned num_cores);
+    void defineColumns(unsigned num_cores, unsigned num_devices);
+    /** First column of the per-SM block for flat (device-major) SM
+     *  index @p sm. */
+    std::size_t smColBase(unsigned sm) const;
 
     Cycle interval_;
     std::string path_;
     MetricsRegistry reg_;
     std::vector<std::string> kernels_;
     unsigned numCores_ = 0;
+    unsigned numDevices_ = 1;
+    /** Link-traffic columns between the aggregate and per-SM blocks
+     *  (0 single-device; 1 aggregate + one per device otherwise). */
+    std::size_t extraCols_ = 0;
 
     /** Simulated cycles consumed by completed launches (grid anchor). */
     Cycle cycleBase_ = 0;

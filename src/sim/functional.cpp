@@ -32,6 +32,7 @@ FunctionalExecutor::FunctionalExecutor(const GpuConfig &cfg,
     const Program &prog = *launch_.prog;
     blockThreads_ = launch_.block.count();
     gridCtas_ = launch_.grid.count();
+    ctaEnd_ = launch_.ctaEnd != 0 ? launch_.ctaEnd : gridCtas_;
     warpsPerCta_ = (blockThreads_ + kWarpSize - 1) / kWarpSize;
     maxResidentCtas_ = maxResidentCtasFor(cfg, prog, blockThreads_);
     code_ = prog.code.data();
@@ -52,19 +53,19 @@ FunctionalExecutor::fetch(Pc pc) const
 bool
 FunctionalExecutor::finished() const
 {
-    return residentCtas_ == 0 && launch_.nextCta >= gridCtas_;
+    return residentCtas_ == 0 && launch_.nextCta >= ctaEnd_;
 }
 
 void
 FunctionalExecutor::tryLaunchCtas(FSm &sm)
 {
-    if (launch_.nextCta >= gridCtas_ || sm.validCtas == maxResidentCtas_)
+    if (launch_.nextCta >= ctaEnd_ || sm.validCtas == maxResidentCtas_)
         return;
     const Program &prog = *launch_.prog;
     for (FCta &slot : sm.ctas) {
         if (slot.valid)
             continue;
-        if (launch_.nextCta >= gridCtas_)
+        if (launch_.nextCta >= ctaEnd_)
             return;
         unsigned cta_id = launch_.nextCta++;
         slot.valid = true;
@@ -265,7 +266,7 @@ FunctionalExecutor::runWarpSlice(unsigned sm_id, FCta &cta, Warp &w)
                                                inst.memOffset);
                     Word v = get(val, lane);
                     mem.write(a, v, inst.size);
-                    launch_.lockTracker.onWrite(a, v);
+                    launch_.locks().onWrite(a, v);
                 }
             }
             w.stack().advance();
@@ -285,8 +286,8 @@ FunctionalExecutor::runWarpSlice(unsigned sm_id, FCta &cta, Warp &w)
                         ? readOperand(w, inst.src[2], lane, sm_id)
                         : 0;
                 exec::AtomicResult r = exec::applyAtomicLane(
-                    *launch_.mem, launch_.lockTracker, inst, a, operand,
-                    desired, w.age() + 1);
+                    *launch_.mem, launch_.locks(), inst, a, operand,
+                    desired, launch_.warpKeyBase + w.age() + 1);
                 if (r.isCas && acquire) {
                     switch (r.cas) {
                       case CasOutcome::Success:
@@ -487,6 +488,7 @@ GpuSnapshot
 FunctionalExecutor::snapshot() const
 {
     GpuSnapshot snap;
+    snap.device = launch_.deviceId;
     snap.nextCta = launch_.nextCta;
     snap.warpAgeCounter = launch_.warpAgeCounter;
     snap.sms.resize(sms_.size());

@@ -6,34 +6,37 @@
 
 #include "src/arch/snapshot.hpp"
 #include "src/common/log.hpp"
+#include "src/mem/lock_tracker.hpp"
+#include "src/mem/system_link.hpp"
 #include "src/metrics/sampler.hpp"
+#include "src/sim/device.hpp"
 #include "src/sim/functional.hpp"
 
 namespace bowsim {
 
-Gpu::Gpu(GpuConfig cfg) : cfg_(std::move(cfg)) {}
+GpuSystem::GpuSystem(GpuConfig cfg) : cfg_(std::move(cfg)) {}
 
 Addr
-Gpu::malloc(std::uint64_t bytes)
+GpuSystem::malloc(std::uint64_t bytes)
 {
     return mem_.allocate(bytes);
 }
 
 void
-Gpu::memcpyToDevice(Addr dst, const void *src, std::uint64_t bytes)
+GpuSystem::memcpyToDevice(Addr dst, const void *src, std::uint64_t bytes)
 {
     mem_.writeBytes(dst, src, bytes);
 }
 
 void
-Gpu::memcpyFromDevice(void *dst, Addr src, std::uint64_t bytes)
+GpuSystem::memcpyFromDevice(void *dst, Addr src, std::uint64_t bytes)
 {
     mem_.readBytes(src, dst, bytes);
 }
 
 KernelStats
-Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
-            const std::vector<Word> &params)
+GpuSystem::launch(const Program &prog, Dim3 grid, Dim3 block,
+                  const std::vector<Word> &params)
 {
     if (prog.code.empty())
         fatal("launch of an empty kernel");
@@ -56,54 +59,104 @@ Gpu::launch(const Program &prog, Dim3 grid, Dim3 block,
 }
 
 KernelStats
-Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
-                 const std::vector<Word> &params)
+GpuSystem::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
+                       const std::vector<Word> &params)
 {
-    MemorySystem memsys(cfg_);
-    LaunchState launch;
-    launch.trace = trace::Tracer(traceSink_);
-    memsys.setTrace(launch.trace);
-    launch.prog = &prog;
-    launch.grid = grid;
-    launch.block = block;
-    launch.params = params;
-    launch.mem = &mem_;
-    launch.memsys = &memsys;
-    launch.spinDetect = cfg_.spinDetect;
-    launch.stats.kernel = prog.name;
+    const unsigned num_devices = std::max(cfg_.numDevices, 1u);
+    const unsigned num_cores = cfg_.numCores;
+    const unsigned total_cores = num_cores * num_devices;
+
+    // System-level state shared by every device. Lock words live in the
+    // one functional memory space, so lock ownership is system-wide:
+    // a single tracker classifies a CAS on device 0 against a hold
+    // taken from device 1 as an inter-warp (not fresh) failure. Warp
+    // keys disambiguate across devices via LaunchState::warpKeyBase.
+    SystemLink link(cfg_);
+    LockTracker system_locks;
+
+    // CTA sharding: contiguous chunks in device-id order. Device d owns
+    // [d*chunk, (d+1)*chunk); %nctaid stays the whole grid, so kernels
+    // are oblivious to the split.
+    const unsigned grid_ctas = grid.count();
+    const unsigned chunk = (grid_ctas + num_devices - 1) / num_devices;
+
+    std::vector<std::unique_ptr<Device>> devices;
+    devices.reserve(num_devices);
+    for (unsigned d = 0; d < num_devices; ++d) {
+        devices.push_back(std::make_unique<Device>(d, cfg_));
+        Device &dev = *devices.back();
+        LaunchState &dl = dev.launch;
+        dl.trace =
+            trace::Tracer(traceSink_, static_cast<std::uint16_t>(d));
+        dev.memsys.setTrace(dl.trace);
+        dl.prog = &prog;
+        dl.grid = grid;
+        dl.block = block;
+        dl.params = params;
+        dl.mem = &mem_;
+        dl.memsys = &dev.memsys;
+        dl.spinDetect = cfg_.spinDetect;
+        dl.stats.kernel = prog.name;
+        dl.deviceId = d;
+        dl.tracker = &system_locks;
+        if (num_devices > 1) {
+            dl.warpKeyBase = static_cast<std::uint64_t>(d) << 48;
+            dl.nextCta = std::min(d * chunk, grid_ctas);
+            dl.ctaEnd = std::min((d + 1) * chunk, grid_ctas);
+        }
+    }
+    // Peer table for remote routing; with one device request() never
+    // consults the link (home == self always), keeping the launch
+    // byte-identical to the pre-split simulator.
+    std::vector<MemorySystem *> peers(num_devices);
+    for (unsigned d = 0; d < num_devices; ++d)
+        peers[d] = &devices[d]->memsys;
+    if (num_devices > 1) {
+        for (unsigned d = 0; d < num_devices; ++d)
+            devices[d]->memsys.setSystem(&link, peers.data(), d,
+                                         num_devices);
+    }
 
     // Phase-split execution (docs/PERF.md): with sm-threads > 1 each
     // cycle becomes dispatch (serial) -> compute (parallel, SM-private)
-    // -> commit (serial, SM-id order), with cores staging all globally
-    // visible side effects in per-SM commit queues and counting into
-    // per-SM stat shards. Byte-identical to the sequential loop by
+    // -> commit (serial, device/SM-id order), with cores staging all
+    // globally visible side effects in per-SM commit queues and counting
+    // into per-SM stat shards. Byte-identical to the sequential loop by
     // construction; sm-threads = 1 runs the sequential loop itself.
     const unsigned sm_threads =
-        std::min(std::max(cfg_.smThreads, 1u), cfg_.numCores);
+        std::min(std::max(cfg_.smThreads, 1u), total_cores);
     const bool phased = sm_threads > 1;
-    launch.deferCommit = phased;
+    for (auto &dev : devices)
+        dev->launch.deferCommit = phased;
 
+    // Cores are flat and device-major (index = device * numCores +
+    // local id); shards index identically. SmCore::id() stays the
+    // device-local id — it feeds crossbar port indexing and stall-table
+    // rows, both per-device concepts.
     std::vector<std::unique_ptr<KernelStats>> shards;
     std::vector<std::unique_ptr<SmCore>> cores;
-    cores.reserve(cfg_.numCores);
-    for (unsigned c = 0; c < cfg_.numCores; ++c) {
-        KernelStats *shard = nullptr;
-        if (phased) {
-            shards.push_back(std::make_unique<KernelStats>());
-            shard = shards.back().get();
+    cores.reserve(total_cores);
+    for (unsigned d = 0; d < num_devices; ++d) {
+        for (unsigned c = 0; c < num_cores; ++c) {
+            KernelStats *shard = nullptr;
+            if (phased) {
+                shards.push_back(std::make_unique<KernelStats>());
+                shard = shards.back().get();
+            }
+            cores.push_back(std::make_unique<SmCore>(
+                c, cfg_, devices[d]->launch, shard));
         }
-        cores.push_back(std::make_unique<SmCore>(c, cfg_, launch, shard));
     }
     if (phased && !pool_)
         pool_ = std::make_unique<WorkerPool>(sm_threads);
 
-    // Only busy SMs are cycled. An SM with no resident CTAs once the CTA
-    // dispatcher has drained can never become busy again, so it leaves
-    // the active list permanently. Its only remaining architectural
-    // effect would have been the per-cycle delay-limit accounting (its
-    // adaptive estimator sees no instructions, so its limit is constant
-    // from then on) — applied analytically below so statistics stay
-    // bit-identical with the cycle-everything loop.
+    // Only busy SMs are cycled. An SM with no resident CTAs once its
+    // device's CTA dispatcher has drained can never become busy again,
+    // so it leaves the active list permanently. Its only remaining
+    // architectural effect would have been the per-cycle delay-limit
+    // accounting (its adaptive estimator sees no instructions, so its
+    // limit is constant from then on) — applied analytically below so
+    // statistics stay bit-identical with the cycle-everything loop.
     std::vector<SmCore *> active;
     active.reserve(cores.size());
     for (auto &core : cores)
@@ -112,9 +165,12 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
     // Idle-cycle fast-forward (docs/PERF.md): after a cycle in which no
     // SM issued, every remaining state change is a scheduled event, so
     // the clock can jump to the earliest next-event horizon with the
-    // skipped cycles' accounting applied in bulk. Disabled while a
-    // trace sink is attached: per-cycle IssueStall events cannot be
-    // synthesized for cycles that never run.
+    // skipped cycles' accounting applied in bulk. The system horizon is
+    // the min over every device's SMs; in-flight link traversals are
+    // already folded into the requesting SM's reply event, so they need
+    // no separate term. Disabled while a trace sink is attached:
+    // per-cycle IssueStall events cannot be synthesized for cycles that
+    // never run.
     const bool skip = cfg_.idleSkip && traceSink_ == nullptr;
 
     // Metrics sampling (docs/METRICS.md): samples are pulled at the end
@@ -122,10 +178,14 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
     // state is settled in every execution mode — whenever the clock has
     // reached the sampler's next grid cycle. kNeverCycle keeps the
     // detached fast path to a single always-false compare per cycle.
-    metrics::SampleSources msrc{&cores, &launch.stats, &shards, &memsys};
+    metrics::SampleSources msrc{&cores, {}, &shards, {}};
+    for (auto &dev : devices) {
+        msrc.launchStats.push_back(&dev->launch.stats);
+        msrc.memsys.push_back(&dev->memsys);
+    }
     Cycle metricsNext = kNeverCycle;
     if (metrics_) {
-        metrics_->beginLaunch(prog.name, cfg_.numCores);
+        metrics_->beginLaunch(prog.name, total_cores, num_devices);
         metricsNext = metrics_->nextSampleCycle();
     }
     // Clamp jump targets so a deadlocked kernel (horizon at infinity,
@@ -137,13 +197,11 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
 
     Cycle now = 0;
     Cycle last_issue = 0;
-    std::uint64_t idle_cores = 0;
-    std::uint64_t idle_delay_sum = 0;
 
     // Parallel-phase scaffolding, allocated once per launch. The slices
     // capture the loop state by reference; per-SM results and exceptions
     // land in position-indexed arrays so the coordinator can reduce them
-    // in SM order.
+    // in device/SM order.
     std::vector<std::uint8_t> issued_flags;
     std::vector<std::exception_ptr> errors;
     Cycle phase_now = 0;
@@ -173,10 +231,10 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
             }
         };
     }
-    // Rethrows the lowest-SM-id pending exception, after committing the
-    // queues of every SM up to and including the faulting one — exactly
-    // the state the sequential loop leaves behind when SM i throws
-    // mid-cycle (earlier SMs finished, later SMs never ran).
+    // Rethrows the lowest-position pending exception, after committing
+    // the queues of every SM up to and including the faulting one —
+    // exactly the state the sequential loop leaves behind when SM i
+    // throws mid-cycle (earlier SMs finished, later SMs never ran).
     auto rethrow_first_error = [&](bool commit_prefix, Cycle when) {
         for (std::size_t i = 0; i < active.size(); ++i) {
             if (!errors[i])
@@ -189,19 +247,71 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
         }
     };
 
+    // One device's stats at clock @p at: its launch aggregate plus its
+    // own SM shards, summed in SM-id order, plus its memory system.
+    auto device_stats = [&](unsigned d, Cycle at) {
+        KernelStats s = devices[d]->launch.stats;
+        if (phased) {
+            for (unsigned c = 0; c < num_cores; ++c)
+                s += *shards[static_cast<std::size_t>(d) * num_cores + c];
+        }
+        s.cycles = at;
+        s.mem = devices[d]->memsys.stats();
+        return s;
+    };
+    // Folds per-device stats into the system aggregate, in device-id
+    // order. Single-device launches return the lone shard unchanged —
+    // byte-identical to the pre-split merge. Multi-device launches
+    // rebuild the per-SM tables by concatenation (operator+= folds them
+    // positionally, which would overlay device 1's SM rows onto device
+    // 0's; the system-wide tables use global, device-major SM rows) and
+    // keep the shards themselves in KernelStats::perDevice.
+    auto merge_devices = [&](std::vector<KernelStats> per_dev, Cycle at) {
+        KernelStats total = per_dev[0];
+        for (std::size_t d = 1; d < per_dev.size(); ++d)
+            total += per_dev[d];
+        total.cycles = at;
+        if (per_dev.size() > 1) {
+            total.stallCounts.clear();
+            total.unitIssues.clear();
+            total.peakResidentPerSm.clear();
+            for (const KernelStats &s : per_dev) {
+                total.stallCounts.insert(total.stallCounts.end(),
+                                         s.stallCounts.begin(),
+                                         s.stallCounts.end());
+                total.unitIssues.insert(total.unitIssues.end(),
+                                        s.unitIssues.begin(),
+                                        s.unitIssues.end());
+                total.peakResidentPerSm.insert(
+                    total.peakResidentPerSm.end(),
+                    s.peakResidentPerSm.begin(),
+                    s.peakResidentPerSm.end());
+            }
+            total.perDevice = std::move(per_dev);
+        }
+        return total;
+    };
+
     // A launch that dies (watchdog, or a SimError out of a core) stashes
     // its partial statistics first, so callers like the litmus harness
-    // can classify the abort. At the watchdog trip the throw happens at
-    // the top of the loop on fully settled end-of-cycle state, so the
-    // stash is byte-identical across --sm-threads and idle-skip.
+    // can classify the abort — per device and system-wide. At the
+    // watchdog trip the throw happens at the top of the loop on fully
+    // settled end-of-cycle state, so the stash is byte-identical across
+    // --sm-threads and idle-skip.
     auto stash_abort = [&](Cycle at) {
         abort_.valid = true;
-        KernelStats snap = launch.stats;
-        for (const auto &shard : shards)
-            snap += *shard;
-        snap.cycles = at;
-        snap.mem = memsys.stats();
-        abort_.stats = std::move(snap);
+        std::vector<KernelStats> per_dev;
+        per_dev.reserve(num_devices);
+        for (unsigned d = 0; d < num_devices; ++d)
+            per_dev.push_back(device_stats(d, at));
+        if (num_devices > 1) {
+            abort_.perDevice.clear();
+            for (unsigned d = 0; d < num_devices; ++d) {
+                abort_.perDevice.push_back(
+                    {d, per_dev[d], devices[d]->lastIssue});
+            }
+        }
+        abort_.stats = merge_devices(std::move(per_dev), at);
         abort_.atCycle = at;
         abort_.lastIssueCycle = last_issue;
     };
@@ -212,22 +322,32 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
         if (now > cfg_.watchdogCycles)
             simFatal("kernel '", prog.name, "' exceeded the ",
                      cfg_.watchdogCycles, "-cycle watchdog (deadlock?)");
-        launch.stats.delayLimitCycleSum += idle_delay_sum;
-        launch.stats.smCycles += idle_cores;
+        for (auto &dev : devices) {
+            dev->launch.stats.delayLimitCycleSum += dev->idleDelaySum;
+            dev->launch.stats.smCycles += dev->idleCores;
+        }
         bool issued = false;
         if (!phased || active.size() <= 1) {
             // Sequential loop (also the tail of a phased run once one
             // SM remains — commit queues still drain inside cycle()).
-            for (SmCore *core : active)
-                issued |= core->cycle(now);
+            for (SmCore *core : active) {
+                if (core->cycle(now)) {
+                    issued = true;
+                    devices[core->device()]->lastIssue = now;
+                }
+            }
         } else {
             for (SmCore *core : active)
                 core->dispatch(now);
             phase_now = now;
             pool_->run(active.size(), compute_slice);
             rethrow_first_error(/*commit_prefix=*/true, now);
-            for (std::size_t i = 0; i < active.size(); ++i)
-                issued |= issued_flags[i] != 0;
+            for (std::size_t i = 0; i < active.size(); ++i) {
+                if (issued_flags[i] != 0) {
+                    issued = true;
+                    devices[active[i]->device()]->lastIssue = now;
+                }
+            }
             for (SmCore *core : active)
                 core->commit(now);
         }
@@ -238,8 +358,9 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
                 ++i;
                 continue;
             }
-            idle_delay_sum += active[i]->backoff().delayLimit();
-            ++idle_cores;
+            Device &dev = *devices[active[i]->device()];
+            dev.idleDelaySum += active[i]->backoff().delayLimit();
+            ++dev.idleCores;
             active.erase(active.begin() + i);
         }
         if (skip && !issued && !active.empty()) {
@@ -274,8 +395,11 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
                     for (SmCore *core : active)
                         core->fastForward(now + 1, to);
                 }
-                launch.stats.delayLimitCycleSum += idle_delay_sum * delta;
-                launch.stats.smCycles += idle_cores * delta;
+                for (auto &dev : devices) {
+                    dev->launch.stats.delayLimitCycleSum +=
+                        dev->idleDelaySum * delta;
+                    dev->launch.stats.smCycles += dev->idleCores * delta;
+                }
                 now = to;
             }
         }
@@ -292,70 +416,169 @@ Gpu::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
     // The final cycle of the launch is recorded even when it falls off
     // the sample grid, so the series' last row matches the returned
     // KernelStats. Must run before the shard merge below: the sampler
-    // folds launch.stats + shards itself, exactly like the merge.
+    // folds the device aggregates + shards itself, exactly like the
+    // merge.
     if (metrics_)
         metrics_->endLaunch(now, msrc);
 
-    KernelStats &stats = launch.stats;
-    // Deterministic shard merge: every per-SM counter sums in SM-id
-    // order (shards carry no launch-wide fields, so the aggregate
-    // matches the inline-mode totals exactly).
-    for (const auto &shard : shards)
-        stats += *shard;
-    stats.cycles = now;
-    stats.mem = memsys.stats();
-    stats.energy.l2Accesses = stats.mem.l2Accesses;
-    stats.energy.dramAccesses = stats.mem.dramAccesses;
-    stats.energy.icntPackets = stats.mem.icntPackets;
-    stats.energy.atomicOps = stats.mem.atomics;
-    stats.energyNj = energy_.dynamicEnergyNj(stats.energy);
-    stats.staticEnergyNj = energy_.staticEnergyNj(stats.smCycles);
+    // Per-device finalization: deterministic shard merge (every per-SM
+    // counter sums in SM-id order; shards carry no launch-wide fields,
+    // so the aggregate matches the inline-mode totals exactly), then
+    // energy and DDOS accuracy from the device's own cores.
+    std::vector<KernelStats> per_dev;
+    per_dev.reserve(num_devices);
+    for (unsigned d = 0; d < num_devices; ++d) {
+        per_dev.push_back(device_stats(d, now));
+        KernelStats &s = per_dev.back();
+        s.energy.l2Accesses = s.mem.l2Accesses;
+        s.energy.dramAccesses = s.mem.dramAccesses;
+        s.energy.icntPackets = s.mem.icntPackets;
+        s.energy.atomicOps = s.mem.atomics;
+        s.energyNj = energy_.dynamicEnergyNj(s.energy);
+        s.staticEnergyNj = energy_.staticEnergyNj(s.smCycles);
+        DdosAccuracy acc;
+        for (unsigned c = 0; c < num_cores; ++c) {
+            acc.merge(cores[static_cast<std::size_t>(d) * num_cores + c]
+                          ->ddos()
+                          .accuracy());
+        }
+        s.ddos = acc.report(prog.sync.spinBranches);
+    }
 
-    // DDOS accuracy: merge the per-SM collectors and score against the
-    // kernel's ground-truth annotations.
-    DdosAccuracy merged;
-    for (auto &core : cores)
-        merged.merge(core->ddos().accuracy());
-    stats.ddos = merged.report(prog.sync.spinBranches);
-
+    KernelStats stats = merge_devices(std::move(per_dev), now);
+    if (num_devices > 1) {
+        // System-wide energy and DDOS accuracy are recomputed from the
+        // merged events rather than summed: operator+= neither sums
+        // staticEnergyNj nor merges the accuracy report, and the DDOS
+        // report's rates must score the system-wide confusion counts.
+        stats.energyNj = energy_.dynamicEnergyNj(stats.energy);
+        stats.staticEnergyNj = energy_.staticEnergyNj(stats.smCycles);
+        DdosAccuracy all;
+        for (auto &core : cores)
+            all.merge(core->ddos().accuracy());
+        stats.ddos = all.report(prog.sync.spinBranches);
+    }
     return stats;
 }
 
 KernelStats
-Gpu::launchFunctional(const Program &prog, Dim3 grid, Dim3 block,
-                      const std::vector<Word> &params)
+GpuSystem::launchFunctional(const Program &prog, Dim3 grid, Dim3 block,
+                            const std::vector<Word> &params)
 {
     // Functional mode forces null observability sinks: there are no
     // cycles to trace or sample, so an attached trace sink or metrics
     // sampler is simply not consulted (docs/PERF.md).
-    LaunchState launch;
-    launch.prog = &prog;
-    launch.grid = grid;
-    launch.block = block;
-    launch.params = params;
-    launch.mem = &mem_;
-    launch.spinDetect = cfg_.spinDetect;
-    launch.stats.kernel = prog.name;
-    FunctionalExecutor fx(cfg_, launch);
-    try {
-        fx.run();
-    } catch (...) {
-        // Functional aborts (instruction watchdog, zero-progress check)
-        // stash the partial stats like the cycle loop; there is no
-        // cycle clock, so the issue-recency signal stays zero.
+    const unsigned num_devices = std::max(cfg_.numDevices, 1u);
+    if (num_devices == 1) {
+        LaunchState launch;
+        launch.prog = &prog;
+        launch.grid = grid;
+        launch.block = block;
+        launch.params = params;
+        launch.mem = &mem_;
+        launch.spinDetect = cfg_.spinDetect;
+        launch.stats.kernel = prog.name;
+        FunctionalExecutor fx(cfg_, launch);
+        try {
+            fx.run();
+        } catch (...) {
+            // Functional aborts (instruction watchdog, zero-progress
+            // check) stash the partial stats like the cycle loop; there
+            // is no cycle clock, so the issue-recency signal stays zero.
+            abort_.valid = true;
+            abort_.stats = launch.stats;
+            abort_.atCycle = 0;
+            abort_.lastIssueCycle = 0;
+            throw;
+        }
+        return launch.stats;
+    }
+
+    // Multi-device functional execution: one executor per device over
+    // the device's CTA chunk, interleaved round-robin in fixed slices
+    // so cross-device synchronization (e.g. a system barrier) makes
+    // forward progress deterministically. Spinning warps execute
+    // instructions, so a device stuck on a peer is bounded by its own
+    // executor's instruction watchdog; CTA barriers are device-local,
+    // so the per-executor zero-progress check keeps its meaning.
+    const unsigned grid_ctas = grid.count();
+    const unsigned chunk = (grid_ctas + num_devices - 1) / num_devices;
+    LockTracker system_locks;
+    std::vector<std::unique_ptr<LaunchState>> launches;
+    std::vector<std::unique_ptr<FunctionalExecutor>> fxs;
+    for (unsigned d = 0; d < num_devices; ++d) {
+        launches.push_back(std::make_unique<LaunchState>());
+        LaunchState &dl = *launches.back();
+        dl.prog = &prog;
+        dl.grid = grid;
+        dl.block = block;
+        dl.params = params;
+        dl.mem = &mem_;
+        dl.spinDetect = cfg_.spinDetect;
+        dl.stats.kernel = prog.name;
+        dl.deviceId = d;
+        dl.tracker = &system_locks;
+        dl.warpKeyBase = static_cast<std::uint64_t>(d) << 48;
+        dl.nextCta = std::min(d * chunk, grid_ctas);
+        dl.ctaEnd = std::min((d + 1) * chunk, grid_ctas);
+        fxs.push_back(std::make_unique<FunctionalExecutor>(cfg_, dl));
+    }
+
+    auto stash_abort = [&] {
         abort_.valid = true;
-        abort_.stats = launch.stats;
+        abort_.perDevice.clear();
+        KernelStats total = launches[0]->stats;
+        abort_.perDevice.push_back({0, launches[0]->stats, 0});
+        for (unsigned d = 1; d < num_devices; ++d) {
+            total += launches[d]->stats;
+            abort_.perDevice.push_back({d, launches[d]->stats, 0});
+        }
+        abort_.stats = std::move(total);
         abort_.atCycle = 0;
         abort_.lastIssueCycle = 0;
+    };
+
+    // Round-robin slices, device-id order: large enough to amortize the
+    // rotation walk, small enough that a device spinning on a peer's
+    // store observes it within one pass.
+    constexpr std::uint64_t kDeviceSlice = 1024;
+    try {
+        bool all_done = false;
+        while (!all_done) {
+            all_done = true;
+            for (auto &fx : fxs) {
+                if (fx->finished())
+                    continue;
+                if (!fx->runFor(kDeviceSlice))
+                    all_done = false;
+            }
+        }
+    } catch (...) {
+        stash_abort();
         throw;
     }
-    return launch.stats;
+
+    std::vector<KernelStats> per_dev;
+    per_dev.reserve(num_devices);
+    for (auto &dl : launches)
+        per_dev.push_back(dl->stats);
+    KernelStats stats = per_dev[0];
+    for (unsigned d = 1; d < num_devices; ++d)
+        stats += per_dev[d];
+    stats.cycles = 0;
+    stats.perDevice = std::move(per_dev);
+    return stats;
 }
 
 KernelStats
-Gpu::launchSampled(const Program &prog, Dim3 grid, Dim3 block,
-                   const std::vector<Word> &params)
+GpuSystem::launchSampled(const Program &prog, Dim3 grid, Dim3 block,
+                         const std::vector<Word> &params)
 {
+    if (cfg_.numDevices > 1) {
+        fatal("sampled execution mode supports a single device "
+              "(numDevices = ", cfg_.numDevices,
+              "); use cycle or functional mode for multi-device runs");
+    }
     // SMARTS-style sampling: a functional master fast-forwards the
     // kernel (mutating this Gpu's memory — final contents match
     // functional mode exactly); every samplePeriod warp instructions a
@@ -424,11 +647,11 @@ Gpu::launchSampled(const Program &prog, Dim3 grid, Dim3 block,
 }
 
 void
-Gpu::runDetailedWindow(const Program &prog, Dim3 grid, Dim3 block,
-                       const std::vector<Word> &params,
-                       const GpuSnapshot &snap,
-                       const MemorySpace &base_mem, Cycle warmup,
-                       Cycle max_cycles, std::vector<double> &ipcs)
+GpuSystem::runDetailedWindow(const Program &prog, Dim3 grid, Dim3 block,
+                             const std::vector<Word> &params,
+                             const GpuSnapshot &snap,
+                             const MemorySpace &base_mem, Cycle warmup,
+                             Cycle max_cycles, std::vector<double> &ipcs)
 {
     MemorySpace wmem = base_mem;
     MemorySystem memsys(cfg_);
@@ -459,7 +682,8 @@ Gpu::runDetailedWindow(const Program &prog, Dim3 grid, Dim3 block,
     // Sampled mode samples metrics only inside detailed windows: each
     // window is one sampler launch segment on the global cycle grid.
     const std::vector<std::unique_ptr<KernelStats>> no_shards;
-    metrics::SampleSources msrc{&cores, &wl.stats, &no_shards, &memsys};
+    metrics::SampleSources msrc{&cores, {&wl.stats}, &no_shards,
+                                {&memsys}};
     Cycle metricsNext = kNeverCycle;
     if (metrics_) {
         metrics_->beginLaunch(prog.name, cfg_.numCores);

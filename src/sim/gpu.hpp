@@ -24,6 +24,13 @@
  *     Program prog = assemble(kernel_source);
  *     KernelStats stats = gpu.launch(prog, {grid}, {block}, {buf, n});
  *     gpu.memcpyFromDevice(host.data(), buf, bytes);
+ *
+ * The facade models a *system*: GpuConfig::numDevices devices, each
+ * with its own SMs, L2 and DRAM, sharing one functional memory space
+ * and one inter-device link (docs/PERF.md, "Device sharding"). The
+ * historical name `Gpu` is an alias for GpuSystem; with the default
+ * numDevices = 1 the system degenerates to a single device and every
+ * artifact is byte-identical to the pre-split simulator.
  */
 
 namespace bowsim {
@@ -46,18 +53,32 @@ struct GpuSnapshot;
  */
 struct LaunchAbort {
     bool valid = false;
-    /** Stats at the abort point (per-SM shards merged in SM-id order,
-     *  memory-system counters included). */
+    /** System-wide stats at the abort point (per-SM shards merged in
+     *  device/SM-id order, memory-system counters included). */
     KernelStats stats;
     /** Cycle of the last settled simulated cycle (0 in functional). */
     Cycle atCycle = 0;
-    /** Last cycle on which any SM issued an instruction. */
+    /** Last cycle on which any SM of any device issued an instruction. */
     Cycle lastIssueCycle = 0;
+
+    /** One device's share of the abort record. */
+    struct DeviceAbort {
+        unsigned device = 0;
+        /** This device's stats at the abort point (its SMs, its L2). */
+        KernelStats stats;
+        /** Last cycle on which one of *this device's* SMs issued — a
+         *  livelock on device 1 is attributed to device 1, not smeared
+         *  over the system aggregate. */
+        Cycle lastIssueCycle = 0;
+    };
+    /** Per-device abort shards in device-id order; populated only on
+     *  multi-device launches (numDevices > 1). */
+    std::vector<DeviceAbort> perDevice;
 };
 
-class Gpu {
+class GpuSystem {
   public:
-    explicit Gpu(GpuConfig cfg);
+    explicit GpuSystem(GpuConfig cfg);
 
     /** Allocates device memory; contents are zero-initialized. */
     Addr malloc(std::uint64_t bytes);
@@ -151,6 +172,9 @@ class Gpu {
     /** Abort record of the most recent failed launch (lastAbort()). */
     LaunchAbort abort_;
 };
+
+/** Historical name; every existing call site keeps compiling. */
+using Gpu = GpuSystem;
 
 }  // namespace bowsim
 

@@ -104,7 +104,8 @@ LdstUnit::submit(Warp *warp, const Instruction &inst,
     std::uint32_t op =
         allocOp(warp, inst, static_cast<unsigned>(targets.size()));
     for (Addr a : targets)
-        l1Queue_.push_back(Txn{a, op, type, sync, inst.isVolatile});
+        l1Queue_.push_back(
+            Txn{a, op, type, inst.scope, sync, inst.isVolatile});
 }
 
 void
@@ -163,7 +164,7 @@ LdstUnit::cycle(Cycle now, std::vector<MemCompletion> &completed)
             // Volatile polling loads read through to the L2 every time.
             const std::uint64_t seq = ++eventSeq_;
             const MemPacket pkt{line, MemPacket::Type::Read, smId_,
-                                txn.op};
+                                MemScope::Device, txn.op};
             if (queue_) {
                 queue_->pushRequest(MemPortRequest{
                     pkt, seq, MemPortRequest::Completion::OpDone, 0});
@@ -210,7 +211,8 @@ LdstUnit::cycle(Cycle now, std::vector<MemCompletion> &completed)
                          trace::EventKind::L1Miss, line);
         }
         const std::uint64_t seq = ++eventSeq_;
-        const MemPacket pkt{line, MemPacket::Type::Read, smId_, txn.op};
+        const MemPacket pkt{line, MemPacket::Type::Read, smId_,
+                            MemScope::Device, txn.op};
         mshr_.emplace(line, std::vector<std::uint32_t>{txn.op});
         if (queue_) {
             queue_->pushRequest(MemPortRequest{
@@ -226,7 +228,8 @@ LdstUnit::cycle(Cycle now, std::vector<MemCompletion> &completed)
         Addr line = lineBase(txn.addr);
         // Write-through, no-allocate: update the line if present.
         (void)l1_.access(line, true);
-        const MemPacket pkt{line, MemPacket::Type::Write, smId_, txn.op};
+        const MemPacket pkt{line, MemPacket::Type::Write, smId_,
+                            MemScope::Device, txn.op};
         if (queue_) {
             queue_->pushRequest(MemPortRequest{
                 pkt, 0, MemPortRequest::Completion::None, 0});
@@ -241,7 +244,7 @@ LdstUnit::cycle(Cycle now, std::vector<MemCompletion> &completed)
       case MemPacket::Type::Atomic: {
         const std::uint64_t seq = ++eventSeq_;
         const MemPacket pkt{txn.addr, MemPacket::Type::Atomic, smId_,
-                            txn.op};
+                            txn.scope, txn.op};
         if (queue_) {
             queue_->pushRequest(MemPortRequest{
                 pkt, seq, MemPortRequest::Completion::OpDone, 0});

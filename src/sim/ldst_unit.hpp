@@ -118,6 +118,8 @@ class LdstUnit {
         Addr addr;  ///< line base (per-address for atomics)
         std::uint32_t op;
         MemPacket::Type type;
+        /** Memory scope (atomics; Device for everything else). */
+        MemScope scope;
         bool sync;
         /** Volatile load: bypass the L1 and read through to the L2. */
         bool vol;

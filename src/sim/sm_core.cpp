@@ -84,6 +84,7 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
 
     blockThreads_ = launch_.block.count();
     gridCtas_ = launch_.grid.count();
+    ctaEnd_ = launch_.ctaEnd != 0 ? launch_.ctaEnd : gridCtas_;
     code_ = launch_.prog->code.data();
     codeSize_ = static_cast<Pc>(launch_.prog->code.size());
     if (launch_.pcFlags.size() != launch_.prog->code.size())
@@ -136,18 +137,18 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
 bool
 SmCore::busy() const
 {
-    // CTAs are handed out by the shared dispatcher; this SM stays busy
+    // CTAs are handed out by the device's dispatcher; this SM stays busy
     // while work remains so it can pick CTAs up as slots free.
-    return validCtas_ != 0 || launch_.nextCta < gridCtas_;
+    return validCtas_ != 0 || launch_.nextCta < ctaEnd_;
 }
 
 void
 SmCore::tryLaunchCtas()
 {
-    if (launch_.nextCta >= gridCtas_ || validCtas_ == maxResidentCtas_)
+    if (launch_.nextCta >= ctaEnd_ || validCtas_ == maxResidentCtas_)
         return;
     const Program &prog = *launch_.prog;
-    unsigned total_ctas = gridCtas_;
+    unsigned total_ctas = ctaEnd_;
     for (Cta &slot : ctas_) {
         if (slot.valid)
             continue;
@@ -504,10 +505,11 @@ SmCore::executeAtomicLane(Warp &w, const Instruction &inst, unsigned lane,
     Word desired = inst.atom == AtomOp::Cas
                        ? readOperand(w, inst.src[2], lane)
                        : 0;
-    // Warp key: the launch-wide age, globally unique and nonzero.
+    // Warp key: the device-wide age offset by the device's key base —
+    // globally unique across devices and nonzero.
     exec::AtomicResult r = exec::applyAtomicLane(
-        *launch_.mem, launch_.lockTracker, inst, addr, operand, desired,
-        w.age() + 1);
+        *launch_.mem, launch_.locks(), inst, addr, operand, desired,
+        launch_.warpKeyBase + w.age() + 1);
     if (r.isCas && is_acquire) {
         KernelStats &st = stats_;
         switch (r.cas) {
@@ -636,7 +638,7 @@ SmCore::execGlobalStore(Warp &w, const Instruction &inst, LaneMask exec,
         const unsigned lane = firstLane(rest);
         Word v = readOperand(w, inst.src[1], lane);
         mem.write(addrs[lane], v, inst.size);
-        launch_.lockTracker.onWrite(addrs[lane], v);
+        launch_.locks().onWrite(addrs[lane], v);
     }
 }
 
@@ -1050,7 +1052,7 @@ SmCore::nextWorkCycle(Cycle now) const
 {
     // A free CTA slot with grid work left dispatches next cycle (a
     // retirement at the end of cycle(now) may have just opened one).
-    if (launch_.nextCta < gridCtas_ && validCtas_ < maxResidentCtas_)
+    if (launch_.nextCta < ctaEnd_ && validCtas_ < maxResidentCtas_)
         return now + 1;
     Cycle horizon = kNeverCycle;
     if (wbPending_ != 0) {

@@ -27,7 +27,13 @@
 
 namespace bowsim {
 
-/** State shared by all SMs during one kernel launch. */
+/**
+ * State shared by all SMs of one device during one kernel launch. On a
+ * multi-device system (GpuConfig::numDevices > 1) each device owns one
+ * LaunchState: its own CTA dispatch window [nextCta, ctaEnd), warp age
+ * counter, statistics shard and memory system — prog/grid/block/params
+ * and the functional MemorySpace are shared across devices.
+ */
 struct LaunchState {
     const Program *prog = nullptr;
     Dim3 grid;
@@ -37,13 +43,33 @@ struct LaunchState {
     MemorySystem *memsys = nullptr;
     SpinDetect spinDetect = SpinDetect::Ddos;
     LockTracker lockTracker;
+    /**
+     * System-wide lock tracker shared by every device of a launch
+     * (nullptr on a standalone LaunchState — locks() then falls back to
+     * the local tracker above). Lock words are functional state in the
+     * shared MemorySpace, so ownership must be tracked system-wide;
+     * warpKeyBase keeps the owner keys globally unique.
+     */
+    LockTracker *tracker = nullptr;
+    LockTracker &locks() { return tracker ? *tracker : lockTracker; }
     KernelStats stats;
     /** Event sink for this launch; the default Tracer is the null sink. */
     trace::Tracer trace;
     /** Next CTA index awaiting an SM. */
     unsigned nextCta = 0;
-    /** Monotonic warp age counter (GTO's age ordering). */
+    /**
+     * One past the last CTA this device dispatches (0 = unset: the whole
+     * grid, the single-device default). GpuSystem assigns each device a
+     * contiguous chunk [nextCta, ctaEnd).
+     */
+    unsigned ctaEnd = 0;
+    /** Monotonic warp age counter (GTO's age ordering), device-local. */
     std::uint64_t warpAgeCounter = 0;
+    /** This device's id (trace events, %smid stays SM-local). */
+    unsigned deviceId = 0;
+    /** Folded into lock-owner warp keys so they stay unique across
+     *  devices' independent age counters (deviceId << 48). */
+    std::uint64_t warpKeyBase = 0;
 
     /**
      * Phase-split mode (sm-threads > 1): cores stage every globally
@@ -173,6 +199,8 @@ class SmCore : private IssueGate {
     const BackoffUnit &backoff() const { return backoff_; }
     const LdstUnit &ldst() const { return ldst_; }
     unsigned id() const { return id_; }
+    /** Owning device (multi-device stat/idle attribution). */
+    unsigned device() const { return launch_.deviceId; }
 
     // --- metrics-sampler gauges (SM-private, settled at the commit
     // --- barrier; see src/metrics/sampler.cpp) ------------------------
@@ -310,6 +338,8 @@ class SmCore : private IssueGate {
     /** Launch geometry cached out of the per-lane/ per-cycle paths. */
     unsigned blockThreads_ = 0;
     unsigned gridCtas_ = 0;
+    /** One past this device's last CTA (%nctaid stays gridCtas_). */
+    unsigned ctaEnd_ = 0;
     /** Instruction stream cached for the unchecked fetch() fast path. */
     const Instruction *code_ = nullptr;
     Pc codeSize_ = 0;

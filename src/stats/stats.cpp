@@ -31,6 +31,7 @@ KernelStats::operator+=(const KernelStats &o)
     mem.atomics += o.mem.atomics;
     mem.atomicWaitCycles += o.mem.atomicWaitCycles;
     mem.icntPackets += o.mem.icntPackets;
+    mem.linkPackets += o.mem.linkPackets;
     outcomes += o.outcomes;
     residentWarpCycles += o.residentWarpCycles;
     backedOffWarpCycles += o.backedOffWarpCycles;
@@ -93,6 +94,19 @@ KernelStats::operator+=(const KernelStats &o)
     for (std::size_t i = 0; i < o.peakResidentPerSm.size(); ++i) {
         peakResidentPerSm[i] =
             std::max(peakResidentPerSm[i], o.peakResidentPerSm[i]);
+    }
+    // Device shards accumulate shard-by-shard (launch 2's device d
+    // folds into launch 1's device d), same as the enclosing aggregate.
+    if (!o.perDevice.empty()) {
+        if (perDevice.empty()) {
+            perDevice = o.perDevice;
+        } else if (perDevice.size() != o.perDevice.size()) {
+            fatal("KernelStats::operator+=: device shard counts disagree (",
+                  perDevice.size(), " vs ", o.perDevice.size(), ")");
+        } else {
+            for (std::size_t d = 0; d < perDevice.size(); ++d)
+                perDevice[d] += o.perDevice[d];
+        }
     }
     return *this;
 }

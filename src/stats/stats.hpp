@@ -170,6 +170,16 @@ struct KernelStats {
     // --- DDOS accuracy (Table I) --------------------------------------
     DdosAccuracy::Report ddos;
 
+    // --- multi-device shards (docs/PERF.md, "Device sharding") ---------
+    /**
+     * Per-device stat shards, in device-id order. Populated only on
+     * multi-device launches (numDevices > 1): element d holds device
+     * d's own counters (its SMs, its L2/DRAM, its link traffic) while
+     * the enclosing struct holds the system-wide aggregate. Shard
+     * elements never nest further — their own perDevice stays empty.
+     */
+    std::vector<KernelStats> perDevice;
+
     // --- derived -----------------------------------------------------------
     double
     simdEfficiency() const

@@ -10,8 +10,9 @@ const std::vector<Primitive> &
 allPrimitives()
 {
     static const std::vector<Primitive> all = {
-        Primitive::TasLock, Primitive::BackoffLock, Primitive::TicketLock,
-        Primitive::ArrayLock, Primitive::GlobalBarrier};
+        Primitive::TasLock,   Primitive::BackoffLock,
+        Primitive::TicketLock, Primitive::ArrayLock,
+        Primitive::GlobalBarrier, Primitive::SystemBarrier};
     return all;
 }
 
@@ -24,6 +25,7 @@ toString(Primitive p)
       case Primitive::TicketLock: return "ticket";
       case Primitive::ArrayLock: return "array";
       case Primitive::GlobalBarrier: return "barrier";
+      case Primitive::SystemBarrier: return "system-barrier";
     }
     return "?";
 }
@@ -259,8 +261,14 @@ WAIT:
 }
 
 std::string
-globalBarrierSource(const std::string &name)
+barrierSource(const std::string &name, bool system_scope)
 {
+    // The two barrier primitives share one protocol and differ only in
+    // memory scope: GlobalBarrier uses device-scope atomics and fences
+    // (resolved in the local L2), SystemBarrier uses .sys scope so the
+    // arrive counter and fences order across every device of a
+    // multi-device system (docs/PERF.md, "Device sharding").
+    const char *scope = system_scope ? ".sys" : "";
     std::ostringstream os;
     os << ".kernel " << name << "\n";
     // All lanes stay alive: every warp of the CTA participates in the
@@ -293,15 +301,18 @@ ROUND:
   shl %r7, %r2, 3;
   add %r7, %r12, %r7;
   st.global.u64 [%r7], %r6;      // publish data[ctaid] = round + 1
-  membar;
+  membar)" << scope
+       << R"(;
 .annot sync_begin
-  atom.global.add.b64 %r8, [%r10], 1;  // arrive
+  atom.global)" << scope
+       << R"(.add.b64 %r8, [%r10], 1;  // arrive
   add %r9, %r8, 1;
   setp.lt.s64 %p2, %r9, %r15;    // not the last arriver?
   @%p2 bra WAITREL;
   mov %r9, 0;
   st.global.u64 [%r10], %r9;     // last arriver: reset the count...
-  membar;
+  membar)" << scope
+       << R"(;
   st.global.u64 [%r11], %r6;     // ...and open release = round + 1
   bra.uni RELDONE;
 WAITREL:
@@ -351,7 +362,10 @@ primitiveSource(Primitive p, const SyncGeometry &g)
       case Primitive::BackoffLock: return backoffLockSource(name);
       case Primitive::TicketLock: return ticketLockSource(name);
       case Primitive::ArrayLock: return arrayLockSource(name);
-      case Primitive::GlobalBarrier: return globalBarrierSource(name);
+      case Primitive::GlobalBarrier:
+        return barrierSource(name, /*system_scope=*/false);
+      case Primitive::SystemBarrier:
+        return barrierSource(name, /*system_scope=*/true);
     }
     fatal("sync primitive: unknown primitive");
 }

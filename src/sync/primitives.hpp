@@ -28,19 +28,29 @@
 
 namespace bowsim::sync {
 
-/** The five generated primitives. */
+/** The six generated primitives. */
 enum class Primitive {
     TasLock,       ///< test-and-set (CAS) spin lock
     BackoffLock,   ///< TAS lock + software clock()-delay back-off
     TicketLock,    ///< fetch-add ticket / now-serving FIFO lock
     ArrayLock,     ///< array queue lock (one flag slot per waiter)
     GlobalBarrier, ///< software inter-CTA sense barrier
+    SystemBarrier, ///< GlobalBarrier with system-scope atomics/fences,
+                   ///< the multi-device (inter-GPU) variant
 };
+
+/** True for the two barrier primitives (same 5-parameter protocol). */
+inline bool
+isBarrier(Primitive p)
+{
+    return p == Primitive::GlobalBarrier || p == Primitive::SystemBarrier;
+}
 
 /** All primitives, in a fixed canonical order. */
 const std::vector<Primitive> &allPrimitives();
 
-/** Short lower-case identifier: "tas", "backoff", "ticket", ... */
+/** Short lower-case identifier: "tas", "backoff", "ticket", ...,
+ *  "barrier", "system-barrier". */
 const char *toString(Primitive p);
 
 /** Parses the toString() identifiers; false on anything else. */

@@ -36,6 +36,7 @@ lockBlockWords(Primitive p, const SyncGeometry &g)
       case Primitive::ArrayLock:
         return 1 + g.totalWarps();  // tail, then one flag per slot
       case Primitive::GlobalBarrier:
+      case Primitive::SystemBarrier:
         break;
     }
     fatal("lockBlockWords: not a lock primitive");
@@ -53,7 +54,7 @@ class SyncKernelHarness : public KernelHarness {
     setup(Gpu &gpu) override
     {
         const unsigned warps = g_.totalWarps();
-        if (p_ == Primitive::GlobalBarrier) {
+        if (isBarrier(p_)) {
             countAddr_ = gpu.malloc(8);
             releaseAddr_ = gpu.malloc(8);
             dataAddr_ = gpu.malloc(g_.ctas * 8);
@@ -77,7 +78,7 @@ class SyncKernelHarness : public KernelHarness {
     {
         const Dim3 grid{g_.ctas, 1, 1};
         const Dim3 block{g_.threadsPerCta, 1, 1};
-        if (p_ == Primitive::GlobalBarrier) {
+        if (isBarrier(p_)) {
             return {LaunchSpec{&prog_, grid, block,
                                {static_cast<Word>(countAddr_),
                                 static_cast<Word>(releaseAddr_),
@@ -102,7 +103,7 @@ class SyncKernelHarness : public KernelHarness {
     bool
     validate(Gpu &gpu) const override
     {
-        if (p_ == Primitive::GlobalBarrier)
+        if (isBarrier(p_))
             return validateBarrier(gpu);
         return validateLock(gpu);
     }
@@ -159,6 +160,7 @@ class SyncKernelHarness : public KernelHarness {
             return flags == ref.flags;
           }
           case Primitive::GlobalBarrier:
+          case Primitive::SystemBarrier:
             break;
         }
         return false;

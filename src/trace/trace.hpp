@@ -85,7 +85,8 @@ struct TraceEvent {
     /** Warp slot within the SM; -1 when no single warp is involved. */
     std::int32_t warp = -1;
     EventKind kind = EventKind::Issue;
-    std::uint16_t reserved = 0;
+    /** Device that emitted the event (0 on single-device runs). */
+    std::uint16_t device = 0;
     /** Explicit padding so the record has no implicit holes. */
     std::uint32_t pad = 0;
     /** Kind-specific payload (see EventKind comments). */
@@ -110,7 +111,10 @@ class TraceSink {
 class Tracer {
   public:
     Tracer() = default;
-    explicit Tracer(TraceSink *sink) : sink_(sink) {}
+    explicit Tracer(TraceSink *sink, std::uint16_t device = 0)
+        : sink_(sink), device_(device)
+    {
+    }
 
     bool enabled() const { return sink_ != nullptr; }
 
@@ -125,6 +129,7 @@ class Tracer {
         ev.sm = sm;
         ev.warp = warp;
         ev.kind = kind;
+        ev.device = device_;
         ev.a0 = a0;
         ev.a1 = a1;
         sink_->emit(ev);
@@ -140,6 +145,7 @@ class Tracer {
 
   private:
     TraceSink *sink_ = nullptr;
+    std::uint16_t device_ = 0;
 };
 
 }  // namespace bowsim::trace

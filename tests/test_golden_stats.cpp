@@ -134,6 +134,7 @@ TEST_P(LitmusGoldenStats, PinnedOutcomeAndCounters)
     opts.schedulers = {g.scheduler};
     opts.bowsModes = {g.bows};
     opts.occupancies = {g.occupancy};
+    opts.devices = {1};  // the pinned counters are single-device
     const std::vector<harness::LitmusCell> cells =
         harness::buildLitmusCells(opts);
     ASSERT_EQ(cells.size(), 1u);

@@ -83,7 +83,7 @@ TEST(Json, MissingKeyThrows)
 // --- json_check --litmus ----------------------------------------------
 
 /** A small but complete litmus document: tas x LRR x {base,bows} x
- *  under, every cell marked completed. */
+ *  under x {1,2} devices, every cell marked completed. */
 Json
 litmusDoc()
 {
@@ -114,10 +114,21 @@ mutated(const Json &doc, const std::string &from, const std::string &to)
 TEST(JsonCheckLitmus, ValidMatrixPasses)
 {
     const harness::CheckResult r =
-        harness::checkLitmusMatrix(litmusDoc(), 2);
+        harness::checkLitmusMatrix(litmusDoc(), 4);
     EXPECT_TRUE(r.ok) << r.message;
-    EXPECT_NE(r.message.find("2 cells"), std::string::npos);
+    EXPECT_NE(r.message.find("4 cells"), std::string::npos);
     EXPECT_NE(r.message.find("completed"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, DeviceAxisProductMismatchFails)
+{
+    // Shrink the header's devices axis: the cells now span more than
+    // the axis lists describe.
+    const Json doc =
+        mutated(litmusDoc(), "\"devices\":[1,2]", "\"devices\":[1]");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("axis lists span"), std::string::npos);
 }
 
 TEST(JsonCheckLitmus, ExpectedCellCountMismatchFails)

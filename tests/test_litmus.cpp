@@ -129,18 +129,38 @@ TEST(Litmus, DefaultMatrixSpansEveryAxisCombination)
     const LitmusOptions opts = harness::defaultLitmusOptions();
     const std::vector<LitmusCell> cells =
         harness::buildLitmusCells(opts);
-    EXPECT_EQ(cells.size(), 5u * 3u * 2u * 3u);
+    EXPECT_EQ(cells.size(), 6u * 4u * 2u * 3u * 2u);
     std::set<std::string> ids;
     for (const LitmusCell &cell : cells) {
         ids.insert(cell.id);
         // Per-cell configuration reflects the cell's coordinates.
         EXPECT_EQ(cell.cfg.scheduler, cell.scheduler) << cell.id;
         EXPECT_EQ(cell.cfg.bows.enabled, cell.bows) << cell.id;
+        EXPECT_EQ(cell.cfg.numDevices, cell.numDevices) << cell.id;
         EXPECT_GT(cell.geometry.ctas, 0u) << cell.id;
     }
     EXPECT_EQ(ids.size(), cells.size());  // ids are unique
-    EXPECT_EQ(cells.front().id, "tas/LRR/base/under");
-    EXPECT_TRUE(ids.count("barrier/CAWA/bows/over"));
+    EXPECT_EQ(cells.front().id, "tas/LRR/base/under/d1");
+    EXPECT_TRUE(ids.count("barrier/CAWA/bows/over/d1"));
+    EXPECT_TRUE(ids.count("system-barrier/TwoLevel/bows/over/d2"));
+}
+
+TEST(Litmus, DeviceAxisScalesOccupancyGeometry)
+{
+    LitmusOptions opts = harness::defaultLitmusOptions();
+    opts.primitives = {sync::Primitive::GlobalBarrier};
+    opts.schedulers = {SchedulerKind::LRR};
+    opts.bowsModes = {false};
+    opts.occupancies = {harness::OccupancyLevel::Exact};
+    opts.devices = {1, 2};
+    const std::vector<LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    ASSERT_EQ(cells.size(), 2u);
+    // "exact" means the whole grid is co-resident system-wide, so the
+    // two-device cell runs twice the CTAs (chunked evenly, each device
+    // holds exactly its own capacity).
+    EXPECT_EQ(cells[1].geometry.ctas, cells[0].geometry.ctas * 2);
+    EXPECT_EQ(cells[1].cfg.numDevices, 2u);
 }
 
 TEST(Litmus, OccupancyLevelsScaleTheGrid)
@@ -149,6 +169,7 @@ TEST(Litmus, OccupancyLevelsScaleTheGrid)
     opts.primitives = {sync::Primitive::TasLock};
     opts.schedulers = {SchedulerKind::GTO};
     opts.bowsModes = {false};
+    opts.devices = {1};
     const std::vector<LitmusCell> cells =
         harness::buildLitmusCells(opts);
     ASSERT_EQ(cells.size(), 3u);  // under, exact, over
@@ -171,6 +192,7 @@ singleCellOptions(sync::Primitive p, SchedulerKind sched, bool bows,
     opts.schedulers = {sched};
     opts.bowsModes = {bows};
     opts.occupancies = {level};
+    opts.devices = {1};
     return opts;
 }
 
@@ -252,7 +274,8 @@ TEST(Litmus, JsonArtifactIsSelfDescribingAndValidates)
     EXPECT_EQ(doc.at("watchdog_cycles").asInt(), 3'000'000);
     ASSERT_EQ(doc.at("cells").size(), 1u);
     const harness::Json &cell = doc.at("cells").at(0);
-    EXPECT_EQ(cell.at("id").asString(), "tas/LRR/base/under");
+    EXPECT_EQ(cell.at("id").asString(), "tas/LRR/base/under/d1");
+    EXPECT_EQ(cell.at("devices").asInt(), 1);
     EXPECT_EQ(cell.at("outcome").asString(), "completed");
     EXPECT_FALSE(cell.has("detail"));  // empty detail is omitted
     // Execution knobs must not leak into the artifact: it is

@@ -60,7 +60,7 @@ reducedOptions()
     opts.primitives = {Primitive::TasLock, Primitive::TicketLock,
                       Primitive::GlobalBarrier};
     opts.schedulers = {SchedulerKind::GTO};
-    return opts;  // 3 x 1 x 2 x 3 = 18 cells
+    return opts;  // 3 x 1 x 2 x 3 x 2 devices = 36 cells
 }
 
 TEST(LitmusEquivalence, ArtifactBytesInvariantAcrossExecutionKnobs)
@@ -86,17 +86,22 @@ TEST(LitmusEquivalence, FunctionalModeMatchesCycleDigests)
 {
     LitmusOptions opts = harness::defaultLitmusOptions();
     opts.schedulers = {SchedulerKind::GTO};
-    // under + exact: every cell completes in both modes (over-
-    // subscription livelocks differ by design: timing-dependent).
+    // under + exact: every single-device cell completes in both modes
+    // (over-subscription livelocks differ by design: timing-
+    // dependent). At two devices the doubled population moves some
+    // timing-dependent livelocks down to exact occupancy
+    // (docs/SYNC.md, "The measured matrix"); those cells complete
+    // functionally — bounded-fairness rotation cannot starve — so the
+    // digest comparison only applies where cycle mode completes too.
     opts.occupancies = {OccupancyLevel::Under, OccupancyLevel::Exact};
     const std::vector<LitmusCell> cells =
         harness::buildLitmusCells(opts);
-    ASSERT_EQ(cells.size(), 5u * 1u * 2u * 2u);
+    ASSERT_EQ(cells.size(), 6u * 1u * 2u * 2u * 2u);
+    std::size_t compared = 0;
     for (const LitmusCell &cell : cells) {
         Gpu cycle_gpu(cell.cfg);
         const LitmusCellResult rc =
             harness::runLitmusCell(cell, cycle_gpu);
-        ASSERT_EQ(rc.outcome, SyncOutcome::Completed) << cell.id;
 
         GpuConfig fcfg = cell.cfg;
         fcfg.execMode = ExecMode::Functional;
@@ -105,9 +110,17 @@ TEST(LitmusEquivalence, FunctionalModeMatchesCycleDigests)
             harness::runLitmusCell(cell, func_gpu);
         ASSERT_EQ(rf.outcome, SyncOutcome::Completed) << cell.id;
 
+        if (cell.numDevices == 1)
+            ASSERT_EQ(rc.outcome, SyncOutcome::Completed) << cell.id;
+        if (rc.outcome != SyncOutcome::Completed)
+            continue;
         EXPECT_EQ(cycle_gpu.mem().digest(), func_gpu.mem().digest())
             << cell.id;
+        ++compared;
     }
+    // All 24 single-device cells plus the completing two-device ones;
+    // the exact count may shift with tuning, but most must compare.
+    EXPECT_GE(compared, 24u + 12u);
 }
 
 }  // namespace

@@ -406,6 +406,11 @@ TEST(Fingerprint, EveryResultRelevantConfigFieldChangesKey)
          [](GpuConfig &c) { c.dramServicePeriod = 8; }},
         {"atomicServicePeriod",
          [](GpuConfig &c) { c.atomicServicePeriod = 8; }},
+        {"numDevices", [](GpuConfig &c) { c.numDevices = 2; }},
+        {"linkLatency", [](GpuConfig &c) { c.linkLatency = 1400; }},
+        {"linkServicePeriod",
+         [](GpuConfig &c) { c.linkServicePeriod = 8; }},
+        {"switchLatency", [](GpuConfig &c) { c.switchLatency = 50; }},
         {"coreClockMhz", [](GpuConfig &c) { c.coreClockMhz = 1000.0; }},
         {"watchdogCycles",
          [](GpuConfig &c) { c.watchdogCycles = 100'000'000; }},
