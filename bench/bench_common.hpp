@@ -18,6 +18,7 @@
 #include "src/metrics/kernel_profile.hpp"
 #include "src/metrics/progress.hpp"
 #include "src/sim/gpu.hpp"
+#include "src/trace/trace.hpp"
 
 /**
  * @file
@@ -75,6 +76,13 @@ struct BenchOptions {
      */
     std::string tracePath;
     /**
+     * Trace category filter (--trace-filter / BOWSIM_TRACE_FILTER):
+     * comma-separated category tokens (pipe, mem, ddos, bows, barrier,
+     * or the alias sync = ddos|bows|barrier; docs/TRACING.md) applied to
+     * every point's trace recorder. Only meaningful with --trace.
+     */
+    std::string traceFilter;
+    /**
      * Escape hatch for the idle-cycle fast-forward (--no-skip /
      * BOWSIM_NO_SKIP): forces GpuConfig::idleSkip off on every point.
      * Results are bit-identical either way (that is tested); the flag
@@ -90,6 +98,14 @@ struct BenchOptions {
      * suffix selects CSV output, anything else JSON (docs/METRICS.md).
      */
     std::string metricsPath;
+    /**
+     * When set, every runner-constructed point runs with the
+     * sync-contention profiler attached and writes its JSON report to a
+     * per-point file derived from this base path (--sync-report /
+     * BOWSIM_SYNC_REPORT), named like --trace fan-out and validated by
+     * `json_check --sync-report` (docs/SYNC.md).
+     */
+    std::string syncReportPath;
     /**
      * Sample spacing in simulated cycles (--metrics-interval /
      * BOWSIM_METRICS_INTERVAL). 0 defers to each point's config, which
@@ -177,7 +193,8 @@ tracePathFor(const std::string &base, const std::string &id)
 
 /**
  * Parses --scale= / --cores= / --devices= / --jobs= / --sm-threads= / --json= /
- * --trace= / --no-skip / --metrics= / --metrics-interval= / --profile /
+ * --trace= / --trace-filter= / --no-skip / --metrics= /
+ * --metrics-interval= / --sync-report= / --profile /
  * --progress / --exec-mode= / --sample-window= / --sample-period= /
  * --cache= / --cache-dir= / --resume
  * plus the corresponding
@@ -200,6 +217,10 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
         o.devices = static_cast<unsigned>(std::atoi(env));
     if (const char *env = std::getenv("BOWSIM_TRACE"))
         o.tracePath = env;
+    if (const char *env = std::getenv("BOWSIM_TRACE_FILTER"))
+        o.traceFilter = env;
+    if (const char *env = std::getenv("BOWSIM_SYNC_REPORT"))
+        o.syncReportPath = env;
     if (const char *env = std::getenv("BOWSIM_NO_SKIP"))
         o.noSkip = env[0] != '\0' && env[0] != '0';
     if (const char *env = std::getenv("BOWSIM_SM_THREADS"))
@@ -256,6 +277,10 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
             o.jsonPath = argv[i] + 7;
         else if (std::strncmp(argv[i], "--trace=", 8) == 0)
             o.tracePath = argv[i] + 8;
+        else if (std::strncmp(argv[i], "--trace-filter=", 15) == 0)
+            o.traceFilter = argv[i] + 15;
+        else if (std::strncmp(argv[i], "--sync-report=", 14) == 0)
+            o.syncReportPath = argv[i] + 14;
         else if (std::strncmp(argv[i], "--sm-threads=", 13) == 0)
             o.smThreads = static_cast<unsigned>(std::atoi(argv[i] + 13));
         else if (std::strcmp(argv[i], "--no-skip") == 0)
@@ -281,6 +306,17 @@ parseOptions(int argc, char **argv, double default_scale = 1.0,
             o.cacheDir = argv[i] + 12;
         else if (std::strcmp(argv[i], "--resume") == 0)
             o.resume = true;
+    }
+    if (!o.traceFilter.empty()) {
+        std::uint32_t mask = 0;
+        if (!trace::parseCategoryFilter(o.traceFilter, &mask)) {
+            std::fprintf(stderr,
+                         "error: bad --trace-filter '%s' (expected a "
+                         "comma list of pipe, mem, ddos, bows, barrier "
+                         "or sync)\n",
+                         o.traceFilter.c_str());
+            std::exit(2);
+        }
     }
     if (o.resume && o.cacheMode == harness::CacheMode::Off) {
         std::fprintf(stderr,
@@ -371,7 +407,8 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
     std::vector<SweepPoint> points = sweep.points;
     if (!opts.tracePath.empty() || opts.noSkip || opts.smThreads != 0 ||
         opts.devices != 0 || !opts.metricsPath.empty() ||
-        opts.metricsInterval != 0 || opts.profile || opts.hasExecMode ||
+        opts.metricsInterval != 0 || !opts.syncReportPath.empty() ||
+        opts.profile || opts.hasExecMode ||
         opts.sampleWindow != 0 || opts.samplePeriod != 0) {
         for (SweepPoint &p : points) {
             if (p.body) {
@@ -391,6 +428,8 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                                  ? "--metrics"
                              : opts.metricsInterval != 0
                                  ? "--metrics-interval"
+                             : !opts.syncReportPath.empty()
+                                 ? "--sync-report"
                                  : "--trace");
                 continue;
             }
@@ -400,8 +439,12 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                 p.cfg.smThreads = opts.smThreads;
             if (opts.devices != 0)
                 p.cfg.numDevices = opts.devices;
-            if (!opts.tracePath.empty())
+            if (!opts.tracePath.empty()) {
                 p.tracePath = tracePathFor(opts.tracePath, p.id);
+                p.traceFilter = opts.traceFilter;
+            }
+            if (!opts.syncReportPath.empty())
+                p.syncReportPath = tracePathFor(opts.syncReportPath, p.id);
             if (opts.metricsInterval != 0)
                 p.cfg.metricsInterval = opts.metricsInterval;
             if (!opts.metricsPath.empty()) {
@@ -409,8 +452,12 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
                 if (p.cfg.metricsInterval == 0)
                     p.cfg.metricsInterval = 1000;
             }
-            if (opts.profile)
+            if (opts.profile) {
                 p.cfg.collectStallBreakdown = true;
+                // The profile report's "hot sync objects" section needs
+                // the profiler attached even without a --sync-report.
+                p.syncProfile = true;
+            }
             if (opts.hasExecMode)
                 p.cfg.execMode = opts.execMode;
             if (opts.sampleWindow != 0)
@@ -475,6 +522,8 @@ runSweep(const BenchOptions &opts, const Sweep &sweep)
         for (size_t i = 0; i < results.size(); ++i) {
             std::printf("\n[%s]\n%s", points[i].id.c_str(),
                         metrics::profileReport(results[i].stats).c_str());
+            if (!results[i].syncProfileText.empty())
+                std::printf("%s", results[i].syncProfileText.c_str());
         }
         std::printf("\n");
     }

@@ -19,6 +19,8 @@
  *                                             against that point's stats
  *   json_check --litmus FILE [EXPECTED_CELLS] litmus outcome matrix
  *                                             (docs/SYNC.md)
+ *   json_check --sync-report FILE             sync-contention report
+ *                                             (--sync-report, docs/SYNC.md)
  *
  * Sweep artifacts must parse, carry a "points" array of the expected
  * size (when a count is given), and every point must report ok == true.
@@ -52,8 +54,9 @@ usage(const char *prog)
                  "       %s --compare-points A B\n"
                  "       %s --trace FILE\n"
                  "       %s --metrics FILE [SWEEP_JSON POINT_ID]\n"
-                 "       %s --litmus FILE [EXPECTED_CELLS]\n",
-                 prog, prog, prog, prog, prog);
+                 "       %s --litmus FILE [EXPECTED_CELLS]\n"
+                 "       %s --sync-report FILE\n",
+                 prog, prog, prog, prog, prog, prog);
     return 2;
 }
 
@@ -87,10 +90,14 @@ main(int argc, char **argv)
         argc >= 2 && std::strcmp(argv[1], "--litmus") == 0;
     bool compare_mode =
         argc >= 2 && std::strcmp(argv[1], "--compare-points") == 0;
-    int first_file =
-        trace_mode || metrics_mode || litmus_mode || compare_mode ? 2 : 1;
+    bool sync_mode =
+        argc >= 2 && std::strcmp(argv[1], "--sync-report") == 0;
+    int first_file = trace_mode || metrics_mode || litmus_mode ||
+                             compare_mode || sync_mode
+                         ? 2
+                         : 1;
     bool args_ok;
-    if (trace_mode)
+    if (trace_mode || sync_mode)
         args_ok = argc == 3;
     else if (metrics_mode)
         args_ok = argc == 3 || argc == 5;
@@ -109,6 +116,8 @@ main(int argc, char **argv)
         CheckResult res;
         if (trace_mode) {
             res = bowsim::harness::checkChromeTrace(doc);
+        } else if (sync_mode) {
+            res = bowsim::harness::checkSyncReport(doc);
         } else if (compare_mode) {
             const Json other = bowsim::harness::loadJsonFile(argv[3]);
             res = bowsim::harness::compareSweepPoints(doc, other);

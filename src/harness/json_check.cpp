@@ -595,6 +595,7 @@ checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
     }
     std::map<std::string, int> seen;
     std::map<std::string, std::size_t> outcome_counts;
+    std::size_t evidence_cells = 0;
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const Json &c = cells.at(i);
         const std::string where = "cell " + std::to_string(i);
@@ -641,6 +642,40 @@ checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
                         "cell's device count");
         if (c.at("stats").type() != Json::Type::Object)
             return fail(where + " \"stats\" is not an object");
+        // Contention evidence (docs/SYNC.md): livelocked cycle-mode
+        // cells must carry a machine-checked attribution of the
+        // contended address; other cells may.
+        const bool livelocked =
+            c.at("outcome").asString() == "livelocked";
+        if (mode == "cycle" && livelocked && !c.has("evidence"))
+            return fail(where + " is livelocked but carries no "
+                        "\"evidence\" block");
+        if (c.has("evidence")) {
+            const Json &ev = c.at("evidence");
+            if (ev.type() != Json::Type::Object)
+                return fail(where + " \"evidence\" is not an object");
+            for (const char *k : {"addr", "cas_attempts",
+                                  "cas_failures", "failed_share",
+                                  "peak_waiters", "storms"}) {
+                if (!ev.has(k))
+                    return fail(where + " evidence lacks \"" + k +
+                                "\"");
+            }
+            if (ev.at("addr").asString().compare(0, 2, "0x") != 0)
+                return fail(where + " evidence addr is not hex");
+            if (ev.at("cas_failures").asInt() >
+                ev.at("cas_attempts").asInt())
+                return fail(where + " evidence has more CAS failures "
+                            "than attempts");
+            const double share = ev.at("failed_share").asDouble();
+            if (share < 0.0 || share > 1.0)
+                return fail(where + " evidence failed_share is "
+                            "outside [0, 1]");
+            if (ev.at("peak_waiters").asInt() < 0 ||
+                ev.at("storms").asInt() < 0)
+                return fail(where + " evidence counters are negative");
+            ++evidence_cells;
+        }
         std::string key =
             c.at("primitive").asString() + "/" +
             c.at("scheduler").asString() + "/" +
@@ -670,8 +705,163 @@ checkLitmusMatrix(const Json &doc, std::int64_t expected_cells)
     os << "OK (litmus, " << cells.size() << " cells";
     for (const auto &[name, count] : outcome_counts)
         os << ", " << count << " " << name;
+    if (evidence_cells != 0)
+        os << ", " << evidence_cells << " with contention evidence";
     os << ")";
     CheckResult r;
+    r.message = os.str();
+    return r;
+}
+
+namespace {
+
+/** Shared by the totals block and each per-address entry. */
+CheckResult
+checkSyncCounters(const Json &obj, const std::string &where)
+{
+    for (const char *k : {"atomics", "cas_attempts", "cas_failures",
+                          "failed_share", "acquires", "releases",
+                          "timed_atomics", "local_atomics",
+                          "remote_atomics", "wait_cycles",
+                          "peak_waiters", "backoff_enters",
+                          "sib_confirms"}) {
+        if (!obj.has(k) || !obj.at(k).isNumber())
+            return fail(where + " lacks numeric \"" + k + "\"");
+        if (obj.at(k).asDouble() < 0)
+            return fail(where + " \"" + k + "\" is negative");
+    }
+    const std::int64_t atomics = obj.at("atomics").asInt();
+    const std::int64_t attempts = obj.at("cas_attempts").asInt();
+    const std::int64_t failures = obj.at("cas_failures").asInt();
+    if (failures > attempts)
+        return fail(where + " has more CAS failures than attempts");
+    if (attempts > atomics)
+        return fail(where + " has more CAS attempts than atomics");
+    const double share = obj.at("failed_share").asDouble();
+    if (share < 0.0 || share > 1.0)
+        return fail(where + " failed_share is outside [0, 1]");
+    if (obj.at("local_atomics").asInt() +
+            obj.at("remote_atomics").asInt() !=
+        obj.at("timed_atomics").asInt())
+        return fail(where + " local + remote atomics do not fold to "
+                    "timed_atomics");
+    return CheckResult{};
+}
+
+/** A log2 latency histogram: <= 32 non-negative integer buckets. */
+CheckResult
+checkSyncHistogram(const Json &arr, const std::string &where)
+{
+    if (arr.type() != Json::Type::Array)
+        return fail(where + " is not an array");
+    if (arr.size() > 32)
+        return fail(where + " has more than 32 buckets");
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (!arr.at(i).isNumber() || arr.at(i).asInt() < 0)
+            return fail(where + " bucket " + std::to_string(i) +
+                        " is not a non-negative integer");
+    }
+    return CheckResult{};
+}
+
+}  // namespace
+
+CheckResult
+checkSyncReport(const Json &doc)
+{
+    // --- header -------------------------------------------------------
+    for (const char *k : {"version", "top_n", "storm_window", "totals",
+                          "addresses"}) {
+        if (!doc.has(k))
+            return fail(std::string("sync report lacks \"") + k + "\"");
+    }
+    if (doc.at("version").asInt() != 1)
+        return fail("unsupported sync report version");
+    const std::int64_t top_n = doc.at("top_n").asInt();
+    if (top_n <= 0 || doc.at("storm_window").asInt() <= 0)
+        return fail("top_n and storm_window must be positive");
+
+    // --- totals -------------------------------------------------------
+    const Json &totals = doc.at("totals");
+    if (totals.type() != Json::Type::Object)
+        return fail("\"totals\" is not an object");
+    for (const char *k : {"tracked_addresses", "contended_lines",
+                          "storms"}) {
+        if (!totals.has(k) || !totals.at(k).isNumber() ||
+            totals.at(k).asInt() < 0)
+            return fail(std::string("totals lacks non-negative \"") + k +
+                        "\"");
+    }
+    CheckResult r = checkSyncCounters(totals, "totals");
+    if (!r.ok)
+        return r;
+    if (totals.at("contended_lines").asInt() >
+        totals.at("tracked_addresses").asInt())
+        return fail("more contended lines than tracked addresses");
+
+    // --- addresses: schema and hottest-first order --------------------
+    const Json &addrs = doc.at("addresses");
+    if (addrs.type() != Json::Type::Array)
+        return fail("\"addresses\" is not an array");
+    if (addrs.size() > static_cast<std::size_t>(top_n))
+        return fail("addresses array exceeds top_n");
+    std::int64_t prev_failures = -1;
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        const Json &a = addrs.at(i);
+        const std::string where = "address " + std::to_string(i);
+        for (const char *k : {"addr", "line"}) {
+            if (!a.has(k) ||
+                a.at(k).asString().compare(0, 2, "0x") != 0)
+                return fail(where + " lacks hex \"" + k + "\"");
+        }
+        r = checkSyncCounters(a, where);
+        if (!r.ok)
+            return r;
+        for (const char *k :
+             {"acquire_latency", "hold_cycles", "handoff_cycles"}) {
+            if (!a.has(k))
+                return fail(where + " lacks \"" + k + "\"");
+            r = checkSyncHistogram(a.at(k), where + " " + k);
+            if (!r.ok)
+                return r;
+        }
+        if (!a.has("fairness") ||
+            a.at("fairness").type() != Json::Type::Object)
+            return fail(where + " lacks a \"fairness\" object");
+        const Json &f = a.at("fairness");
+        for (const char *k : {"warps", "max", "mean", "gini"}) {
+            if (!f.has(k) || !f.at(k).isNumber())
+                return fail(where + " fairness lacks numeric \"" + k +
+                            "\"");
+        }
+        const double gini = f.at("gini").asDouble();
+        if (gini < 0.0 || gini > 1.0)
+            return fail(where + " fairness gini is outside [0, 1]");
+        if (!a.has("storm_count") || !a.has("storms") ||
+            a.at("storms").type() != Json::Type::Array)
+            return fail(where + " lacks storm fields");
+        const Json &storms = a.at("storms");
+        for (std::size_t s = 0; s < storms.size(); ++s) {
+            const Json &iv = storms.at(s);
+            if (!iv.has("from") || !iv.has("to") ||
+                iv.at("from").asInt() < 0 ||
+                iv.at("from").asInt() > iv.at("to").asInt())
+                return fail(where + " storm " + std::to_string(s) +
+                            " has an illegal interval");
+        }
+        const std::int64_t failures = a.at("cas_failures").asInt();
+        if (prev_failures >= 0 && failures > prev_failures)
+            return fail("addresses are not sorted hottest-first at "
+                        "entry " +
+                        std::to_string(i));
+        prev_failures = failures;
+    }
+
+    std::ostringstream os;
+    os << "OK (sync-report, " << addrs.size() << " addresses, "
+       << totals.at("cas_attempts").asInt() << " CAS attempts, "
+       << totals.at("cas_failures").asInt() << " failed)";
+    r = CheckResult{};
     r.message = os.str();
     return r;
 }

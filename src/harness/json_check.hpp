@@ -93,6 +93,20 @@ CheckResult checkMetricsSeries(const Json &doc,
 CheckResult checkLitmusMatrix(const Json &doc,
                               std::int64_t expected_cells = -1);
 
+/**
+ * Validates a sync-contention report (--sync-report, docs/SYNC.md):
+ *  - version 1 header with positive top_n and storm_window;
+ *  - a "totals" block with consistent counters (cas_failures <=
+ *    cas_attempts <= atomics, failed_share in [0, 1], local + remote
+ *    timed atomics folding to timed_atomics);
+ *  - an "addresses" array (at most top_n entries, sorted hottest-first
+ *    by failed CAS count) in which each entry carries the same
+ *    counter invariants, log2 histograms of at most 32 non-negative
+ *    buckets, a fairness block with gini in [0, 1], and storm
+ *    intervals with from <= to.
+ */
+CheckResult checkSyncReport(const Json &doc);
+
 }  // namespace bowsim::harness
 
 #endif  // BOWSIM_HARNESS_JSON_CHECK_HPP

@@ -1,6 +1,8 @@
 #include "src/harness/litmus.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <sstream>
 
 #include "src/common/log.hpp"
 #include "src/harness/sweep.hpp"
@@ -8,6 +10,7 @@
 #include "src/sim/gpu.hpp"
 #include "src/sim/sm_core.hpp"
 #include "src/sync/sync_kernels.hpp"
+#include "src/syncprof/syncprof.hpp"
 
 namespace bowsim::harness {
 
@@ -217,6 +220,18 @@ LitmusCellResult
 runLitmusCell(const LitmusCell &cell, Gpu &gpu)
 {
     LitmusCellResult r;
+    // Contention evidence: cycle-mode cells run with a sync profiler
+    // attached so the artifact can attribute the outcome to a concrete
+    // address. An externally attached registry (--sync-report) is
+    // reused; otherwise a cell-local one is attached for the duration.
+    std::unique_ptr<syncprof::SyncProfileRegistry> local;
+    syncprof::SyncProfileRegistry *reg = gpu.syncProf();
+    if (reg == nullptr && gpu.config().execMode == ExecMode::Cycle) {
+        local = std::make_unique<syncprof::SyncProfileRegistry>(
+            cell.cfg.syncTopN, cell.cfg.syncStormWindow);
+        reg = local.get();
+        gpu.setSyncProf(reg);
+    }
     auto harness = sync::makeSyncKernel(cell.primitive, cell.geometry);
     try {
         r.stats = harness->run(gpu);
@@ -236,6 +251,21 @@ runLitmusCell(const LitmusCell &cell, Gpu &gpu)
         r.stats.kernel = harness->name();
         r.outcome = classifySyncAbort(abort, gpu.config(), message);
     }
+    if (reg != nullptr) {
+        const auto hot = reg->hotAddresses(1);
+        if (!hot.empty()) {
+            const syncprof::AddrSummary &a = hot.front();
+            r.hasEvidence = true;
+            r.evidenceAddr = a.addr;
+            r.evidenceCasAttempts = a.casAttempts;
+            r.evidenceCasFailures = a.casFailures;
+            r.evidenceFailedShare = a.failedShare();
+            r.evidencePeakWaiters = a.peakWaiters;
+            r.evidenceStorms = a.stormCount;
+        }
+    }
+    if (local)
+        gpu.setSyncProf(nullptr);
     return r;
 }
 
@@ -327,6 +357,21 @@ litmusToJson(const std::string &bench_name, const LitmusOptions &opts,
         c.set("outcome", std::string(toString(r.outcome)));
         if (!r.detail.empty())
             c.set("detail", r.detail);
+        if (r.hasEvidence) {
+            // Deterministic across --sm-threads/--jobs/idle-skip like
+            // the rest of the document (the profiler hooks the
+            // committed instruction stream).
+            Json ev = Json::object();
+            std::ostringstream hex;
+            hex << "0x" << std::hex << r.evidenceAddr;
+            ev.set("addr", hex.str());
+            ev.set("cas_attempts", r.evidenceCasAttempts);
+            ev.set("cas_failures", r.evidenceCasFailures);
+            ev.set("failed_share", r.evidenceFailedShare);
+            ev.set("peak_waiters", r.evidencePeakWaiters);
+            ev.set("storms", r.evidenceStorms);
+            c.set("evidence", std::move(ev));
+        }
         c.set("config", litmusConfigToJson(cell.cfg));
         c.set("stats", statsToJson(r.stats));
         arr.push(std::move(c));

@@ -108,6 +108,22 @@ struct LitmusCellResult {
     KernelStats stats;
     /** The SimError message for non-completed outcomes; empty else. */
     std::string detail;
+    /**
+     * Machine-checked contention evidence (docs/SYNC.md): the hottest
+     * sync address the cell touched, from the sync profiler attached by
+     * runLitmusCell on cycle-mode cells. json_check --litmus requires
+     * it on every livelocked cycle-mode cell, so "livelocked" is never
+     * a bare classification — the artifact names the address and the
+     * failed-CAS share behind it. False when the profiler saw no
+     * atomics (functional/sampled modes, or an atomics-free cell).
+     */
+    bool hasEvidence = false;
+    Addr evidenceAddr = 0;
+    std::uint64_t evidenceCasAttempts = 0;
+    std::uint64_t evidenceCasFailures = 0;
+    double evidenceFailedShare = 0.0;
+    unsigned evidencePeakWaiters = 0;
+    std::uint64_t evidenceStorms = 0;
 };
 
 /** The matrix to run: axis lists plus the shared base configuration. */

@@ -12,8 +12,11 @@
 #include "src/kernels/registry.hpp"
 #include "src/metrics/sampler.hpp"
 #include "src/sim/gpu.hpp"
+#include "src/syncprof/syncprof.hpp"
 #include "src/trace/chrome_exporter.hpp"
 #include "src/trace/ring_recorder.hpp"
+
+#include <fstream>
 
 namespace bowsim::harness {
 
@@ -38,14 +41,29 @@ runPoint(const SweepPoint &point)
 {
     SweepResult r;
     std::unique_ptr<trace::RingRecorder> recorder;
-    if (!point.tracePath.empty() && !point.body)
+    if (!point.tracePath.empty() && !point.body) {
         recorder = std::make_unique<trace::RingRecorder>();
+        if (!point.traceFilter.empty()) {
+            std::uint32_t mask = 0;
+            if (!trace::parseCategoryFilter(point.traceFilter, &mask)) {
+                r.error = "bad --trace-filter '" + point.traceFilter + "'";
+                return r;
+            }
+            recorder->setFilter(mask);
+        }
+    }
     std::unique_ptr<metrics::MetricsSampler> sampler;
     if (!point.metricsPath.empty() && !point.body) {
         const Cycle interval =
             point.cfg.metricsInterval ? point.cfg.metricsInterval : 1000;
         sampler = std::make_unique<metrics::MetricsSampler>(
             interval, point.metricsPath);
+    }
+    std::unique_ptr<syncprof::SyncProfileRegistry> syncreg;
+    if ((!point.syncReportPath.empty() || point.syncProfile) &&
+        !point.body) {
+        syncreg = std::make_unique<syncprof::SyncProfileRegistry>(
+            point.cfg.syncTopN, point.cfg.syncStormWindow);
     }
     try {
         if (point.body) {
@@ -56,6 +74,8 @@ runPoint(const SweepPoint &point)
                 gpu.setTraceSink(recorder.get());
             if (sampler)
                 gpu.setMetrics(sampler.get());
+            if (syncreg)
+                gpu.setSyncProf(syncreg.get());
             r.stats = point.gpuBody
                           ? point.gpuBody(gpu)
                           : makeBenchmark(point.kernel, point.scale)
@@ -66,6 +86,26 @@ runPoint(const SweepPoint &point)
         r.error = e.what();
     } catch (...) {
         r.error = "unknown error";
+    }
+    if (syncreg) {
+        r.syncProfileText = syncreg->hotReport();
+        if (!point.syncReportPath.empty()) {
+            // Written even on failure: a livelocked point's contention
+            // report is the one worth reading.
+            try {
+                std::ofstream out(point.syncReportPath);
+                if (!out) {
+                    fatal("cannot write sync report '",
+                          point.syncReportPath, "'");
+                }
+                out << syncreg->reportJson().dump(2) << "\n";
+            } catch (const std::exception &e) {
+                if (r.ok) {
+                    r.ok = false;
+                    r.error = e.what();
+                }
+            }
+        }
     }
     if (sampler) {
         // Like the trace below: written even on failure, so the series
@@ -107,8 +147,9 @@ SweepRunner::execPoint(const SweepPoint &point) const
         return runPoint(point);
 
     // A cache hit would not regenerate side-output files, so points
-    // with a trace or metrics path always simulate.
-    if (!point.tracePath.empty() || !point.metricsPath.empty()) {
+    // with a trace, metrics or sync-report output always simulate.
+    if (!point.tracePath.empty() || !point.metricsPath.empty() ||
+        !point.syncReportPath.empty() || point.syncProfile) {
         if (cache_)
             cache_->countBypassed();
         return runPoint(point);

@@ -64,6 +64,14 @@ struct SweepPoint {
      */
     std::string tracePath;
     /**
+     * Optional trace category filter ("sync,mem", ...; see
+     * trace::parseCategoryFilter and docs/TRACING.md) applied to the
+     * recorder when tracePath is set; events outside the selected
+     * categories never enter the ring, deepening the retained window.
+     * Empty records everything. An unparseable filter fails the point.
+     */
+    std::string traceFilter;
+    /**
      * When set, the point runs with a MetricsSampler attached (interval
      * cfg.metricsInterval, or 1000 when that is 0) and writes the
      * sampled time series here (CSV for a ".csv" suffix, else JSON; see
@@ -72,6 +80,23 @@ struct SweepPoint {
      * points; `gpuBody` points sample fine.
      */
     std::string metricsPath;
+    /**
+     * When set, the point runs with a sync-contention profiler attached
+     * (Gpu::setSyncProf; docs/SYNC.md) and writes its JSON report —
+     * top-N hot addresses, latency histograms, fairness, storm
+     * intervals — here, validated by `json_check --sync-report`.
+     * Written even when the point fails (a livelocked point's report is
+     * the interesting one). Deterministic: byte-identical across
+     * --sm-threads, --jobs and idle-skip. Ignored (with a warning from
+     * runSweep) for `body` points, like metricsPath.
+     */
+    std::string syncReportPath;
+    /**
+     * Attach a sync profiler even without a syncReportPath so the
+     * --profile report can include its "hot sync objects" section
+     * (SweepResult::syncProfileText). Implied by syncReportPath.
+     */
+    bool syncProfile = false;
     /**
      * Opt-in content key for `gpuBody` points (ignored otherwise). The
      * runner cannot see inside a gpuBody closure, so such a point is
@@ -95,6 +120,9 @@ struct SweepResult {
     /** Exception message when !ok. */
     std::string error;
     Source source = Source::Simulated;
+    /** "Hot sync objects" text for the --profile report (points run
+     *  with SweepPoint::syncProfile; empty otherwise). */
+    std::string syncProfileText;
 };
 
 /**

@@ -67,7 +67,7 @@ MemorySystem::request(const MemPacket &pkt, Cycle now)
     unsigned bank = static_cast<unsigned>(
         (lineBase(pkt.line) / kLineBytes) % banks_.size());
     Cycle bank_done;
-    if (!tracer_.enabled()) {
+    if (!tracer_.enabled() && !sync_.enabled()) {
         bank_done = banks_[bank].access(pkt, arrival);
     } else {
         L2Bank::AccessInfo info;
@@ -76,6 +76,7 @@ MemorySystem::request(const MemPacket &pkt, Cycle now)
             tracer_.emit(now, pkt.smId, -1,
                          trace::EventKind::AtomicSerialize, pkt.line,
                          info.waited);
+            sync_.onTimedAtomic(pkt.line, info.waited, /*remote=*/false);
         }
         if (info.miss) {
             tracer_.emit(now, pkt.smId, -1, trace::EventKind::L2Miss,
@@ -100,7 +101,7 @@ MemorySystem::remoteRequest(const MemPacket &pkt, Cycle now,
     const Cycle arrival = link_->traverse(deviceId_, home, now);
     ++linkPackets_;
     Cycle bank_done;
-    if (!tracer_.enabled()) {
+    if (!tracer_.enabled() && !sync_.enabled()) {
         bank_done = h.bankAccess(pkt, arrival);
     } else {
         L2Bank::AccessInfo info;
@@ -109,6 +110,7 @@ MemorySystem::remoteRequest(const MemPacket &pkt, Cycle now,
             tracer_.emit(now, pkt.smId, -1,
                          trace::EventKind::AtomicSerialize, pkt.line,
                          info.waited);
+            sync_.onTimedAtomic(pkt.line, info.waited, /*remote=*/true);
         }
         if (info.miss) {
             tracer_.emit(now, pkt.smId, -1, trace::EventKind::L2Miss,

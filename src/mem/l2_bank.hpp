@@ -11,6 +11,7 @@
 #include "src/mem/dram.hpp"
 #include "src/mem/interconnect.hpp"
 #include "src/mem/system_link.hpp"
+#include "src/syncprof/syncprof.hpp"
 #include "src/trace/trace.hpp"
 
 /**
@@ -140,6 +141,15 @@ class MemorySystem {
     void setTrace(trace::Tracer t) { tracer_ = t; }
 
     /**
+     * Attaches the launch's sync-contention profiler (docs/SYNC.md).
+     * Atomic packets report their bank wait and the local/remote split
+     * to the registry, keyed by the byte address the packet carries
+     * (atomics serialize per address, so pkt.line is the byte address —
+     * the same key the functional hooks use).
+     */
+    void setSyncProf(syncprof::SyncProf s) { sync_ = s; }
+
+    /**
      * Wires this device's memory system into a multi-device system:
      * @p link is the shared inter-device fabric, @p peers the per-device
      * memory systems indexed by device id (including this one at
@@ -178,6 +188,7 @@ class MemorySystem {
     Interconnect toMem_;
     Interconnect toSm_;
     trace::Tracer tracer_;
+    syncprof::SyncProf sync_;
     SystemLink *link_ = nullptr;
     MemorySystem *const *peers_ = nullptr;
     unsigned deviceId_ = 0;

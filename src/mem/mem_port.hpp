@@ -51,6 +51,7 @@ struct CommitEntry {
         GlobalLoad,    ///< functional global-memory load
         GlobalStore,   ///< functional global-memory store
         GlobalAtomic,  ///< functional read-modify-write
+        SyncEvent,     ///< sync-profiler BOWS/DDOS transition
     };
 
     Kind kind = Kind::Trace;
@@ -91,6 +92,22 @@ class CommitQueue {
         CommitEntry e;
         e.kind = CommitEntry::Kind::MemRequest;
         e.req = req;
+        entries_.push_back(e);
+    }
+
+    /**
+     * Stages a BOWS/DDOS transition for the sync profiler. Reuses the
+     * TraceEvent payload (kind = BackoffEnter / SibConfirm, a0 = global
+     * warp key) so the registry sees the transition at the same point in
+     * the drain order as the inline path's direct call — after the
+     * warp's own preceding failed CAS, before its next one.
+     */
+    void
+    pushSyncEvent(const trace::TraceEvent &ev)
+    {
+        CommitEntry e;
+        e.kind = CommitEntry::Kind::SyncEvent;
+        e.ev = ev;
         entries_.push_back(e);
     }
 

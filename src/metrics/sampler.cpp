@@ -9,6 +9,7 @@
 #include "src/mem/l2_bank.hpp"
 #include "src/sim/sm_core.hpp"
 #include "src/stats/stats.hpp"
+#include "src/syncprof/syncprof.hpp"
 
 namespace bowsim::metrics {
 
@@ -82,7 +83,8 @@ MetricsSampler::MetricsSampler(Cycle interval, std::string path)
 }
 
 void
-MetricsSampler::defineColumns(unsigned num_cores, unsigned num_devices)
+MetricsSampler::defineColumns(unsigned num_cores, unsigned num_devices,
+                              bool has_sync)
 {
     reg_.define("cycle", Kind::Counter);
     reg_.define("launch", Kind::Counter);
@@ -124,6 +126,15 @@ MetricsSampler::defineColumns(unsigned num_cores, unsigned num_devices)
                         Kind::Counter);
         }
     }
+    // Sync-contention columns (docs/SYNC.md); absent unless a profiler
+    // is attached, so default schemas stay byte-identical. Gauges, not
+    // counters: the registry outlives launches, so its totals are
+    // already absolute and must not be re-based at launch boundaries.
+    if (has_sync) {
+        reg_.define("sync_contended_lines", Kind::Gauge);
+        reg_.define("sync_failed_cas_share", Kind::Rate);
+        reg_.define("sync_peak_waiters", Kind::Gauge);
+    }
     const unsigned per_device = num_cores / num_devices;
     for (unsigned sm = 0; sm < num_cores; ++sm) {
         std::string p;
@@ -146,19 +157,23 @@ MetricsSampler::defineColumns(unsigned num_cores, unsigned num_devices)
 
 void
 MetricsSampler::beginLaunch(const std::string &kernel, unsigned num_cores,
-                            unsigned num_devices)
+                            unsigned num_devices, bool has_sync)
 {
     if (num_devices == 0)
         num_devices = 1;
     if (reg_.size() == 0) {
         numCores_ = num_cores;
         numDevices_ = num_devices;
-        extraCols_ = num_devices > 1 ? 1 + num_devices : 0;
-        defineColumns(num_cores, num_devices);
-    } else if (num_cores != numCores_ || num_devices != numDevices_) {
+        hasSync_ = has_sync;
+        linkCols_ = num_devices > 1 ? 1 + num_devices : 0;
+        extraCols_ = linkCols_ + (has_sync ? 3 : 0);
+        defineColumns(num_cores, num_devices, has_sync);
+    } else if (num_cores != numCores_ || num_devices != numDevices_ ||
+               has_sync != hasSync_) {
         fatal("metrics sampler reused across launches with ", num_cores,
-              " cores / ", num_devices, " devices (schema built for ",
-              numCores_, " / ", numDevices_, ")");
+              " cores / ", num_devices, " devices / sync=", has_sync,
+              " (schema built for ", numCores_, " / ", numDevices_,
+              " / sync=", hasSync_, ")");
     }
     kernels_.push_back(kernel);
 }
@@ -221,12 +236,22 @@ MetricsSampler::collectLocal(Cycle now, const SampleSources &src) const
     local[kIcntPackets] = static_cast<double>(mem.icntPackets);
     local[kAtomics] = static_cast<double>(mem.atomics);
     local[kAtomicWaitCycles] = static_cast<double>(mem.atomicWaitCycles);
-    if (extraCols_ != 0) {
+    if (linkCols_ != 0) {
         local[kNumAggCols] = static_cast<double>(mem.linkPackets);
         for (std::size_t d = 0; d < per_dev_mem.size(); ++d) {
             local[kNumAggCols + 1 + d] =
                 static_cast<double>(per_dev_mem[d].linkPackets);
         }
+    }
+    if (hasSync_ && src.sync != nullptr) {
+        const std::size_t b = kNumAggCols + linkCols_;
+        const std::uint64_t attempts = src.sync->casAttempts();
+        const std::uint64_t failures = src.sync->casFailures();
+        local[b + 0] = static_cast<double>(src.sync->contendedLines());
+        local[b + 1] = attempts == 0 ? 0.0
+                                     : static_cast<double>(failures) /
+                                           static_cast<double>(attempts);
+        local[b + 2] = static_cast<double>(src.sync->peakWaiters());
     }
 
     // Per-SM state: all SM-private and settled at the commit barrier.

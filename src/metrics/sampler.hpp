@@ -34,6 +34,10 @@ class MemorySystem;
 struct KernelStats;
 }  // namespace bowsim
 
+namespace bowsim::syncprof {
+class SyncProfileRegistry;
+}
+
 namespace bowsim::metrics {
 
 /** Where sample() reads from; everything is owned by Gpu::launch.
@@ -50,6 +54,10 @@ struct SampleSources {
     const std::vector<std::unique_ptr<KernelStats>> *shards = nullptr;
     /** Per-device memory systems (device-id order). */
     std::vector<const MemorySystem *> memsys;
+    /** Sync-contention profiler, when one is attached (docs/SYNC.md);
+     *  feeds the sync_* columns. Read at the commit barrier like every
+     *  other source, so the values are settled and deterministic. */
+    const syncprof::SyncProfileRegistry *sync = nullptr;
 };
 
 class MetricsSampler {
@@ -67,11 +75,12 @@ class MetricsSampler {
      * count — and @p num_devices; neither may change between launches
      * of one sampler). Multi-device schemas insert link-traffic columns
      * after the aggregate block and prefix per-SM blocks with the
-     * device, e.g. "d1.sm0."; single-device schemas are byte-identical
-     * to the pre-device-split layout.
+     * device, e.g. "d1.sm0."; @p has_sync appends the sync_* columns
+     * after the link block. Default schemas (single device, no sync
+     * profiler) are byte-identical to the pre-device-split layout.
      */
     void beginLaunch(const std::string &kernel, unsigned num_cores,
-                     unsigned num_devices = 1);
+                     unsigned num_devices = 1, bool has_sync = false);
 
     /**
      * Launch-local cycle of the next due sample (the global grid point
@@ -107,7 +116,8 @@ class MetricsSampler {
     std::vector<double> collectLocal(Cycle now,
                                      const SampleSources &src) const;
     void emitRow(Cycle now, const std::vector<double> &local);
-    void defineColumns(unsigned num_cores, unsigned num_devices);
+    void defineColumns(unsigned num_cores, unsigned num_devices,
+                       bool has_sync);
     /** First column of the per-SM block for flat (device-major) SM
      *  index @p sm. */
     std::size_t smColBase(unsigned sm) const;
@@ -118,9 +128,13 @@ class MetricsSampler {
     std::vector<std::string> kernels_;
     unsigned numCores_ = 0;
     unsigned numDevices_ = 1;
-    /** Link-traffic columns between the aggregate and per-SM blocks
-     *  (0 single-device; 1 aggregate + one per device otherwise). */
+    /** Columns between the aggregate and per-SM blocks: link-traffic
+     *  (0 single-device; 1 aggregate + one per device otherwise) plus
+     *  the sync_* block (3 when a sync profiler is attached). */
     std::size_t extraCols_ = 0;
+    /** Link-traffic share of extraCols_ (sync columns follow it). */
+    std::size_t linkCols_ = 0;
+    bool hasSync_ = false;
 
     /** Simulated cycles consumed by completed launches (grid anchor). */
     Cycle cycleBase_ = 0;

@@ -89,6 +89,12 @@ GpuSystem::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
         dl.trace =
             trace::Tracer(traceSink_, static_cast<std::uint16_t>(d));
         dev.memsys.setTrace(dl.trace);
+        // One registry serves all devices (like the system lock
+        // tracker): lock words live in the shared functional memory, so
+        // attribution must be system-wide. The L2 handle feeds the
+        // local/remote split per requesting device.
+        dl.sync = syncprof::SyncProf(syncProf_);
+        dev.memsys.setSyncProf(dl.sync);
         dl.prog = &prog;
         dl.grid = grid;
         dl.block = block;
@@ -178,14 +184,15 @@ GpuSystem::launchCycle(const Program &prog, Dim3 grid, Dim3 block,
     // state is settled in every execution mode — whenever the clock has
     // reached the sampler's next grid cycle. kNeverCycle keeps the
     // detached fast path to a single always-false compare per cycle.
-    metrics::SampleSources msrc{&cores, {}, &shards, {}};
+    metrics::SampleSources msrc{&cores, {}, &shards, {}, syncProf_};
     for (auto &dev : devices) {
         msrc.launchStats.push_back(&dev->launch.stats);
         msrc.memsys.push_back(&dev->memsys);
     }
     Cycle metricsNext = kNeverCycle;
     if (metrics_) {
-        metrics_->beginLaunch(prog.name, total_cores, num_devices);
+        metrics_->beginLaunch(prog.name, total_cores, num_devices,
+                              syncProf_ != nullptr);
         metricsNext = metrics_->nextSampleCycle();
     }
     // Clamp jump targets so a deadlocked kernel (horizon at infinity,

@@ -130,6 +130,26 @@ class GpuSystem {
         metrics_ = sampler;
     }
 
+    /**
+     * Attaches a sync-contention profiler to every subsequent launch
+     * (nullptr detaches; see docs/SYNC.md). Observational like tracing
+     * and, like the metrics sampler, compatible with idle-skip and the
+     * parallel compute phase: the functional hooks fire on the committed
+     * atomic/store path (whose order the phase-split contract pins), the
+     * timed hooks only accumulate commutative per-address sums, so the
+     * registry contents — and a --sync-report dump — are byte-identical
+     * across --sm-threads, --jobs, idle-skip and device count. Cycle
+     * mode only: functional and sampled launches leave the registry
+     * untouched.
+     */
+    void setSyncProf(syncprof::SyncProfileRegistry *registry)
+    {
+        syncProf_ = registry;
+    }
+
+    /** The attached sync profiler registry (nullptr when detached). */
+    syncprof::SyncProfileRegistry *syncProf() const { return syncProf_; }
+
     const GpuConfig &config() const { return cfg_; }
 
     /**
@@ -166,6 +186,7 @@ class GpuSystem {
     EnergyModel energy_;
     trace::TraceSink *traceSink_ = nullptr;
     metrics::MetricsSampler *metrics_ = nullptr;
+    syncprof::SyncProfileRegistry *syncProf_ = nullptr;
     /** Compute-phase worker pool (cfg_.smThreads > 1); persistent so
      *  repeated launches reuse the same threads. */
     std::unique_ptr<WorkerPool> pool_;

@@ -91,6 +91,13 @@ SmCore::SmCore(unsigned id, const GpuConfig &cfg, LaunchState &launch,
         launch_.buildPcFlags();  // idempotent; cores are built serially
     cawaAccounting_ = cfg.scheduler == SchedulerKind::CAWA;
     spinAccounting_ = cfg.collectSpinCycles;
+    // Sync profiling mirrors tracing: a launch-wide handle, one cached
+    // bool on the issue-path branch sites. Registry calls always run on
+    // the coordinator thread — the functional hooks fire at the enqueue
+    // point in inline mode and at the commit drain in phase-split mode,
+    // the BOWS/DDOS transitions are staged as SyncEvent entries.
+    sync_ = launch_.sync;
+    syncOn_ = sync_.enabled();
 
     // Tracing and stall attribution ride the same launch-wide handle.
     // Sizing the stall table here (cores are built serially) keeps
@@ -507,9 +514,21 @@ SmCore::executeAtomicLane(Warp &w, const Instruction &inst, unsigned lane,
                        : 0;
     // Warp key: the device-wide age offset by the device's key base —
     // globally unique across devices and nonzero.
+    const std::uint64_t warp_key = launch_.warpKeyBase + w.age() + 1;
     exec::AtomicResult r = exec::applyAtomicLane(
         *launch_.mem, launch_.locks(), inst, addr, operand, desired,
-        launch_.warpKeyBase + w.age() + 1);
+        warp_key);
+    if (syncOn_) {
+        // Release = an exchange (the TAS-family unlock) or a successful
+        // CAS that stored the free sentinel 0; plain-store unlocks reach
+        // the profiler through execGlobalStore's onWrite hook instead.
+        const bool failed = r.isCas && r.cas != CasOutcome::Success;
+        const bool releases =
+            inst.atom == AtomOp::Exch ||
+            (r.isCas && r.cas == CasOutcome::Success && desired == 0);
+        sync_.onAtomic(addr, warp_key, now_, r.isCas, failed, is_acquire,
+                       releases);
+    }
     if (r.isCas && is_acquire) {
         KernelStats &st = stats_;
         switch (r.cas) {
@@ -639,6 +658,8 @@ SmCore::execGlobalStore(Warp &w, const Instruction &inst, LaneMask exec,
         Word v = readOperand(w, inst.src[1], lane);
         mem.write(addrs[lane], v, inst.size);
         launch_.locks().onWrite(addrs[lane], v);
+        if (syncOn_)
+            sync_.onWrite(addrs[lane], now_);
     }
 }
 
@@ -714,11 +735,13 @@ SmCore::issue(Warp &w, Cycle now)
             // The warp will re-run the loop body: grow CAWA's remaining-
             // work estimate (this is the spin-prioritization pathology).
             cawa.estRemaining += static_cast<double>(pc - inst.target + 1);
-            if (!tracer_.enabled()) {
+            if (!tracer_.enabled() && !syncOn_) {
                 ddos_->onBackwardBranch(w.id(), pc, now);
             } else {
                 // Label newly confirmed SIBs against the kernel's
-                // ground-truth annotations for the detection stream.
+                // ground-truth annotations for the detection stream, and
+                // cross-attribute the confirmation to the sync address
+                // whose failed CAS provoked the spin.
                 const bool was_sib = ddos_->isSib(pc);
                 ddos_->onBackwardBranch(w.id(), pc, now);
                 if (!was_sib && ddos_->isSib(pc)) {
@@ -730,13 +753,28 @@ SmCore::issue(Warp &w, Cycle now)
                                  truth ? trace::EventKind::DetectTrue
                                        : trace::EventKind::DetectFalse,
                                  pc);
+                    if (syncOn_) {
+                        noteSyncTransition(trace::EventKind::SibConfirm,
+                                           w, now);
+                    }
                 }
             }
         }
         if (backward && taken != 0 && isSib(pc)) {
             sib_executed = true;
             ++st.sibInstructions;
-            backoff_.onSpinBranch(w, now);
+            if (!syncOn_) {
+                backoff_.onSpinBranch(w, now);
+            } else {
+                // Catch the not-backed-off -> backed-off edge so the
+                // profiler can charge the back-off to its sync address.
+                const bool was_off = w.bows().backedOff;
+                backoff_.onSpinBranch(w, now);
+                if (!was_off && w.bows().backedOff) {
+                    noteSyncTransition(trace::EventKind::BackoffEnter, w,
+                                       now);
+                }
+            }
         }
         w.stack().branch(inst, taken);
         break;
@@ -863,14 +901,40 @@ SmCore::dispatch(Cycle now)
 }
 
 void
+SmCore::noteSyncTransition(trace::EventKind kind, Warp &w, Cycle now)
+{
+    const std::uint64_t key = launch_.warpKeyBase + w.age() + 1;
+    if (deferCommit_) {
+        trace::TraceEvent ev;
+        ev.cycle = now;
+        ev.sm = id_;
+        ev.warp = static_cast<std::int32_t>(w.id());
+        ev.kind = kind;
+        ev.a0 = key;
+        queue_.pushSyncEvent(ev);
+    } else if (kind == trace::EventKind::BackoffEnter) {
+        sync_.onBackoffEnter(key, now);
+    } else {
+        sync_.onSibConfirm(key, now);
+    }
+}
+
+void
 SmCore::commit(Cycle now)
 {
     if (!deferCommit_ || queue_.empty())
         return;
+    now_ = now;  // executeAtomicLane stamps profiler events with now_
     for (const CommitEntry &e : queue_.entries()) {
         switch (e.kind) {
           case CommitEntry::Kind::Trace:
             launch_.trace.record(e.ev);
+            break;
+          case CommitEntry::Kind::SyncEvent:
+            if (e.ev.kind == trace::EventKind::BackoffEnter)
+                sync_.onBackoffEnter(e.ev.a0, e.ev.cycle);
+            else
+                sync_.onSibConfirm(e.ev.a0, e.ev.cycle);
             break;
           case CommitEntry::Kind::MemRequest:
             ldst_.commitRequest(e.req, now);

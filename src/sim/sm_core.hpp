@@ -15,6 +15,7 @@
 #include "src/sched/scheduler.hpp"
 #include "src/sim/ldst_unit.hpp"
 #include "src/stats/stats.hpp"
+#include "src/syncprof/syncprof.hpp"
 #include "src/trace/trace.hpp"
 
 /**
@@ -55,6 +56,9 @@ struct LaunchState {
     KernelStats stats;
     /** Event sink for this launch; the default Tracer is the null sink. */
     trace::Tracer trace;
+    /** Sync-contention profiler handle (docs/SYNC.md); default null. The
+     *  registry, like the system lock tracker, is shared by all devices. */
+    syncprof::SyncProf sync;
     /** Next CTA index awaiting an SM. */
     unsigned nextCta = 0;
     /**
@@ -236,6 +240,10 @@ class SmCore : private IssueGate {
     bool eligible(Warp &w) const override;
     void issue(Warp &w, Cycle now);
     bool isSib(Pc pc) const;
+    /** Routes a BOWS/DDOS transition to the sync profiler: staged as a
+     *  SyncEvent commit entry in phase-split mode (keeps the drain-order
+     *  determinism contract), applied directly in inline mode. */
+    void noteSyncTransition(trace::EventKind kind, Warp &w, Cycle now);
 
     /**
      * Why @p w cannot issue at now_ (mirrors eligible()'s check order).
@@ -359,6 +367,12 @@ class SmCore : private IssueGate {
     bool stallAccounting_ = false;
     /** Per-cycle spinning-warp attribution (GpuConfig::collectSpinCycles). */
     bool spinAccounting_ = false;
+    /** Launch-wide sync-profiler handle (null unless --sync-report or a
+     *  litmus evidence pass attached a registry). */
+    syncprof::SyncProf sync_;
+    /** Cached sync_.enabled() so the issue-path branch sites pay one
+     *  bool test, mirroring stallAccounting_. */
+    bool syncOn_ = false;
 };
 
 }  // namespace bowsim

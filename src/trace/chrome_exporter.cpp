@@ -29,7 +29,7 @@ phaseOf(EventKind kind)
 }
 
 const char *
-categoryOf(EventKind kind)
+chromeCategoryOf(EventKind kind)
 {
     switch (kind) {
       case EventKind::Fetch:
@@ -116,7 +116,7 @@ chromeEventJson(const TraceEvent &ev)
 {
     harness::Json j = harness::Json::object();
     j.set("name", toString(ev.kind));
-    j.set("cat", categoryOf(ev.kind));
+    j.set("cat", chromeCategoryOf(ev.kind));
     const char *ph = phaseOf(ev.kind);
     j.set("ph", ph);
     j.set("ts", ev.cycle);

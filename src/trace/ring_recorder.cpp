@@ -29,6 +29,8 @@ RingRecorder::RingRecorder(std::size_t capacity)
 void
 RingRecorder::emit(const TraceEvent &ev)
 {
+    if (filter_ != 0 && (categoryOf(ev.kind) & filter_) == 0)
+        return;
     ring_[next_] = ev;
     next_ = (next_ + 1) % capacity_;
     if (count_ < capacity_)

@@ -28,6 +28,15 @@ class RingRecorder : public TraceSink {
 
     void emit(const TraceEvent &ev) override;
 
+    /**
+     * Category filter (--trace-filter): events whose categoryOf() bit
+     * is not in @p mask are discarded before they reach the ring, so a
+     * filtered recording of a long run retains a deeper window of the
+     * categories that matter. 0 (the default) records everything.
+     */
+    void setFilter(std::uint32_t mask) { filter_ = mask; }
+    std::uint32_t filter() const { return filter_; }
+
     /** Retained events in emission order (oldest first). */
     std::vector<TraceEvent> events() const;
 
@@ -53,6 +62,7 @@ class RingRecorder : public TraceSink {
     std::size_t next_ = 0;   ///< slot the next event lands in
     std::size_t count_ = 0;  ///< valid slots
     std::uint64_t dropped_ = 0;
+    std::uint32_t filter_ = 0;  ///< category mask; 0 = record all
 };
 
 }  // namespace bowsim::trace

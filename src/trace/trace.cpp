@@ -44,4 +44,69 @@ toString(EventKind kind)
     return "unknown";
 }
 
+std::uint32_t
+categoryOf(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Fetch:
+      case EventKind::Issue:
+      case EventKind::Writeback:
+      case EventKind::IssueStall:
+        return static_cast<std::uint32_t>(Category::Pipe);
+      case EventKind::L1Miss:
+      case EventKind::MshrMerge:
+      case EventKind::L2Miss:
+      case EventKind::AtomicSerialize:
+        return static_cast<std::uint32_t>(Category::Mem);
+      case EventKind::SibConfirm:
+      case EventKind::SibEvict:
+      case EventKind::DetectTrue:
+      case EventKind::DetectFalse:
+        return static_cast<std::uint32_t>(Category::Ddos);
+      case EventKind::BackoffEnter:
+      case EventKind::BackoffExit:
+      case EventKind::BackoffCount:
+        return static_cast<std::uint32_t>(Category::Bows);
+      case EventKind::BarrierEnter:
+      case EventKind::BarrierExit:
+        return static_cast<std::uint32_t>(Category::Barrier);
+      case EventKind::kCount:
+        break;
+    }
+    return 0;
+}
+
+bool
+parseCategoryFilter(const std::string &text, std::uint32_t *mask)
+{
+    std::uint32_t m = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string tok = text.substr(pos, comma - pos);
+        if (tok == "pipe") {
+            m |= static_cast<std::uint32_t>(Category::Pipe);
+        } else if (tok == "mem") {
+            m |= static_cast<std::uint32_t>(Category::Mem);
+        } else if (tok == "ddos") {
+            m |= static_cast<std::uint32_t>(Category::Ddos);
+        } else if (tok == "bows") {
+            m |= static_cast<std::uint32_t>(Category::Bows);
+        } else if (tok == "barrier") {
+            m |= static_cast<std::uint32_t>(Category::Barrier);
+        } else if (tok == "sync") {
+            m |= static_cast<std::uint32_t>(Category::Ddos) |
+                 static_cast<std::uint32_t>(Category::Bows) |
+                 static_cast<std::uint32_t>(Category::Barrier);
+        } else {
+            return false;
+        }
+        pos = comma + 1;
+    }
+    *mask = m;
+    return m != 0;
+}
+
 }  // namespace bowsim::trace

@@ -2,6 +2,7 @@
 #define BOWSIM_TRACE_TRACE_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "src/common/types.hpp"
 
@@ -77,6 +78,32 @@ const char *toString(StallCause cause);
 
 /** Short stable identifier, e.g. "issue" (Chrome event names). */
 const char *toString(EventKind kind);
+
+/**
+ * Event categories for --trace-filter (docs/TRACING.md): each EventKind
+ * belongs to exactly one category; a filter is a bitmask of them. The
+ * "sync" filter token selects Ddos|Bows|Barrier — the spin-detection
+ * and back-off machinery plus barriers, i.e. everything synchronization
+ * — so sync-focused traces of long litmus runs stay small.
+ */
+enum class Category : std::uint32_t {
+    Pipe = 1u << 0,     ///< Fetch/Issue/Writeback/IssueStall
+    Mem = 1u << 1,      ///< L1Miss/MshrMerge/L2Miss/AtomicSerialize
+    Ddos = 1u << 2,     ///< SibConfirm/SibEvict/DetectTrue/DetectFalse
+    Bows = 1u << 3,     ///< BackoffEnter/BackoffExit/BackoffCount
+    Barrier = 1u << 4,  ///< BarrierEnter/BarrierExit
+};
+
+/** The category bit of @p kind. */
+std::uint32_t categoryOf(EventKind kind);
+
+/**
+ * Parses a comma-separated --trace-filter list ("sync,mem", "pipe",
+ * ...) into a category bitmask. Tokens: pipe, mem, ddos, bows, barrier,
+ * and the alias sync (= ddos|bows|barrier). Returns false on an unknown
+ * or empty token; *mask is then unspecified.
+ */
+bool parseCategoryFilter(const std::string &text, std::uint32_t *mask);
 
 /** One fixed-size trace record (40 bytes; binary-dump friendly). */
 struct TraceEvent {

@@ -192,6 +192,79 @@ TEST(JsonCheckLitmus, ConfigBowsMismatchFails)
     EXPECT_NE(r.message.find("bows_enabled"), std::string::npos);
 }
 
+// --- per-cell contention evidence (docs/SYNC.md) ------------------------
+
+/** litmusDoc() with the first cell livelocked and carrying evidence. */
+Json
+evidenceDoc()
+{
+    harness::LitmusOptions opts = harness::defaultLitmusOptions();
+    opts.primitives = {sync::Primitive::TasLock};
+    opts.schedulers = {SchedulerKind::LRR};
+    opts.bowsModes = {false, true};
+    opts.occupancies = {harness::OccupancyLevel::Under};
+    const std::vector<harness::LitmusCell> cells =
+        harness::buildLitmusCells(opts);
+    std::vector<harness::LitmusCellResult> results(cells.size());
+    for (harness::LitmusCellResult &r : results)
+        r.outcome = harness::SyncOutcome::Completed;
+    results[0].outcome = harness::SyncOutcome::Livelocked;
+    results[0].hasEvidence = true;
+    results[0].evidenceAddr = 0x1f80;
+    results[0].evidenceCasAttempts = 1000;
+    results[0].evidenceCasFailures = 970;
+    results[0].evidenceFailedShare = 0.97;
+    results[0].evidencePeakWaiters = 15;
+    results[0].evidenceStorms = 2;
+    return harness::litmusToJson("litmus", opts, cells, results);
+}
+
+TEST(JsonCheckLitmus, LivelockedCellWithEvidencePasses)
+{
+    const harness::CheckResult r =
+        harness::checkLitmusMatrix(evidenceDoc(), 4);
+    EXPECT_TRUE(r.ok) << r.message;
+    EXPECT_NE(r.message.find("1 with contention evidence"),
+              std::string::npos);
+}
+
+TEST(JsonCheckLitmus, LivelockedCycleCellWithoutEvidenceFails)
+{
+    // A livelocked cycle-mode cell is a claim; the evidence block is
+    // the proof, so its absence fails the document.
+    const Json doc = mutated(litmusDoc(), "\"outcome\":\"completed\"",
+                             "\"outcome\":\"livelocked\"");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("evidence"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, EvidenceFailedShareOutOfRangeFails)
+{
+    const Json doc = mutated(evidenceDoc(), "\"failed_share\":0.97",
+                             "\"failed_share\":1.5");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("failed_share"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, EvidenceFailuresExceedingAttemptsFails)
+{
+    const Json doc = mutated(evidenceDoc(), "\"cas_failures\":970",
+                             "\"cas_failures\":1001");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("failures"), std::string::npos);
+}
+
+TEST(JsonCheckLitmus, EvidenceMissingFieldFails)
+{
+    const Json doc = mutated(evidenceDoc(), "\"peak_waiters\":15,", "");
+    const harness::CheckResult r = harness::checkLitmusMatrix(doc);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("peak_waiters"), std::string::npos);
+}
+
 // --- json_check: sweep cache blocks ------------------------------------
 
 /** A minimal valid sweep artifact with a "cache" block. */

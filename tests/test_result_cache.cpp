@@ -322,13 +322,50 @@ TEST(Fingerprint, StableAcrossCallsAndExcludedKnobs)
     EXPECT_EQ(a.hash.size(), 64u);
     EXPECT_EQ(a.hash, b.hash);
 
-    // The three contractual execution knobs (docs/PERF.md) must not
-    // move the key: results are byte-identical across them, so caching
-    // across them is exactly the point.
+    // The contractual execution knobs (docs/PERF.md) must not move the
+    // key: results are byte-identical across them, so caching across
+    // them is exactly the point. Each knob is mutated on its own so a
+    // regression names the offending field.
+    {
+        SweepPoint knobs = p;
+        knobs.cfg.idleSkip = !knobs.cfg.idleSkip;
+        EXPECT_EQ(harness::fingerprintPoint(knobs).hash, a.hash)
+            << "idleSkip";
+    }
+    {
+        SweepPoint knobs = p;
+        knobs.cfg.smThreads = 7;
+        EXPECT_EQ(harness::fingerprintPoint(knobs).hash, a.hash)
+            << "smThreads";
+    }
+    {
+        SweepPoint knobs = p;
+        knobs.cfg.metricsInterval = 12345;
+        EXPECT_EQ(harness::fingerprintPoint(knobs).hash, a.hash)
+            << "metricsInterval";
+    }
+    // The sync-profiler knobs shape the report, never the simulation
+    // (the profiler is observational by construction), so they are
+    // excluded like the metrics interval.
+    {
+        SweepPoint knobs = p;
+        knobs.cfg.syncTopN = 7;
+        EXPECT_EQ(harness::fingerprintPoint(knobs).hash, a.hash)
+            << "syncTopN";
+    }
+    {
+        SweepPoint knobs = p;
+        knobs.cfg.syncStormWindow = 16;
+        EXPECT_EQ(harness::fingerprintPoint(knobs).hash, a.hash)
+            << "syncStormWindow";
+    }
+    // And all of them together.
     SweepPoint knobs = p;
     knobs.cfg.idleSkip = !knobs.cfg.idleSkip;
     knobs.cfg.smThreads = 7;
     knobs.cfg.metricsInterval = 12345;
+    knobs.cfg.syncTopN = 7;
+    knobs.cfg.syncStormWindow = 16;
     EXPECT_EQ(harness::fingerprintPoint(knobs).hash, a.hash);
 }
 

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/json.hpp"
+#include "src/harness/json_check.hpp"
+#include "src/syncprof/syncprof.hpp"
+
+/**
+ * @file
+ * The sync-contention profiler (docs/SYNC.md): histogram bucketing
+ * edges, Gini degenerate cases, storm-detector hysteresis, the
+ * lock-session state machine (acquire/hold/hand-off latencies,
+ * fairness, cross-attribution), and the --sync-report document checked
+ * by json_check --sync-report.
+ */
+
+namespace bowsim {
+namespace {
+
+using harness::Json;
+using syncprof::SyncProfileRegistry;
+
+// --- log2 bucketing -----------------------------------------------------
+
+TEST(SyncProf, Log2BucketEdges)
+{
+    // Bucket 0 is exactly 0; bucket k >= 1 covers [2^(k-1), 2^k).
+    EXPECT_EQ(syncprof::log2Bucket(0), 0u);
+    EXPECT_EQ(syncprof::log2Bucket(1), 1u);
+    EXPECT_EQ(syncprof::log2Bucket(2), 2u);
+    EXPECT_EQ(syncprof::log2Bucket(3), 2u);
+    EXPECT_EQ(syncprof::log2Bucket(4), 3u);
+    EXPECT_EQ(syncprof::log2Bucket(7), 3u);
+    EXPECT_EQ(syncprof::log2Bucket(8), 4u);
+    EXPECT_EQ(syncprof::log2Bucket(1023), 10u);
+    EXPECT_EQ(syncprof::log2Bucket(1024), 11u);
+    // Everything past 2^30 saturates into the last bucket.
+    EXPECT_EQ(syncprof::log2Bucket(1ull << 30),
+              syncprof::kHistBuckets - 1);
+    EXPECT_EQ(syncprof::log2Bucket(~0ull), syncprof::kHistBuckets - 1);
+}
+
+TEST(SyncProf, LatencyHistCounts)
+{
+    syncprof::LatencyHist h;
+    h.add(0);
+    h.add(5);
+    h.add(5);
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[syncprof::log2Bucket(5)], 2u);
+}
+
+// --- Gini ---------------------------------------------------------------
+
+TEST(SyncProf, GiniDegenerateCasesAreZero)
+{
+    EXPECT_DOUBLE_EQ(syncprof::giniIndex({}), 0.0);
+    EXPECT_DOUBLE_EQ(syncprof::giniIndex({7}), 0.0);
+    EXPECT_DOUBLE_EQ(syncprof::giniIndex({0, 0, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(syncprof::giniIndex({4, 4, 4, 4}), 0.0);
+}
+
+TEST(SyncProf, GiniOrdersByInequality)
+{
+    const double skewed = syncprof::giniIndex({1, 1, 1, 97});
+    const double mild = syncprof::giniIndex({20, 25, 25, 30});
+    EXPECT_GT(skewed, mild);
+    EXPECT_GT(skewed, 0.5);
+    EXPECT_LE(skewed, 1.0);
+    EXPECT_GE(mild, 0.0);
+    // One warp holding everything approaches (n-1)/n.
+    EXPECT_NEAR(syncprof::giniIndex({0, 0, 0, 100}), 0.75, 1e-9);
+}
+
+// --- the lock-session state machine -------------------------------------
+
+constexpr Addr kLock = 0x1000;
+
+/** acquire = CAS-success at an acquire PC; fail = failed CAS there;
+ *  release = exchange at the release PC. */
+void
+acquire(SyncProfileRegistry &reg, std::uint64_t warp, Cycle now)
+{
+    reg.onAtomic(kLock, warp, now, true, false, true, false);
+}
+
+void
+failAcquire(SyncProfileRegistry &reg, std::uint64_t warp, Cycle now)
+{
+    reg.onAtomic(kLock, warp, now, true, true, true, false);
+}
+
+void
+releaseLock(SyncProfileRegistry &reg, std::uint64_t warp, Cycle now)
+{
+    reg.onAtomic(kLock, warp, now, false, false, false, true);
+}
+
+TEST(SyncProf, SessionTracksAcquireHoldAndHandoff)
+{
+    SyncProfileRegistry reg;
+    acquire(reg, 1, 10);      // uncontended: acquire latency 0
+    failAcquire(reg, 2, 12);  // warp 2's session opens here
+    failAcquire(reg, 2, 14);
+    releaseLock(reg, 1, 20);  // warp 1 held 10 cycles
+    acquire(reg, 2, 24);      // contended acquire: 24 - 12 = 12
+
+    const auto hot = reg.hotAddresses(1);
+    ASSERT_EQ(hot.size(), 1u);
+    const syncprof::AddrSummary &s = hot.front();
+    EXPECT_EQ(s.addr, kLock);
+    EXPECT_EQ(s.atomics, 5u);
+    EXPECT_EQ(s.casAttempts, 4u);
+    EXPECT_EQ(s.casFailures, 2u);
+    EXPECT_EQ(s.acquires, 2u);
+    EXPECT_EQ(s.releases, 1u);
+    EXPECT_EQ(s.peakWaiters, 1u);
+    EXPECT_DOUBLE_EQ(s.failedShare(), 0.5);
+
+    const syncprof::Fairness f = reg.fairnessOf(kLock);
+    EXPECT_EQ(f.warps, 2u);
+    EXPECT_EQ(f.maxAcq, 1u);
+    EXPECT_DOUBLE_EQ(f.meanAcq, 1.0);
+    EXPECT_DOUBLE_EQ(f.gini, 0.0);
+
+    // The histograms landed in the right buckets: acquire latencies
+    // {0, 12}, hold {10}, hand-off {4} (release at 20, new owner at 24).
+    const Json doc = reg.reportJson();
+    const Json &a = doc.at("addresses").at(0);
+    EXPECT_EQ(a.at("acquire_latency").at(0).asInt(), 1);
+    EXPECT_EQ(a.at("acquire_latency")
+                  .at(syncprof::log2Bucket(12))
+                  .asInt(),
+              1);
+    EXPECT_EQ(a.at("hold_cycles").at(syncprof::log2Bucket(10)).asInt(),
+              1);
+    EXPECT_EQ(
+        a.at("handoff_cycles").at(syncprof::log2Bucket(4)).asInt(), 1);
+}
+
+TEST(SyncProf, PlainStoreReleasesTheLock)
+{
+    // Ticket/array locks release with a plain store, not an exchange.
+    SyncProfileRegistry reg;
+    acquire(reg, 1, 10);
+    reg.onWrite(kLock, 18);
+    acquire(reg, 2, 30);
+    const auto hot = reg.hotAddresses(1);
+    ASSERT_EQ(hot.size(), 1u);
+    EXPECT_EQ(hot.front().releases, 1u);
+    EXPECT_EQ(hot.front().acquires, 2u);
+    // Stores to never-atomically-touched addresses stay untracked.
+    reg.onWrite(0x9999, 20);
+    EXPECT_EQ(reg.trackedAddresses(), 1u);
+}
+
+TEST(SyncProf, BackoffAndSibAttributeToLastFailedAddress)
+{
+    SyncProfileRegistry reg;
+    failAcquire(reg, 7, 10);
+    reg.onBackoffEnter(7, 12);
+    reg.onSibConfirm(7, 14);
+    // A warp that never failed a CAS has no attribution target.
+    reg.onBackoffEnter(99, 12);
+    const auto hot = reg.hotAddresses(1);
+    ASSERT_EQ(hot.size(), 1u);
+    EXPECT_EQ(hot.front().backoffEnters, 1u);
+    EXPECT_EQ(hot.front().sibConfirms, 1u);
+}
+
+TEST(SyncProf, ContendedLinesCountFirstFailurePerLine)
+{
+    SyncProfileRegistry reg;
+    EXPECT_EQ(reg.contendedLines(), 0u);
+    acquire(reg, 1, 1);  // success alone is not contention
+    EXPECT_EQ(reg.contendedLines(), 0u);
+    failAcquire(reg, 2, 2);
+    failAcquire(reg, 2, 3);  // same line counted once
+    EXPECT_EQ(reg.contendedLines(), 1u);
+    reg.onAtomic(0x8000, 3, 4, true, true, true, false);
+    EXPECT_EQ(reg.contendedLines(), 2u);
+}
+
+TEST(SyncProf, HotAddressesRankByFailuresThenAttempts)
+{
+    SyncProfileRegistry reg;
+    // 0x3000: 2 failures; 0x2000: 1 failure, 2 attempts; 0x1000: 1
+    // failure, 1 attempt.
+    reg.onAtomic(0x3000, 1, 1, true, true, true, false);
+    reg.onAtomic(0x3000, 2, 2, true, true, true, false);
+    reg.onAtomic(0x2000, 1, 3, true, true, true, false);
+    reg.onAtomic(0x2000, 2, 4, true, false, true, false);
+    reg.onAtomic(0x1000, 1, 5, true, true, true, false);
+    const auto hot = reg.hotAddresses(3);
+    ASSERT_EQ(hot.size(), 3u);
+    EXPECT_EQ(hot[0].addr, 0x3000u);
+    EXPECT_EQ(hot[1].addr, 0x2000u);
+    EXPECT_EQ(hot[2].addr, 0x1000u);
+}
+
+// --- storm detector ------------------------------------------------------
+
+TEST(SyncProf, StormEntersAtNinetyPercentAndExitsBelowHalf)
+{
+    SyncProfileRegistry reg(4, /*storm_window=*/8);
+    // Seven failures in a full window of eight is below the 90%
+    // threshold: no storm yet.
+    acquire(reg, 1, 0);
+    for (int i = 0; i < 7; ++i)
+        failAcquire(reg, 2, 10 + i);
+    EXPECT_TRUE(reg.stormsOf(kLock).empty());
+    // The eighth consecutive failure fills the window at 8/8.
+    failAcquire(reg, 2, 20);
+    auto storms = reg.stormsOf(kLock);
+    ASSERT_EQ(storms.size(), 1u);  // open interval, reported to "now"
+    // Successes dilute the window; hysteresis keeps the storm open
+    // until the fill drops below 50%.
+    for (int i = 0; i < 4; ++i)
+        acquire(reg, 3, 30 + i);
+    EXPECT_EQ(reg.stormsOf(kLock).size(), 1u);
+    acquire(reg, 3, 40);  // popcount falls to 3 of 8: storm closes
+    storms = reg.stormsOf(kLock);
+    ASSERT_EQ(storms.size(), 1u);
+    EXPECT_LE(storms[0].fromAttempt, storms[0].toAttempt);
+    const auto hot = reg.hotAddresses(1);
+    ASSERT_EQ(hot.size(), 1u);
+    EXPECT_EQ(hot.front().stormCount, 1u);
+}
+
+TEST(SyncProf, NullHandleForwardsNothing)
+{
+    syncprof::SyncProf off;
+    EXPECT_FALSE(off.enabled());
+    // Every hook must be a safe no-op when detached.
+    off.onAtomic(kLock, 1, 1, true, true, true, false);
+    off.onWrite(kLock, 1);
+    off.onBackoffEnter(1, 1);
+    off.onSibConfirm(1, 1);
+    off.onTimedAtomic(kLock, 1, false);
+
+    SyncProfileRegistry reg;
+    syncprof::SyncProf on(&reg);
+    EXPECT_TRUE(on.enabled());
+    on.onAtomic(kLock, 1, 1, true, true, true, false);
+    EXPECT_EQ(reg.casAttempts(), 1u);
+}
+
+// --- json_check --sync-report -------------------------------------------
+
+/** A report with real session, storm, fairness and timed data. */
+Json
+sampleReport()
+{
+    SyncProfileRegistry reg(4, 8);
+    acquire(reg, 1, 10);
+    for (int i = 0; i < 8; ++i)
+        failAcquire(reg, 2, 20 + i);
+    releaseLock(reg, 1, 30);
+    acquire(reg, 2, 34);
+    reg.onBackoffEnter(2, 36);
+    reg.onTimedAtomic(kLock, 5, false);
+    reg.onTimedAtomic(kLock, 9, true);
+    reg.onAtomic(0x2000, 3, 40, true, true, true, false);
+    return reg.reportJson();
+}
+
+/** First-occurrence textual surgery for building broken documents. */
+Json
+mutated(const Json &doc, const std::string &from, const std::string &to)
+{
+    std::string text = doc.dump();
+    const std::size_t pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    text.replace(pos, from.size(), to);
+    return Json::parse(text);
+}
+
+TEST(JsonCheckSyncReport, ValidReportPasses)
+{
+    const harness::CheckResult r =
+        harness::checkSyncReport(sampleReport());
+    EXPECT_TRUE(r.ok) << r.message;
+    EXPECT_NE(r.message.find("sync-report"), std::string::npos);
+    EXPECT_NE(r.message.find("2 addresses"), std::string::npos);
+}
+
+TEST(JsonCheckSyncReport, UnknownVersionFails)
+{
+    const Json doc =
+        mutated(sampleReport(), "\"version\":1", "\"version\":2");
+    EXPECT_FALSE(harness::checkSyncReport(doc).ok);
+}
+
+TEST(JsonCheckSyncReport, FailedShareOutOfRangeFails)
+{
+    Json doc = sampleReport();
+    const std::string share =
+        "\"failed_share\":" +
+        doc.at("totals").at("failed_share").dump();
+    const harness::CheckResult r = harness::checkSyncReport(
+        mutated(doc, share, "\"failed_share\":1.5"));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("failed_share"), std::string::npos);
+}
+
+TEST(JsonCheckSyncReport, MoreFailuresThanAttemptsFails)
+{
+    Json doc = sampleReport();
+    const std::string failures =
+        "\"cas_failures\":" +
+        doc.at("totals").at("cas_failures").dump();
+    const harness::CheckResult r = harness::checkSyncReport(
+        mutated(doc, failures, "\"cas_failures\":999999"));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(JsonCheckSyncReport, UnsortedAddressesFail)
+{
+    // Swapping the two address entries breaks the hottest-first order.
+    Json doc = sampleReport();
+    Json swapped = Json::object();
+    for (const auto &[k, v] : doc.members()) {
+        if (k == "addresses") {
+            Json arr = Json::array();
+            arr.push(doc.at("addresses").at(1));
+            arr.push(doc.at("addresses").at(0));
+            swapped.set(k, std::move(arr));
+        } else {
+            swapped.set(k, v);
+        }
+    }
+    const harness::CheckResult r = harness::checkSyncReport(swapped);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("hottest-first"), std::string::npos);
+}
+
+TEST(JsonCheckSyncReport, MissingFairnessFails)
+{
+    const Json doc = mutated(sampleReport(), "\"fairness\"", "\"fair\"");
+    EXPECT_FALSE(harness::checkSyncReport(doc).ok);
+}
+
+TEST(SyncProf, HotReportTextNamesTheAddress)
+{
+    SyncProfileRegistry empty;
+    EXPECT_TRUE(empty.hotReport().empty());
+
+    SyncProfileRegistry reg;
+    acquire(reg, 1, 10);
+    failAcquire(reg, 2, 12);
+    const std::string text = reg.hotReport();
+    EXPECT_NE(text.find("hot sync objects"), std::string::npos);
+    EXPECT_NE(text.find("0x1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bowsim
